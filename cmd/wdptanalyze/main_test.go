@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func analyze(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return out.String() + errOut.String(), code
+}
+
+func TestAnalyzeTractableTree(t *testing.T) {
+	out, code := analyze(t, "-query",
+		`(recorded_by(?x,?y) AND published(?x,"after_2010")) OPT rating(?x,?z)`)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"ℓ-TW(1)", "BI(", "g-TW(1)", "Theorems 6, 7", "Theorem 8", "Theorem 9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeIntractableTree(t *testing.T) {
+	// Root is a 5-clique: local treewidth 4 > probe limit is fine, but the
+	// classification must not claim g-TW(1).
+	out, code := analyze(t, "-query",
+		`ANS(?x) { e(?a,?b), e(?b,?c), e(?c,?a), v(?x) }`)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "g-TW(2)") {
+		t.Fatalf("triangle should classify as g-TW(2):\n%s", out)
+	}
+}
+
+func TestAnalyzeProjectionFree(t *testing.T) {
+	out, code := analyze(t, "-query", `a(?x) OPT b(?x, ?y)`)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "projection-free") {
+		t.Fatalf("projection-free note missing:\n%s", out)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, code := analyze(t); code == 0 {
+		t.Fatal("missing query accepted")
+	}
+	if _, code := analyze(t, "-query", `(a(?x) OPT b(?z)) AND c(?z)`); code == 0 {
+		t.Fatal("non-well-designed query accepted")
+	}
+	if _, code := analyze(t, "-queryfile", "/does/not/exist"); code == 0 {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestAnalyzeSemantic(t *testing.T) {
+	out, code := analyze(t, "-semantic", "1", "-query",
+		`ANS(?x) { E(?a,?b), E(?b,?a), E(?b,?c), E(?c,?b), E(?c,?d), E(?d,?c), E(?d,?a), E(?a,?d), V(?x) }`)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "p ∈ M(WB(1)): true") {
+		t.Fatalf("semantic membership missing:\n%s", out)
+	}
+	// Constants skip the semantic analysis with an explanation.
+	out, code = analyze(t, "-semantic", "1", "-query", `a(?x, "const")`)
+	if code != 0 || !strings.Contains(out, "skipped") {
+		t.Fatalf("constant handling:\n%s", out)
+	}
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func approx(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return out.String() + errOut.String(), code
+}
+
+const triangleTree = `ANS(?x) { e(?a,?b), e(?b,?c), e(?c,?a), v(?x) }`
+
+func TestApproximateTriangle(t *testing.T) {
+	out, code := approx(t, "-k", "1", "-query", triangleTree)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "WB(1)-approximation") || !strings.Contains(out, "ANS(?x)") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestApproximateAllCandidates(t *testing.T) {
+	out, code := approx(t, "-k", "1", "-all", "-query", triangleTree)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "candidate 1") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestMembership(t *testing.T) {
+	out, code := approx(t, "-k", "1", "-member", "-query", triangleTree)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "p ∈ M(WB(1)): false") {
+		t.Fatalf("triangle wrongly classified:\n%s", out)
+	}
+	// A tractable tree witnesses itself.
+	out, code = approx(t, "-k", "1", "-member", "-query", `ANS(?x) { e(?x, ?y) }`)
+	if code != 0 || !strings.Contains(out, "p ∈ M(WB(1)): true") {
+		t.Fatalf("edge tree should be a member:\n%s", out)
+	}
+}
+
+func TestUnionModes(t *testing.T) {
+	q := `SELECT ?x WHERE (e(?a,?b) AND e(?b,?c) AND e(?c,?a) AND v(?x))
+	      UNION
+	      SELECT ?x WHERE (e(?x, ?w))`
+	out, code := approx(t, "-k", "1", "-union", "-query", q)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "UWB(1)-approximation") {
+		t.Fatalf("output:\n%s", out)
+	}
+	out, code = approx(t, "-k", "1", "-union", "-member", "-query", q)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "φ ∈ M(UWB(1)): false") {
+		t.Fatalf("triangle member wrongly classified:\n%s", out)
+	}
+}
+
+func TestApproxErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                     // no query
+		{"-query", "a(?x) AND"},                // parse error
+		{"-queryfile", "/does/not/exist"},      // missing file
+		{"-union", "-query", "a(?x) UNION b("}, // union parse error
+	}
+	for i, args := range cases {
+		if _, code := approx(t, args...); code == 0 {
+			t.Fatalf("case %d (%v): expected failure", i, args)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Command wdptbench regenerates the paper's tables and figures as text
+// tables: one experiment per artifact (see DESIGN.md §4 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	wdptbench -list
+//	wdptbench                 # run everything (about a minute)
+//	wdptbench -run E2,E8      # run selected experiments
+//	wdptbench -quick          # smoke-test sizes
+//
+// The command exits non-zero when any experiment's built-in cross-checks
+// report an ERROR or a DISAGREEMENT, so a clean run doubles as an
+// end-to-end correctness check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"wdpt/internal/harness"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wdptbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list experiments and exit")
+	runIDs := fs.String("run", "", "comma-separated experiment ids (default: all)")
+	quick := fs.Bool("quick", false, "use smoke-test sizes")
+	reps := fs.Int("reps", 0, "repetitions per measured point (default 3)")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Fprintf(stdout, "%-4s %s\n     reproduces: %s\n", e.ID, e.Title, e.Paper)
+		}
+		return 0
+	}
+	var selected []harness.Experiment
+	if *runIDs == "" {
+		selected = harness.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, ok := harness.Get(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(stderr, "wdptbench: unknown experiment %q (use -list)\n", id)
+				return 2
+			}
+			selected = append(selected, e)
+		}
+	}
+	cfg := harness.Config{Quick: *quick, Repetitions: *reps}
+	failed := false
+	for _, e := range selected {
+		start := time.Now()
+		tbl := e.Run(cfg)
+		if *csv {
+			fmt.Fprintf(stdout, "# %s — %s\n%s\n", tbl.ID, tbl.Title, tbl.CSV())
+		} else {
+			fmt.Fprintf(stdout, "%s\n(total experiment time: %v)\n\n",
+				tbl.Render(), time.Since(start).Round(time.Millisecond))
+		}
+		for _, n := range tbl.Notes {
+			if strings.Contains(n, "ERROR") || strings.Contains(n, "DISAGREEMENT") {
+				failed = true
+			}
+		}
+	}
+	if failed {
+		fmt.Fprintln(stderr, "wdptbench: at least one experiment reported an ERROR")
+		return 1
+	}
+	return 0
+}

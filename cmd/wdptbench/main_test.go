@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, id := range []string{"E1", "E5", "E11"} {
+		if !strings.Contains(out.String(), id) {
+			t.Fatalf("listing missing %s:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestRunSelectedQuick(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-quick", "-reps", "1", "-run", "E8,E11"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "E8 —") || !strings.Contains(out.String(), "E11 —") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "E1 —") {
+		t.Fatal("unselected experiment ran")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-run", "E99"}, &out, &errOut); code == 0 {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errOut); code == 0 {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-quick", "-reps", "1", "-csv", "-run", "E8"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "# E8") || !strings.Contains(out.String(), "n,|p1|,|p2|") {
+		t.Fatalf("csv output:\n%s", out.String())
+	}
+}

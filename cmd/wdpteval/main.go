@@ -1,0 +1,180 @@
+// Command wdpteval evaluates a well-designed pattern tree over a database.
+//
+// The query is given either in the algebraic {AND, OPT} syntax
+// ("SELECT ?x WHERE (a(?x) OPT b(?x, ?y))") or in the explicit tree format
+// ("ANS(?x) { a(?x) { b(?x, ?y) } }"); the database is a file of ground
+// atoms, one per line ("a(1). b(1, 2)."). Modes:
+//
+//	enumerate  print p(D) (default)
+//	maximal    print p_m(D), the maximal-mappings semantics
+//	exact      decide h ∈ p(D) for the mapping given with -map
+//	partial    decide whether h extends to an answer
+//	max        decide h ∈ p_m(D)
+//
+// Example:
+//
+//	wdpteval -db data.txt -query 'SELECT ?y WHERE (rec(?x,?y) OPT rating(?x,?z))'
+//	wdpteval -db data.txt -queryfile q.wdpt -mode partial -map 'y=Caribou'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"wdpt"
+	"wdpt/internal/approx"
+	"wdpt/internal/core"
+	"wdpt/internal/cqeval"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wdpteval", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	query := fs.String("query", "", "query text (algebraic or ANS tree format)")
+	queryFile := fs.String("queryfile", "", "file containing the query")
+	dbFile := fs.String("db", "", "database file of ground atoms (required)")
+	mode := fs.String("mode", "enumerate", "enumerate|maximal|exact|partial|max")
+	mapping := fs.String("map", "", "partial mapping 'x=a,y=b' for the decision modes")
+	engineName := fs.String("engine", "auto", "CQ engine: auto|naive|yannakakis|decomposition|hypertree")
+	classify := fs.Bool("classify", false, "print the structural classification before evaluating")
+	optimize := fs.Int("optimize", 0, "k > 0: route partial/max modes through the Corollary 2 M(WB(k)) witness when one exists")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := evalMain(stdout, *query, *queryFile, *dbFile, *mode, *mapping, *engineName, *classify, *optimize); err != nil {
+		fmt.Fprintf(stderr, "wdpteval: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+func evalMain(out io.Writer, query, queryFile, dbFile, mode, mapping, engineName string, classify bool, optimize int) error {
+	p, err := loadQuery(query, queryFile)
+	if err != nil {
+		return err
+	}
+	d, err := loadDatabase(dbFile)
+	if err != nil {
+		return err
+	}
+	eng, err := pickEngine(engineName)
+	if err != nil {
+		return err
+	}
+	if classify {
+		fmt.Fprintln(out, p.Classify())
+		fmt.Fprintln(out)
+	}
+	switch mode {
+	case "enumerate":
+		answers := p.EvaluateWith(d, eng)
+		fmt.Fprintf(out, "p(D): %d answer(s)\n", len(answers))
+		for _, h := range answers {
+			fmt.Fprintln(out, "  "+h.String())
+		}
+	case "maximal":
+		answers := p.EvaluateMaximal(d)
+		fmt.Fprintf(out, "p_m(D): %d answer(s)\n", len(answers))
+		for _, h := range answers {
+			fmt.Fprintln(out, "  "+h.String())
+		}
+	case "exact", "partial", "max":
+		h, err := parseMapping(mapping)
+		if err != nil {
+			return err
+		}
+		var opt *approx.Optimized
+		if optimize > 0 && mode != "exact" {
+			opt = wdpt.Optimize(p, wdpt.WB(optimize), wdpt.ApproxOptions{})
+			fmt.Fprintf(out, "(optimizer: tractable witness found: %v)\n", opt.Tractable())
+		}
+		var result bool
+		switch mode {
+		case "exact":
+			result = p.EvalInterface(d, h, eng)
+		case "partial":
+			if opt != nil {
+				result = opt.PartialEval(d, h, eng)
+			} else {
+				result = p.PartialEval(d, h, eng)
+			}
+		case "max":
+			if opt != nil {
+				result = opt.MaxEval(d, h, eng)
+			} else {
+				result = p.MaxEval(d, h, eng)
+			}
+		}
+		fmt.Fprintln(out, result)
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	return nil
+}
+
+func loadQuery(inline, file string) (*core.PatternTree, error) {
+	src := inline
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		src = string(data)
+	}
+	if strings.TrimSpace(src) == "" {
+		return nil, fmt.Errorf("a query is required (-query or -queryfile)")
+	}
+	if strings.HasPrefix(strings.TrimSpace(strings.ToUpper(src)), "ANS") {
+		return wdpt.ParseWDPT(src)
+	}
+	return wdpt.ParseQuery(src)
+}
+
+func loadDatabase(file string) (*wdpt.Database, error) {
+	if file == "" {
+		return nil, fmt.Errorf("a database file is required (-db)")
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	return wdpt.ParseDatabase(string(data))
+}
+
+func parseMapping(s string) (wdpt.Mapping, error) {
+	h := wdpt.Mapping{}
+	if strings.TrimSpace(s) == "" {
+		return h, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] == "" {
+			return nil, fmt.Errorf("bad -map entry %q (want var=value)", part)
+		}
+		h[strings.TrimPrefix(kv[0], "?")] = kv[1]
+	}
+	return h, nil
+}
+
+func pickEngine(name string) (wdpt.Engine, error) {
+	switch name {
+	case "auto":
+		return cqeval.Auto(), nil
+	case "naive":
+		return cqeval.Naive(), nil
+	case "yannakakis":
+		return cqeval.Yannakakis(), nil
+	case "decomposition":
+		return cqeval.Decomposition(), nil
+	case "hypertree":
+		return cqeval.Hypertree(3), nil
+	}
+	return nil, fmt.Errorf("unknown engine %q", name)
+}

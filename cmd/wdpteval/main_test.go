@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeMusicDB(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "music.db")
+	err := os.WriteFile(path, []byte(`
+		recorded_by(Our_love, Caribou).
+		published(Our_love, after_2010).
+		recorded_by(Swim, Caribou).
+		published(Swim, after_2010).
+		rating(Swim, "2").
+	`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const musicQuery = `(recorded_by(?x,?y) AND published(?x,"after_2010")) OPT rating(?x,?z)`
+
+func TestRunEnumerate(t *testing.T) {
+	db := writeMusicDB(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-db", db, "-query", musicQuery}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "2 answer(s)") || !strings.Contains(s, "z -> 2") {
+		t.Fatalf("output:\n%s", s)
+	}
+}
+
+func TestRunModes(t *testing.T) {
+	db := writeMusicDB(t)
+	cases := []struct {
+		mode, mapping, want string
+	}{
+		{"partial", "y=Caribou", "true"},
+		{"partial", "y=Nobody", "false"},
+		{"exact", "x=Swim,y=Caribou,z=2", "true"},
+		{"exact", "x=Swim,y=Caribou", "false"},
+		{"max", "x=Swim,y=Caribou,z=2", "true"},
+		{"maximal", "", "2 answer(s)"},
+	}
+	for _, c := range cases {
+		var out, errOut bytes.Buffer
+		code := run([]string{"-db", db, "-query", musicQuery, "-mode", c.mode, "-map", c.mapping}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("mode %s: exit %d: %s", c.mode, code, errOut.String())
+		}
+		if !strings.Contains(out.String(), c.want) {
+			t.Fatalf("mode %s map %q: output %q, want %q", c.mode, c.mapping, out.String(), c.want)
+		}
+	}
+}
+
+func TestRunTreeFormatAndClassify(t *testing.T) {
+	db := writeMusicDB(t)
+	query := `ANS(?x, ?y) { recorded_by(?x, ?y) { rating(?x, ?z) } }`
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-db", db, "-query", query, "-classify"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "interface width") {
+		t.Fatalf("classification missing:\n%s", out.String())
+	}
+}
+
+func TestRunEngines(t *testing.T) {
+	db := writeMusicDB(t)
+	for _, eng := range []string{"auto", "naive", "yannakakis", "decomposition"} {
+		var out, errOut bytes.Buffer
+		code := run([]string{"-db", db, "-query", musicQuery, "-mode", "partial", "-map", "y=Caribou", "-engine", eng}, &out, &errOut)
+		if code != 0 || !strings.Contains(out.String(), "true") {
+			t.Fatalf("engine %s: exit %d output %q err %q", eng, code, out.String(), errOut.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	db := writeMusicDB(t)
+	cases := [][]string{
+		{"-query", musicQuery},             // missing db
+		{"-db", db},                        // missing query
+		{"-db", db, "-query", "a(?x) AND"}, // parse error
+		{"-db", db, "-query", musicQuery, "-mode", "bogus"},                 // bad mode
+		{"-db", db, "-query", musicQuery, "-engine", "bogus"},               // bad engine
+		{"-db", db, "-query", musicQuery, "-mode", "exact", "-map", "oops"}, // bad mapping
+		{"-db", "/does/not/exist", "-query", musicQuery},                    // missing file
+		{"-queryfile", "/does/not/exist", "-db", db},                        // missing query file
+	}
+	for i, args := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Fatalf("case %d (%v): expected failure", i, args)
+		}
+	}
+}
+
+func TestQueryFromFile(t *testing.T) {
+	db := writeMusicDB(t)
+	qf := filepath.Join(t.TempDir(), "q.txt")
+	if err := os.WriteFile(qf, []byte(musicQuery), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-db", db, "-queryfile", qf}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+}
+
+func TestRunOptimizedModes(t *testing.T) {
+	// Symmetric 4-cycle tree (member of M(WB(1))), database file built from
+	// its vocabulary.
+	db := filepath.Join(t.TempDir(), "g.db")
+	if err := os.WriteFile(db, []byte(`
+		E(a, b). E(b, a). E(b, c). E(c, b).
+		E(c, d). E(d, c). E(d, a). E(a, d).
+		V(q).
+	`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	query := `ANS(?x) {
+		e2(?x, ?x)
+	}`
+	_ = query
+	cycle := `ANS(?x) { E(?a,?b), E(?b,?a), E(?b,?c), E(?c,?b), E(?c,?d), E(?d,?c), E(?d,?a), E(?a,?d), V(?x) }`
+	var out, errOut bytes.Buffer
+	code := run([]string{"-db", db, "-query", cycle, "-mode", "partial", "-map", "x=q", "-optimize", "1"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "witness found: true") || !strings.Contains(out.String(), "true") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunHypertreeEngine(t *testing.T) {
+	dbf := writeMusicDB(t)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-db", dbf, "-query", musicQuery, "-mode", "partial", "-map", "y=Caribou", "-engine", "hypertree"}, &out, &errOut)
+	if code != 0 || !strings.Contains(out.String(), "true") {
+		t.Fatalf("exit %d output %q err %q", code, out.String(), errOut.String())
+	}
+}

@@ -1,0 +1,3 @@
+module wdpt
+
+go 1.22

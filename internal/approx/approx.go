@@ -1,0 +1,278 @@
+// Package approx implements the semantic-optimization machinery of
+// Section 5 of Barceló & Pichler (PODS 2015): the well-behaved classes
+// WB(k) = g-C(k) with C(k) ∈ {TW(k), HW'(k)}, membership in M(WB(k))
+// (subsumption-equivalence to a well-behaved tree, Theorem 13), and
+// WB(k)-approximations (Definition 4, Theorem 14).
+//
+// The paper's decision procedures guess WDPTs of up to exponential size
+// (Lemma 1); exhaustive search over that space is infeasible, so this
+// package searches the candidate space generated from p by
+//
+//   - quotients: collapsing existential variables onto each other or onto
+//     free variables (pointwise-fixed), exactly as in the complete CQ-level
+//     construction of [Barceló, Libkin, Romero 2014], and
+//   - prunes: restricting the tree to a rooted subtree,
+//
+// verifying candidates by the exact subsumption test of internal/subsume.
+// For trees whose obstruction to WB(k) lies in oversized joins between
+// existential variables — which includes every single-node WDPT, where the
+// space is provably complete — the maximal surviving candidates are true
+// WB(k)-approximations; in general they are certified lower bounds
+// (candidate ⊑ p and candidate ∈ WB(k)). The Figure 2 family shows that
+// true approximations can require exponentially many atoms, so any complete
+// procedure must leave the quotient space; see EXPERIMENTS.md.
+package approx
+
+import (
+	"fmt"
+
+	"wdpt/internal/core"
+	"wdpt/internal/cq"
+	"wdpt/internal/subsume"
+)
+
+// Options bounds the candidate search.
+type Options struct {
+	// MaxCandidates caps the number of class-member candidates verified by
+	// subsumption; 0 means 10000.
+	MaxCandidates int
+	// Prune enables subtree-pruning candidates in addition to quotients.
+	Prune bool
+	// Subsume configures the underlying subsumption tests.
+	Subsume subsume.Options
+}
+
+func (o Options) maxCandidates() int {
+	if o.MaxCandidates == 0 {
+		return 10000
+	}
+	return o.MaxCandidates
+}
+
+// WB returns the well-behaved class WB(k) with C(k) = TW(k) as a CQ class
+// to be used with core.GloballyIn; treewidth is subquery-closed, so global
+// tractability is a single check (Section 5).
+func WB(k int) cq.Class { return cq.TW(k) }
+
+// WBPrime returns WB(k) with C(k) = HW'(k) (β-hypertreewidth).
+func WBPrime(k int) cq.Class { return cq.HWPrime(k) }
+
+// InWB reports whether p itself belongs to WB(k) = g-C(k).
+func InWB(p *core.PatternTree, c cq.Class) bool {
+	return p.GloballyIn(c)
+}
+
+// Candidates enumerates the candidate trees generated from p: quotient
+// images (and, with opts.Prune, quotients of rooted subtrees) that are
+// well-designed. Unlike the CQ case, a quotient of a pattern tree is NOT
+// automatically subsumed by p — merging an existential variable onto a free
+// variable can pull the free variable up the tree and strengthen answers —
+// so consumers must verify candidate ⊑ p (ApproximateAll and MemberWB do).
+// visit returning false stops the enumeration.
+func Candidates(p *core.PatternTree, opts Options, visit func(*core.PatternTree) bool) {
+	if p.HasConstants() {
+		panic("approx: approximations are only defined for constant-free pattern trees (Section 5.2)")
+	}
+	stopped := false
+	emit := func(t *core.PatternTree) bool {
+		if stopped {
+			return false
+		}
+		if !visit(t) {
+			stopped = true
+		}
+		return !stopped
+	}
+	subtrees := []core.Subtree{p.FullSubtree()}
+	if opts.Prune {
+		subtrees = subtrees[:0]
+		p.EnumerateSubtrees(func(s core.Subtree) bool {
+			subtrees = append(subtrees, s)
+			return true
+		})
+	}
+	for _, s := range subtrees {
+		if stopped {
+			return
+		}
+		quotientTrees(p, s, emit)
+	}
+}
+
+// quotientTrees enumerates the well-designed quotient images of the
+// restriction of p to subtree s.
+func quotientTrees(p *core.PatternTree, s core.Subtree, emit func(*core.PatternTree) bool) {
+	atoms := p.SubtreeAtoms(s)
+	vars := cq.AtomsVars(atoms)
+	freeSet := p.FreeSet()
+	var free, evars []string
+	for _, v := range vars {
+		if freeSet[v] {
+			free = append(free, v)
+		} else {
+			evars = append(evars, v)
+		}
+	}
+	theta := make(cq.Mapping, len(vars))
+	for _, x := range free {
+		theta[x] = x
+	}
+	reps := append([]string(nil), free...)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(evars) {
+			t, err := buildQuotientTree(p, s, theta)
+			if err != nil {
+				return true // not well-designed after merging; skip
+			}
+			return emit(t)
+		}
+		v := evars[i]
+		for _, r := range reps {
+			theta[v] = r
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		theta[v] = v
+		reps = append(reps, v)
+		ok := rec(i + 1)
+		reps = reps[:len(reps)-1]
+		delete(theta, v)
+		return ok
+	}
+	rec(0)
+}
+
+// buildQuotientTree applies the variable renaming θ to the nodes of p
+// restricted to subtree s, preserving the tree shape.
+func buildQuotientTree(p *core.PatternTree, s core.Subtree, theta cq.Mapping) (*core.PatternTree, error) {
+	var spec func(n *core.Node) core.NodeSpec
+	spec = func(n *core.Node) core.NodeSpec {
+		out := core.NodeSpec{}
+		for _, a := range n.Atoms() {
+			args := make([]cq.Term, len(a.Args))
+			for i, t := range a.Args {
+				if t.IsVar() {
+					args[i] = cq.V(theta[t.Value()])
+				} else {
+					args[i] = t
+				}
+			}
+			out.Atoms = append(out.Atoms, cq.NewAtom(a.Rel, args...))
+		}
+		for _, c := range n.Children() {
+			if s[c.ID()] {
+				out.Children = append(out.Children, spec(c))
+			}
+		}
+		return out
+	}
+	rootSpec := spec(p.Root())
+	free := p.SubtreeFreeVars(s)
+	return core.New(rootSpec, free)
+}
+
+// ApproximateAll returns the maximal (under ⊑) candidates from the search
+// space that belong to WB(k) (given as the CQ class c). The result trees
+// are pairwise non-equivalent, each satisfies cand ∈ WB(k) and cand ⊑ p.
+// If p ∈ WB(k), p itself is returned as the single approximation.
+func ApproximateAll(p *core.PatternTree, c cq.Class, opts Options) []*core.PatternTree {
+	if InWB(p, c) {
+		return []*core.PatternTree{p}
+	}
+	var members []*core.PatternTree
+	limit := opts.maxCandidates()
+	Candidates(p, opts, func(t *core.PatternTree) bool {
+		if InWB(t, c) && subsume.Subsumes(t, p, opts.Subsume) {
+			members = append(members, t)
+		}
+		return len(members) < limit
+	})
+	return maximalUnderSubsumption(members, opts.Subsume)
+}
+
+// Approximate returns one WB(k)-approximation candidate for p (the first
+// maximal one), or an error if the search space contains no member of the
+// class.
+func Approximate(p *core.PatternTree, c cq.Class, opts Options) (*core.PatternTree, error) {
+	all := ApproximateAll(p, c, opts)
+	if len(all) == 0 {
+		return nil, fmt.Errorf("approx: no %s candidate found for the tree (search space exhausted)", c.Name())
+	}
+	return all[0], nil
+}
+
+func maximalUnderSubsumption(cands []*core.PatternTree, sopts subsume.Options) []*core.PatternTree {
+	var out []*core.PatternTree
+	for i, pi := range cands {
+		maximal := true
+		for j, pj := range cands {
+			if i == j {
+				continue
+			}
+			if subsume.Subsumes(pi, pj, sopts) {
+				if !subsume.Subsumes(pj, pi, sopts) {
+					maximal = false
+					break
+				}
+				if j < i { // equivalent: keep first representative
+					maximal = false
+					break
+				}
+			}
+		}
+		if maximal {
+			out = append(out, pi)
+		}
+	}
+	return out
+}
+
+// MemberWB decides membership of p in M(WB(k)) over the candidate space:
+// it reports a witness p' ∈ WB(k) with p ≡s p' if one exists among the
+// candidates. Since every candidate is subsumed by p, it suffices to check
+// p ⊑ candidate (Theorem 13's structure: the approximation is equivalent to
+// p iff p is in M(WB(k)), restricted to the searched space).
+func MemberWB(p *core.PatternTree, c cq.Class, opts Options) (*core.PatternTree, bool) {
+	if InWB(p, c) {
+		return p, true
+	}
+	var witness *core.PatternTree
+	limit := opts.maxCandidates()
+	count := 0
+	Candidates(p, opts, func(t *core.PatternTree) bool {
+		count++
+		if InWB(t, c) && subsume.Subsumes(p, t, opts.Subsume) && subsume.Subsumes(t, p, opts.Subsume) {
+			witness = t
+			return false
+		}
+		return count < limit
+	})
+	return witness, witness != nil
+}
+
+// IsApproximation checks whether cand is a WB(k)-approximation of p
+// relative to the candidate space: cand ∈ WB(k), cand ⊑ p, and no candidate
+// strictly between them. (Proposition 8 studies the unrestricted version of
+// this problem, which is Π₂ᴾ-hard already.)
+func IsApproximation(cand, p *core.PatternTree, c cq.Class, opts Options) bool {
+	if !InWB(cand, c) || !subsume.Subsumes(cand, p, opts.Subsume) {
+		return false
+	}
+	better := false
+	limit := opts.maxCandidates()
+	count := 0
+	Candidates(p, opts, func(t *core.PatternTree) bool {
+		count++
+		if InWB(t, c) &&
+			subsume.Subsumes(t, p, opts.Subsume) &&
+			subsume.Subsumes(cand, t, opts.Subsume) &&
+			!subsume.Subsumes(t, cand, opts.Subsume) {
+			better = true
+			return false
+		}
+		return count < limit
+	})
+	return !better
+}

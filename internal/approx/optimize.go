@@ -1,0 +1,62 @@
+package approx
+
+import (
+	"wdpt/internal/core"
+	"wdpt/internal/cq"
+	"wdpt/internal/cqeval"
+	"wdpt/internal/db"
+)
+
+// Optimized is the fixed-parameter-tractable evaluator of Corollary 2: the
+// (expensive, query-size-only) membership test for M(WB(k)) runs once at
+// construction; if a subsumption-equivalent globally tractable witness is
+// found, all subsequent PARTIAL-EVAL and MAX-EVAL queries run against the
+// witness in polynomial time. Subsumption-equivalence preserves partial and
+// maximal answers (Section 5), so results are identical to evaluating the
+// original tree — which is property-tested.
+type Optimized struct {
+	original *core.PatternTree
+	witness  *core.PatternTree // nil when p ∉ M(WB(k)) within the search space
+}
+
+// Optimize prepares an FPT evaluator for p with respect to WB(k) given as
+// the CQ class c. The construction cost depends only on |p|.
+func Optimize(p *core.PatternTree, c cq.Class, opts Options) *Optimized {
+	o := &Optimized{original: p}
+	if p.HasConstants() {
+		// The membership machinery is constant-free (Section 5.2); fall
+		// back to the original tree, unless it is tractable as given.
+		if InWB(p, c) {
+			o.witness = p
+		}
+		return o
+	}
+	if w, ok := MemberWB(p, c, opts); ok {
+		o.witness = w.PruneNonProjecting()
+	}
+	return o
+}
+
+// Tractable reports whether a globally tractable witness is available.
+func (o *Optimized) Tractable() bool { return o.witness != nil }
+
+// Witness returns the subsumption-equivalent tractable tree, or nil.
+func (o *Optimized) Witness() *core.PatternTree { return o.witness }
+
+// PartialEval answers PARTIAL-EVAL for the original tree; through the
+// witness when available (Corollary 2).
+func (o *Optimized) PartialEval(d *db.Database, h cq.Mapping, eng cqeval.Engine) bool {
+	if o.witness != nil {
+		return o.witness.PartialEval(d, h, eng)
+	}
+	return o.original.PartialEval(d, h, eng)
+}
+
+// MaxEval answers MAX-EVAL for the original tree; through the witness when
+// available (Corollary 2).
+func (o *Optimized) MaxEval(d *db.Database, h cq.Mapping, eng cqeval.Engine) bool {
+	if o.witness != nil {
+		return o.witness.MaxEval(d, h, eng)
+	}
+	return o.original.MaxEval(d, h, eng)
+}

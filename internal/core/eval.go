@@ -1,0 +1,473 @@
+package core
+
+import (
+	"fmt"
+
+	"wdpt/internal/cq"
+	"wdpt/internal/cqeval"
+	"wdpt/internal/db"
+)
+
+// This file implements the semantics of WDPTs (Definition 2) and the three
+// decision problems of Section 3:
+//
+//	EVAL          — is h ∈ p(D)?            (Σ₂ᴾ-complete in general)
+//	PARTIAL-EVAL  — is h ⊑ h' for some h' ∈ p(D)?   (tractable under g-C(k), Thm 8)
+//	MAX-EVAL      — is h ∈ p_m(D)?          (tractable under g-C(k), Thm 9)
+//
+// Two EVAL engines are provided: a naive subtree-enumeration baseline and
+// the interface-relation algorithm behind Theorems 6 and 7, which runs in
+// polynomial time on locally tractable WDPTs of bounded interface.
+
+// extUnit is a minimal downward extension of a subtree: a chain of nodes
+// below the subtree whose last node is the first on its path to introduce a
+// variable outside the subtree. A homomorphism on a subtree is maximal iff
+// no extension unit of the subtree admits a consistent homomorphism.
+type extUnit struct {
+	nodes []*Node
+	atoms []cq.Atom
+}
+
+// extensionUnits computes the extension units of the subtree s.
+func (p *PatternTree) extensionUnits(s Subtree) []extUnit {
+	inS := make(map[string]bool)
+	for _, v := range p.SubtreeVars(s) {
+		inS[v] = true
+	}
+	var units []extUnit
+	var dfs func(n *Node, chainNodes []*Node, chainAtoms []cq.Atom)
+	dfs = func(n *Node, chainNodes []*Node, chainAtoms []cq.Atom) {
+		chainNodes = append(append([]*Node(nil), chainNodes...), n)
+		chainAtoms = append(append([]cq.Atom(nil), chainAtoms...), n.atoms...)
+		fresh := false
+		for _, v := range n.Vars() {
+			if !inS[v] {
+				fresh = true
+				break
+			}
+		}
+		if fresh {
+			units = append(units, extUnit{nodes: chainNodes, atoms: chainAtoms})
+			return
+		}
+		for _, c := range n.children {
+			dfs(c, chainNodes, chainAtoms)
+		}
+	}
+	for _, n := range p.nodes {
+		if !s[n.id] && n.parent != nil && s[n.parent.id] {
+			dfs(n, nil, nil)
+		}
+	}
+	return units
+}
+
+// isMaximalHom reports whether the homomorphism h on subtree s (defined on
+// exactly the variables of s) is maximal: no extension unit of s can be
+// satisfied consistently with h.
+func (p *PatternTree) isMaximalHom(s Subtree, d *db.Database, h cq.Mapping) bool {
+	for _, u := range p.extensionUnits(s) {
+		if cq.Satisfiable(u.atoms, d, h) {
+			return false
+		}
+	}
+	return true
+}
+
+// Evaluate computes p(D): the projections to x̄ of all maximal
+// homomorphisms from p to D (Definition 2). The computation expands
+// homomorphisms of the root node downward along extension units until no
+// further extension is possible; it is exponential in |p| in the worst
+// case, as the Σ₂ᴾ-completeness of EVAL dictates.
+func (p *PatternTree) Evaluate(d *db.Database) []cq.Mapping {
+	answers := cq.NewMappingSet()
+	visited := make(map[string]bool)
+	var expand func(s Subtree, h cq.Mapping)
+	expand = func(s Subtree, h cq.Mapping) {
+		key := s.Key() + "|" + h.Key()
+		if visited[key] {
+			return
+		}
+		visited[key] = true
+		extendable := false
+		for _, u := range p.extensionUnits(s) {
+			var exts []cq.Mapping
+			cq.Homomorphisms(u.atoms, d, h, func(g cq.Mapping) bool {
+				exts = append(exts, g.Clone())
+				return true
+			})
+			if len(exts) == 0 {
+				continue
+			}
+			extendable = true
+			next := s.Clone()
+			for _, n := range u.nodes {
+				next[n.id] = true
+			}
+			for _, g := range exts {
+				expand(next, h.Union(g))
+			}
+		}
+		if !extendable {
+			answers.Add(h.Restrict(p.free))
+		}
+	}
+	cq.Homomorphisms(p.root.atoms, d, nil, func(h cq.Mapping) bool {
+		expand(p.RootSubtree(), h.Clone())
+		return true
+	})
+	return answers.All()
+}
+
+// EvaluateMaximal computes p_m(D): the restriction of p(D) to mappings that
+// are maximal with respect to ⊑ (Section 3.4).
+func (p *PatternTree) EvaluateMaximal(d *db.Database) []cq.Mapping {
+	set := cq.NewMappingSet()
+	for _, h := range p.Evaluate(d) {
+		set.Add(h)
+	}
+	return set.Maximal()
+}
+
+// evalBand prepares the subtree band [T', T”] for an exact-evaluation
+// query: T' is the minimal subtree containing dom(h) and T” the maximal
+// subtree adding no free variables outside dom(h). ok=false means h cannot
+// possibly be an answer (it binds a non-free or non-occurring variable, or
+// every subtree containing dom(h) has additional free variables).
+func (p *PatternTree) evalBand(h cq.Mapping) (tmin, tmax Subtree, ok bool) {
+	free := p.FreeSet()
+	for v := range h {
+		if !free[v] {
+			return nil, nil, false
+		}
+	}
+	tmin, ok = p.MinimalSubtreeContaining(h.Domain())
+	if !ok {
+		return nil, nil, false
+	}
+	if len(p.SubtreeFreeVars(tmin)) != len(h) {
+		return nil, nil, false
+	}
+	allowed := make(map[string]bool, len(h))
+	for v := range h {
+		allowed[v] = true
+	}
+	tmax = p.MaximalSubtreeWithoutNewFree(tmin, allowed)
+	return tmin, tmax, true
+}
+
+// Eval decides h ∈ p(D) with the naive baseline: it enumerates the subtrees
+// between the minimal subtree of dom(h) and the maximal subtree without new
+// free variables, searches homomorphisms consistent with h, and checks
+// maximality. Correct for every WDPT; exponential in |p|.
+func (p *PatternTree) Eval(d *db.Database, h cq.Mapping) bool {
+	tmin, tmax, ok := p.evalBand(h)
+	if !ok {
+		return false
+	}
+	found := false
+	p.enumerateBand(tmin, tmax, func(s Subtree) bool {
+		cq.Homomorphisms(p.SubtreeAtoms(s), d, h, func(g cq.Mapping) bool {
+			// g is defined on vars(s) ⊆ the allowed region, so its free
+			// projection is exactly h; it remains to check maximality.
+			if p.isMaximalHom(s, d, g) {
+				found = true
+				return false
+			}
+			return true
+		})
+		return !found
+	})
+	return found
+}
+
+// enumerateBand visits every rooted subtree s with base ⊆ s ⊆ within.
+func (p *PatternTree) enumerateBand(base, within Subtree, visit func(Subtree) bool) {
+	var frontier []*Node
+	for _, n := range p.nodes {
+		if !base[n.id] && within[n.id] && n.parent != nil && base[n.parent.id] {
+			frontier = append(frontier, n)
+		}
+	}
+	cur := base.Clone()
+	stopped := false
+	var rec func(i int, frontier []*Node)
+	rec = func(i int, frontier []*Node) {
+		if stopped {
+			return
+		}
+		if i == len(frontier) {
+			if !visit(cur.Clone()) {
+				stopped = true
+			}
+			return
+		}
+		n := frontier[i]
+		rec(i+1, frontier)
+		if stopped {
+			return
+		}
+		cur[n.id] = true
+		next := append([]*Node(nil), frontier[i+1:]...)
+		for _, c := range n.children {
+			if within[c.id] {
+				next = append(next, c)
+			}
+		}
+		rec(0, next)
+		delete(cur, n.id)
+	}
+	rec(0, frontier)
+}
+
+// PartialEval decides PARTIAL-EVAL (Section 3.3): is there h' ∈ p(D) with
+// h ⊑ h'? Following the proof of Theorem 8, it suffices to find any
+// homomorphism on the minimal subtree containing dom(h) consistent with h;
+// the CQ test is delegated to the engine, so the whole check runs in
+// polynomial time when the WDPT is globally tractable and the engine is
+// decomposition-guided.
+func (p *PatternTree) PartialEval(d *db.Database, h cq.Mapping, eng cqeval.Engine) bool {
+	free := p.FreeSet()
+	for v := range h {
+		if !free[v] {
+			return false
+		}
+	}
+	tmin, ok := p.MinimalSubtreeContaining(h.Domain())
+	if !ok {
+		return false
+	}
+	return eng.Satisfiable(p.SubtreeAtoms(tmin), d, h)
+}
+
+// PartialEvalEnumerate is the ablation baseline for PARTIAL-EVAL: it
+// enumerates all rooted subtrees containing dom(h) instead of using the
+// minimal-subtree characterization.
+func (p *PatternTree) PartialEvalEnumerate(d *db.Database, h cq.Mapping) bool {
+	free := p.FreeSet()
+	for v := range h {
+		if !free[v] {
+			return false
+		}
+	}
+	tmin, ok := p.MinimalSubtreeContaining(h.Domain())
+	if !ok {
+		return false
+	}
+	found := false
+	p.enumerateExtensions(tmin, func(s Subtree) bool {
+		if cq.Satisfiable(p.SubtreeAtoms(s), d, h) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// MaxEval decides MAX-EVAL (Section 3.4): is h ∈ p_m(D)? Following the
+// proof of Theorem 9: h is a maximal answer iff h is a partial answer and no
+// proper extension of h by any further free variable is a partial answer.
+// Tractable when the WDPT is globally tractable and the engine is
+// decomposition-guided.
+func (p *PatternTree) MaxEval(d *db.Database, h cq.Mapping, eng cqeval.Engine) bool {
+	return p.PartialEval(d, h, eng) && !p.ProperExtensionExists(d, h, eng)
+}
+
+// ProperExtensionExists reports whether some answer h' ∈ p(D) properly
+// subsumes h: equivalently, whether h extends to a homomorphism that is
+// additionally defined on some further free variable. Used by MAX-EVAL and
+// by the union variant ⋃-MAX-EVAL (Theorem 16).
+func (p *PatternTree) ProperExtensionExists(d *db.Database, h cq.Mapping, eng cqeval.Engine) bool {
+	free := p.FreeSet()
+	for v := range h {
+		if !free[v] {
+			return false // no answer of p is defined on v, so none extends h
+		}
+	}
+	for _, x := range p.free {
+		if _, bound := h[x]; bound {
+			continue
+		}
+		sub, ok := p.MinimalSubtreeContaining(append(h.Domain(), x))
+		if !ok {
+			continue // x does not occur in T; no answer is defined on it
+		}
+		if eng.Satisfiable(p.SubtreeAtoms(sub), d, h) {
+			return true // h extends to an answer also defined on x
+		}
+	}
+	return false
+}
+
+// EvalInterface decides h ∈ p(D) with the interface-relation algorithm of
+// Theorem 6: node-local homomorphisms are projected to their (bounded)
+// interfaces, optional nodes below the answer region are classified as
+// safely terminating or necessarily extending by a memoized bottom-up
+// analysis, and nodes outside the region must be blocked. The algorithm is
+// correct for every WDPT; its running time is polynomial when p is locally
+// tractable with c-bounded interface and eng is decomposition-guided
+// (Theorems 6 and 7).
+func (p *PatternTree) EvalInterface(d *db.Database, h cq.Mapping, eng cqeval.Engine) bool {
+	tmin, tmax, ok := p.evalBand(h)
+	if !ok {
+		return false
+	}
+	e := &biEvaluator{
+		p:    p,
+		d:    d,
+		h:    h,
+		eng:  eng,
+		tmin: tmin,
+		tmax: tmax,
+		memo: make(map[string]bool),
+	}
+	return e.required(p.root, cq.Mapping{})
+}
+
+type biEvaluator struct {
+	p          *PatternTree
+	d          *db.Database
+	h          cq.Mapping
+	eng        cqeval.Engine
+	tmin, tmax Subtree
+	memo       map[string]bool
+}
+
+// interfaceVars returns the variables the node shares with its parent or any
+// child, excluding those fixed by the query mapping h.
+func (e *biEvaluator) interfaceVars(n *Node) []string {
+	own := make(map[string]bool)
+	for _, v := range n.Vars() {
+		own[v] = true
+	}
+	shared := make(map[string]bool)
+	mark := func(other *Node) {
+		for _, v := range other.Vars() {
+			if own[v] {
+				shared[v] = true
+			}
+		}
+	}
+	if n.parent != nil {
+		mark(n.parent)
+	}
+	for _, c := range n.children {
+		mark(c)
+	}
+	var out []string
+	for _, v := range n.Vars() {
+		if shared[v] {
+			if _, fixed := e.h[v]; !fixed {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// childInterface restricts the combined assignment to the variables shared
+// between n and child c (those not fixed by h).
+func (e *biEvaluator) childInterface(n, c *Node, full cq.Mapping) cq.Mapping {
+	own := make(map[string]bool)
+	for _, v := range c.Vars() {
+		own[v] = true
+	}
+	out := cq.Mapping{}
+	for _, v := range n.Vars() {
+		if own[v] {
+			if val, ok := full[v]; ok {
+				out[v] = val
+			}
+		}
+	}
+	return out
+}
+
+// fixedWith merges the global mapping h with an interface assignment.
+func (e *biEvaluator) fixedWith(iface cq.Mapping) cq.Mapping {
+	out := e.h.Clone()
+	for k, v := range iface {
+		out[k] = v
+	}
+	return out
+}
+
+// required handles nodes of the minimal subtree T': the node must be
+// included, a local homomorphism consistent with the interface must exist,
+// and all children must in turn be satisfiable as required / safe / blocked
+// according to their region.
+func (e *biEvaluator) required(n *Node, iface cq.Mapping) bool {
+	key := fmt.Sprintf("R%d|%s", n.id, iface.Key())
+	if v, ok := e.memo[key]; ok {
+		return v
+	}
+	result := false
+	rows := e.eng.Project(n.atoms, e.d, e.fixedWith(iface), e.interfaceVars(n))
+	for _, g := range rows {
+		if e.childrenOK(n, g.Union(iface)) {
+			result = true
+			break
+		}
+	}
+	e.memo[key] = result
+	return result
+}
+
+// safe handles optional nodes in T” \ T': either the node cannot be
+// entered at all under the interface (the maximal extension stops above it)
+// or it can be entered by some local homomorphism whose children are again
+// all safe or blocked.
+func (e *biEvaluator) safe(n *Node, iface cq.Mapping) bool {
+	key := fmt.Sprintf("S%d|%s", n.id, iface.Key())
+	if v, ok := e.memo[key]; ok {
+		return v
+	}
+	rows := e.eng.Project(n.atoms, e.d, e.fixedWith(iface), e.interfaceVars(n))
+	result := false
+	if len(rows) == 0 {
+		result = true // blocked: no extension into n is possible
+	} else {
+		for _, g := range rows {
+			if e.childrenOK(n, g.Union(iface)) {
+				result = true
+				break
+			}
+		}
+	}
+	e.memo[key] = result
+	return result
+}
+
+// blocked handles nodes outside T”: entering them would define the answer
+// on a new free variable, so no consistent local homomorphism may exist.
+func (e *biEvaluator) blocked(n *Node, iface cq.Mapping) bool {
+	key := fmt.Sprintf("B%d|%s", n.id, iface.Key())
+	if v, ok := e.memo[key]; ok {
+		return v
+	}
+	result := !e.eng.Satisfiable(n.atoms, e.d, e.fixedWith(iface))
+	e.memo[key] = result
+	return result
+}
+
+func (e *biEvaluator) childrenOK(n *Node, full cq.Mapping) bool {
+	for _, c := range n.children {
+		iface := e.childInterface(n, c, full)
+		switch {
+		case e.tmin[c.id]:
+			if !e.required(c, iface) {
+				return false
+			}
+		case e.tmax[c.id]:
+			if !e.safe(c, iface) {
+				return false
+			}
+		default:
+			if !e.blocked(c, iface) {
+				return false
+			}
+		}
+	}
+	return true
+}

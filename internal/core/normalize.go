@@ -1,0 +1,155 @@
+package core
+
+import (
+	"wdpt/internal/cq"
+	"wdpt/internal/cqeval"
+	"wdpt/internal/db"
+)
+
+// PruneNonProjecting returns the tree with every branch removed whose
+// subtree introduces no free variable — where a node introduces a free
+// variable when it mentions one that its parent does not (the node set N of
+// the proof of Lemma 1). The transformation is answer-preserving:
+// extensions into such branches never enlarge the projection to x̄, and by
+// well-designedness they cannot enable or disable extensions elsewhere, so
+// p(D) and p_m(D) are unchanged for every database (property-tested). The
+// root is always kept. If nothing can be pruned, p itself is returned.
+func (p *PatternTree) PruneNonProjecting() *PatternTree {
+	free := p.FreeSet()
+	projecting := make([]bool, len(p.nodes))
+	var mark func(n *Node) bool
+	mark = func(n *Node) bool {
+		keep := false
+		parentVars := make(map[string]bool)
+		if n.parent != nil {
+			for _, v := range n.parent.Vars() {
+				parentVars[v] = true
+			}
+		}
+		for _, v := range n.Vars() {
+			if free[v] && !parentVars[v] {
+				keep = true
+				break
+			}
+		}
+		for _, c := range n.children {
+			if mark(c) {
+				keep = true
+			}
+		}
+		projecting[n.id] = keep
+		return keep
+	}
+	mark(p.root)
+	pruned := false
+	var spec func(n *Node) NodeSpec
+	spec = func(n *Node) NodeSpec {
+		s := NodeSpec{Atoms: append([]cq.Atom(nil), n.atoms...)}
+		for _, c := range n.children {
+			if projecting[c.id] {
+				s.Children = append(s.Children, spec(c))
+			} else {
+				pruned = true
+			}
+		}
+		return s
+	}
+	rootSpec := spec(p.root)
+	if !pruned {
+		return p
+	}
+	return MustNew(rootSpec, p.free)
+}
+
+// EvaluateWith computes p(D) like Evaluate but delegates all conjunctive-
+// query work to the given engine, so that enumeration also benefits from
+// decomposition-guided evaluation on globally tractable trees.
+func (p *PatternTree) EvaluateWith(d *db.Database, eng cqeval.Engine) []cq.Mapping {
+	answers := cq.NewMappingSet()
+	visited := make(map[string]bool)
+	var expand func(s Subtree, h cq.Mapping)
+	expand = func(s Subtree, h cq.Mapping) {
+		key := s.Key() + "|" + h.Key()
+		if visited[key] {
+			return
+		}
+		visited[key] = true
+		extendable := false
+		for _, u := range p.extensionUnits(s) {
+			exts := eng.Project(u.atoms, d, h, cq.AtomsVars(u.atoms))
+			if len(exts) == 0 {
+				continue
+			}
+			extendable = true
+			next := s.Clone()
+			for _, n := range u.nodes {
+				next[n.id] = true
+			}
+			for _, g := range exts {
+				expand(next, h.Union(g))
+			}
+		}
+		if !extendable {
+			answers.Add(h.Restrict(p.free))
+		}
+	}
+	rootVars := cq.AtomsVars(p.root.atoms)
+	for _, h := range eng.Project(p.root.atoms, d, nil, rootVars) {
+		expand(p.RootSubtree(), h)
+	}
+	return answers.All()
+}
+
+// EvaluateFunc streams p(D): visit receives each answer once; returning
+// false stops the enumeration early. Equivalent to Evaluate but without
+// materializing the answer set — answers still arrive deduplicated.
+func (p *PatternTree) EvaluateFunc(d *db.Database, visit func(cq.Mapping) bool) {
+	emitted := cq.NewMappingSet()
+	visited := make(map[string]bool)
+	stopped := false
+	var expand func(s Subtree, h cq.Mapping)
+	expand = func(s Subtree, h cq.Mapping) {
+		if stopped {
+			return
+		}
+		key := s.Key() + "|" + h.Key()
+		if visited[key] {
+			return
+		}
+		visited[key] = true
+		extendable := false
+		for _, u := range p.extensionUnits(s) {
+			var exts []cq.Mapping
+			cq.Homomorphisms(u.atoms, d, h, func(g cq.Mapping) bool {
+				exts = append(exts, g.Clone())
+				return true
+			})
+			if len(exts) == 0 {
+				continue
+			}
+			extendable = true
+			next := s.Clone()
+			for _, n := range u.nodes {
+				next[n.id] = true
+			}
+			for _, g := range exts {
+				expand(next, h.Union(g))
+				if stopped {
+					return
+				}
+			}
+		}
+		if !extendable {
+			answer := h.Restrict(p.free)
+			if emitted.Add(answer) {
+				if !visit(answer) {
+					stopped = true
+				}
+			}
+		}
+	}
+	cq.Homomorphisms(p.root.atoms, d, nil, func(h cq.Mapping) bool {
+		expand(p.RootSubtree(), h.Clone())
+		return !stopped
+	})
+}

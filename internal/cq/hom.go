@@ -1,0 +1,322 @@
+package cq
+
+import (
+	"wdpt/internal/db"
+)
+
+// Homomorphisms enumerates every homomorphism from the given atoms to D that
+// is consistent with the partial mapping fixed, invoking visit for each.
+// The mapping passed to visit is defined exactly on the variables occurring
+// in atoms (bindings in fixed for variables that do not occur in atoms are
+// not included). visit returning false stops the enumeration.
+//
+// The search is backtracking with dynamic atom ordering: at every step the
+// atom with the fewest candidate tuples under the current partial assignment
+// is expanded next, using per-position hash indexes of the database.
+func Homomorphisms(atoms []Atom, d *db.Database, fixed Mapping, visit func(Mapping) bool) {
+	// Decompose the atoms into components connected by unfixed variables:
+	// solutions of different components are independent, so each component
+	// is solved once and the results are combined, instead of re-solving a
+	// component for every binding of the others.
+	comps := atomComponents(atoms, fixed)
+	switch len(comps) {
+	case 0:
+		visit(Mapping{})
+		return
+	case 1:
+		solveComponent(comps[0], d, fixed, visit)
+		return
+	}
+	// Materialize all components after the first; abort early if any is
+	// unsatisfiable. The first component streams.
+	rest := make([][]Mapping, len(comps)-1)
+	for i, comp := range comps[1:] {
+		var sols []Mapping
+		solveComponent(comp, d, fixed, func(h Mapping) bool {
+			sols = append(sols, h)
+			return true
+		})
+		if len(sols) == 0 {
+			return
+		}
+		rest[i] = sols
+	}
+	stopped := false
+	solveComponent(comps[0], d, fixed, func(h0 Mapping) bool {
+		var cross func(i int, acc Mapping) bool
+		cross = func(i int, acc Mapping) bool {
+			if i == len(rest) {
+				if !visit(acc.Clone()) {
+					stopped = true
+				}
+				return !stopped
+			}
+			for _, h := range rest[i] {
+				if !cross(i+1, acc.Union(h)) {
+					return false
+				}
+			}
+			return true
+		}
+		return cross(0, h0)
+	})
+}
+
+// atomComponents groups atoms connected through variables not bound by
+// fixed. Atoms whose variables are all fixed (or that are ground) each form
+// their own singleton component.
+func atomComponents(atoms []Atom, fixed Mapping) [][]Atom {
+	n := len(atoms)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	byVar := make(map[string]int)
+	for i, a := range atoms {
+		for _, v := range a.Vars() {
+			if _, isFixed := fixed[v]; isFixed {
+				continue
+			}
+			if j, ok := byVar[v]; ok {
+				parent[find(i)] = find(j)
+			} else {
+				byVar[v] = i
+			}
+		}
+	}
+	groups := make(map[int][]Atom)
+	var order []int
+	for i, a := range atoms {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], a)
+	}
+	out := make([][]Atom, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// solveComponent runs the backtracking search on one connected component.
+func solveComponent(atoms []Atom, d *db.Database, fixed Mapping, visit func(Mapping) bool) {
+	s := &homSolver{
+		d:      d,
+		atoms:  atoms,
+		done:   make([]bool, len(atoms)),
+		assign: make(Mapping),
+		visit:  visit,
+	}
+	// Pre-bind the fixed variables that occur in the atoms.
+	occurring := make(map[string]bool)
+	for _, v := range AtomsVars(atoms) {
+		occurring[v] = true
+	}
+	for v, c := range fixed {
+		if occurring[v] {
+			s.assign[v] = c
+		}
+	}
+	s.solve(0)
+}
+
+// Satisfiable reports whether some homomorphism from atoms to D consistent
+// with fixed exists.
+func Satisfiable(atoms []Atom, d *db.Database, fixed Mapping) bool {
+	found := false
+	Homomorphisms(atoms, d, fixed, func(Mapping) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// ExtendToHom returns the first homomorphism from atoms to D consistent with
+// fixed, or ok=false if none exists.
+func ExtendToHom(atoms []Atom, d *db.Database, fixed Mapping) (Mapping, bool) {
+	var out Mapping
+	Homomorphisms(atoms, d, fixed, func(h Mapping) bool {
+		out = h.Clone()
+		return false
+	})
+	return out, out != nil
+}
+
+// Projections enumerates the distinct restrictions to proj of the
+// homomorphisms from atoms to D consistent with fixed.
+func Projections(atoms []Atom, d *db.Database, fixed Mapping, proj []string) []Mapping {
+	set := NewMappingSet()
+	Homomorphisms(atoms, d, fixed, func(h Mapping) bool {
+		set.Add(h.Restrict(proj))
+		return true
+	})
+	return set.All()
+}
+
+type homSolver struct {
+	d       *db.Database
+	atoms   []Atom
+	done    []bool
+	assign  Mapping
+	visit   func(Mapping) bool
+	stopped bool
+}
+
+func (s *homSolver) solve(nDone int) {
+	if s.stopped {
+		return
+	}
+	if nDone == len(s.atoms) {
+		if !s.visit(s.assign.Clone()) {
+			s.stopped = true
+		}
+		return
+	}
+	idx, rel, pos, vals, ok := s.pickAtom()
+	if !ok {
+		return // some atom has no candidates under the current assignment
+	}
+	s.done[idx] = true
+	a := s.atoms[idx]
+	if rel == nil {
+		// Fully bound atom already verified by pickAtom.
+		s.solve(nDone + 1)
+		s.done[idx] = false
+		return
+	}
+	var offsets []int
+	if pos >= 0 {
+		offsets = rel.Matching(pos, vals)
+	}
+	n := rel.Len()
+	tuples := rel.Tuples()
+	iterate := func(i int) bool {
+		t := tuples[i]
+		var bound []string
+		okT := true
+		for p, term := range a.Args {
+			want, have := term.Value(), t[p]
+			if !term.IsVar() {
+				if want != have {
+					okT = false
+					break
+				}
+				continue
+			}
+			if cur, isBound := s.assign[want]; isBound {
+				if cur != have {
+					okT = false
+					break
+				}
+				continue
+			}
+			s.assign[want] = have
+			bound = append(bound, want)
+		}
+		if okT {
+			s.solve(nDone + 1)
+		}
+		for _, v := range bound {
+			delete(s.assign, v)
+		}
+		return !s.stopped
+	}
+	if offsets != nil {
+		for _, i := range offsets {
+			if !iterate(i) {
+				break
+			}
+		}
+	} else if pos < 0 {
+		for i := 0; i < n; i++ {
+			if !iterate(i) {
+				break
+			}
+		}
+	}
+	s.done[idx] = false
+}
+
+// pickAtom selects the unprocessed atom with the smallest candidate-set
+// estimate. It returns the atom index; the relation to scan (nil when the
+// atom is fully bound and already verified); the index position and value to
+// scan with (pos = -1 means full scan); and ok=false when some unprocessed
+// atom provably has no candidates.
+func (s *homSolver) pickAtom() (idx int, rel *db.Relation, pos int, val string, ok bool) {
+	best := -1
+	bestCost := -1
+	bestPos := -1
+	bestVal := ""
+	var bestRel *db.Relation
+	for i, a := range s.atoms {
+		if s.done[i] {
+			continue
+		}
+		r := s.d.Relation(a.Rel)
+		if r == nil || r.Arity() != len(a.Args) {
+			return 0, nil, 0, "", false
+		}
+		// Fully bound atoms cost 0 or fail immediately.
+		ground, groundVals := s.groundValues(a)
+		if ground {
+			if !r.Contains(groundVals) {
+				return 0, nil, 0, "", false
+			}
+			return i, nil, 0, "", true
+		}
+		cost := r.Len()
+		p := -1
+		v := ""
+		for pi, term := range a.Args {
+			value, bound := s.assign.Apply(term)
+			if !bound {
+				continue
+			}
+			if c := len(r.Matching(pi, value)); c < cost || p == -1 {
+				cost, p, v = c, pi, value
+			}
+		}
+		if cost == 0 && p >= 0 {
+			return 0, nil, 0, "", false
+		}
+		if best == -1 || cost < bestCost {
+			best, bestCost, bestPos, bestVal, bestRel = i, cost, p, v, r
+		}
+	}
+	return best, bestRel, bestPos, bestVal, true
+}
+
+// groundValues reports whether every argument of a is bound under the
+// current assignment and, if so, returns the resulting tuple.
+func (s *homSolver) groundValues(a Atom) (bool, db.Tuple) {
+	t := make(db.Tuple, len(a.Args))
+	for i, term := range a.Args {
+		v, ok := s.assign.Apply(term)
+		if !ok {
+			return false, nil
+		}
+		t[i] = v
+	}
+	return true, t
+}
+
+// CountHomomorphisms returns the number of homomorphisms from atoms to D
+// consistent with fixed. Intended for tests and diagnostics.
+func CountHomomorphisms(atoms []Atom, d *db.Database, fixed Mapping) int {
+	n := 0
+	Homomorphisms(atoms, d, fixed, func(Mapping) bool {
+		n++
+		return true
+	})
+	return n
+}

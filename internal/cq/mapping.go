@@ -1,0 +1,203 @@
+package cq
+
+import (
+	"sort"
+	"strings"
+)
+
+// Mapping is a partial mapping h : X -> U from variable names to constants.
+// A nil Mapping is the everywhere-undefined mapping.
+type Mapping map[string]string
+
+// Clone returns a copy of the mapping.
+func (h Mapping) Clone() Mapping {
+	out := make(Mapping, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// Domain returns the sorted set of variables on which h is defined.
+func (h Mapping) Domain() []string {
+	out := make([]string, 0, len(h))
+	for k := range h {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Restrict returns the restriction of h to the given variables.
+func (h Mapping) Restrict(vars []string) Mapping {
+	out := make(Mapping)
+	for _, v := range vars {
+		if c, ok := h[v]; ok {
+			out[v] = c
+		}
+	}
+	return out
+}
+
+// SubsumedBy reports h ⊑ h': dom(h) ⊆ dom(h') and the mappings agree on
+// dom(h) (Section 2, "subsumption" of partial mappings).
+func (h Mapping) SubsumedBy(hp Mapping) bool {
+	for k, v := range h {
+		vp, ok := hp[k]
+		if !ok || v != vp {
+			return false
+		}
+	}
+	return true
+}
+
+// ProperlySubsumedBy reports h ⊏ h': h ⊑ h' and not h' ⊑ h.
+func (h Mapping) ProperlySubsumedBy(hp Mapping) bool {
+	return h.SubsumedBy(hp) && !hp.SubsumedBy(h)
+}
+
+// Equal reports whether h and h' are the same partial mapping.
+func (h Mapping) Equal(hp Mapping) bool {
+	return len(h) == len(hp) && h.SubsumedBy(hp)
+}
+
+// CompatibleWith reports whether h and h' agree wherever both are defined,
+// i.e. whether h ∪ h' is a partial mapping.
+func (h Mapping) CompatibleWith(hp Mapping) bool {
+	small, big := h, hp
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	for k, v := range small {
+		if vb, ok := big[k]; ok && vb != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns h ∪ h'. It panics if the mappings disagree on a shared
+// variable, since callers are expected to check compatibility first.
+func (h Mapping) Union(hp Mapping) Mapping {
+	out := h.Clone()
+	for k, v := range hp {
+		if prev, ok := out[k]; ok && prev != v {
+			panic("cq: union of incompatible mappings at variable " + k)
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// Apply returns h(t): the constant assigned to a variable (ok=false when
+// unbound), or the constant itself for constant terms.
+func (h Mapping) Apply(t Term) (string, bool) {
+	if !t.IsVar() {
+		return t.Value(), true
+	}
+	v, ok := h[t.Value()]
+	return v, ok
+}
+
+// ApplyAtom returns the atom with all bound variables replaced by their
+// images under h. Unbound variables are left intact.
+func (h Mapping) ApplyAtom(a Atom) Atom {
+	args := make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		if t.IsVar() {
+			if v, ok := h[t.Value()]; ok {
+				args[i] = C(v)
+				continue
+			}
+		}
+		args[i] = t
+	}
+	return Atom{Rel: a.Rel, Args: args}
+}
+
+// Key renders the mapping as a canonical string usable as a map key.
+func (h Mapping) Key() string {
+	dom := h.Domain()
+	var b strings.Builder
+	for _, k := range dom {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(h[k])
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// String renders the mapping as "{x -> a, y -> b}" with sorted variables.
+func (h Mapping) String() string {
+	dom := h.Domain()
+	parts := make([]string, len(dom))
+	for i, k := range dom {
+		parts[i] = k + " -> " + h[k]
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// MappingSet is a set of partial mappings with canonical-key deduplication.
+type MappingSet struct {
+	byKey map[string]Mapping
+}
+
+// NewMappingSet returns an empty set.
+func NewMappingSet() *MappingSet {
+	return &MappingSet{byKey: make(map[string]Mapping)}
+}
+
+// Add inserts h, reporting whether it was new.
+func (s *MappingSet) Add(h Mapping) bool {
+	k := h.Key()
+	if _, ok := s.byKey[k]; ok {
+		return false
+	}
+	s.byKey[k] = h.Clone()
+	return true
+}
+
+// Contains reports whether the set holds exactly h.
+func (s *MappingSet) Contains(h Mapping) bool {
+	_, ok := s.byKey[h.Key()]
+	return ok
+}
+
+// Len returns the number of mappings in the set.
+func (s *MappingSet) Len() int { return len(s.byKey) }
+
+// All returns the mappings sorted by canonical key, for deterministic output.
+func (s *MappingSet) All() []Mapping {
+	keys := make([]string, 0, len(s.byKey))
+	for k := range s.byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Mapping, len(keys))
+	for i, k := range keys {
+		out[i] = s.byKey[k]
+	}
+	return out
+}
+
+// Maximal returns the mappings of the set that are not properly subsumed by
+// another member: the restriction used by the maximal-mappings semantics
+// p_m(D) of Section 3.4.
+func (s *MappingSet) Maximal() []Mapping {
+	all := s.All()
+	var out []Mapping
+	for i, h := range all {
+		dominated := false
+		for j, hp := range all {
+			if i != j && h.ProperlySubsumedBy(hp) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, h)
+		}
+	}
+	return out
+}

@@ -1,0 +1,433 @@
+package cqeval
+
+import (
+	"wdpt/internal/cq"
+	"wdpt/internal/db"
+)
+
+// Engine evaluates sets of atoms (CQ bodies) over a database under a partial
+// pre-binding of variables.
+type Engine interface {
+	// Name identifies the engine in benchmark output.
+	Name() string
+	// Satisfiable reports whether some homomorphism from atoms to d
+	// consistent with fixed exists.
+	Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool
+	// Project returns the distinct restrictions to proj of all such
+	// homomorphisms. Bindings from fixed for projection variables are
+	// included in the output rows; projection variables occurring neither
+	// in the atoms nor in fixed are omitted from the rows.
+	Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, proj []string) []cq.Mapping
+}
+
+// Naive returns the baseline backtracking engine (general CQs, exponential
+// in query size in the worst case).
+func Naive() Engine { return naiveEngine{} }
+
+// Yannakakis returns the join-tree semijoin engine for acyclic CQs
+// (Theorem 3 substrate); on non-acyclic inputs it transparently falls back
+// to the decomposition engine.
+func Yannakakis() Engine { return yannakakisEngine{} }
+
+// Decomposition returns the tree-decomposition-guided engine: bags of a
+// min-fill decomposition become materialized relations processed by
+// Yannakakis over the bag tree (Theorem 2 substrate). It handles arbitrary
+// CQs; running time is |D|^(w+1) for decomposition width w.
+func Decomposition() Engine { return decompEngine{} }
+
+// Auto returns the selecting engine: Yannakakis when the instantiated query
+// is acyclic, the decomposition engine otherwise.
+func Auto() Engine { return autoEngine{} }
+
+type naiveEngine struct{}
+
+func (naiveEngine) Name() string { return "naive" }
+
+func (naiveEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
+	return cq.Satisfiable(atoms, d, fixed)
+}
+
+func (naiveEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, proj []string) []cq.Mapping {
+	out := cq.NewMappingSet()
+	cq.Homomorphisms(atoms, d, fixed, func(h cq.Mapping) bool {
+		row := h.Restrict(proj)
+		for _, v := range proj {
+			if c, ok := fixed[v]; ok {
+				row[v] = c
+			}
+		}
+		out.Add(row)
+		return true
+	})
+	return out.All()
+}
+
+type yannakakisEngine struct{}
+
+func (yannakakisEngine) Name() string { return "yannakakis" }
+
+func (yannakakisEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
+	p, ok := prepareJoinTree(atoms, d, fixed)
+	if !ok {
+		return decompEngine{}.Satisfiable(atoms, d, fixed)
+	}
+	return p.satisfiable()
+}
+
+func (yannakakisEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, proj []string) []cq.Mapping {
+	p, ok := prepareJoinTree(atoms, d, fixed)
+	if !ok {
+		return decompEngine{}.Project(atoms, d, fixed, proj)
+	}
+	return p.projectAnswers(proj, fixed)
+}
+
+type decompEngine struct{}
+
+func (decompEngine) Name() string { return "decomposition" }
+
+func (decompEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
+	p, ok := prepareDecomposition(atoms, d, fixed)
+	if !ok {
+		return false
+	}
+	return p.satisfiable()
+}
+
+func (decompEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, proj []string) []cq.Mapping {
+	p, ok := prepareDecomposition(atoms, d, fixed)
+	if !ok {
+		return nil
+	}
+	return p.projectAnswers(proj, fixed)
+}
+
+type autoEngine struct{}
+
+func (autoEngine) Name() string { return "auto" }
+
+func (autoEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
+	return yannakakisEngine{}.Satisfiable(atoms, d, fixed)
+}
+
+func (autoEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, proj []string) []cq.Mapping {
+	return yannakakisEngine{}.Project(atoms, d, fixed, proj)
+}
+
+// plan is a tree of node relations (from a join tree or a tree
+// decomposition) ready for semijoin processing.
+type plan struct {
+	rels   []*varRel
+	parent []int
+	order  []int // bottom-up
+	failed bool  // a ground atom failed or a node relation is empty by construction
+}
+
+// instantiate applies fixed to the atoms, checks ground atoms directly
+// against the database, and returns the remaining atoms with variables.
+// ok=false means a ground atom failed.
+func instantiate(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) ([]cq.Atom, bool) {
+	var out []cq.Atom
+	for _, a := range atoms {
+		inst := fixed.ApplyAtom(a)
+		if inst.IsGround() {
+			vals := make([]string, len(inst.Args))
+			for i, t := range inst.Args {
+				vals[i] = t.Value()
+			}
+			if !d.Contains(inst.Rel, vals...) {
+				return nil, false
+			}
+			continue
+		}
+		out = append(out, inst)
+	}
+	return cq.DedupAtoms(out), true
+}
+
+// prepareJoinTree builds a Yannakakis plan from the GYO join tree of the
+// instantiated atoms. ok=false means the instantiated query is not acyclic
+// (the caller should fall back); a plan with failed=true means provably
+// unsatisfiable.
+func prepareJoinTree(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) (*plan, bool) {
+	inst, ok := instantiate(atoms, d, fixed)
+	if !ok {
+		return &plan{failed: true}, true
+	}
+	if len(inst) == 0 {
+		return &plan{rels: []*varRel{{rows: []cq.Mapping{{}}}}, parent: []int{-1}, order: []int{0}}, true
+	}
+	hg := cq.AtomsHypergraph(inst)
+	acyclic, jt := hg.IsAcyclic()
+	if !acyclic {
+		return nil, false
+	}
+	p := &plan{parent: jt.Parent, order: jt.Order}
+	p.rels = make([]*varRel, len(inst))
+	for i, a := range inst {
+		r := newVarRel(a.Vars())
+		rows := cq.Projections([]cq.Atom{a}, d, nil, r.vars)
+		if len(rows) == 0 {
+			p.failed = true
+		}
+		r.rows = rows
+		p.rels[i] = r
+	}
+	return p, true
+}
+
+// prepareDecomposition builds a plan from a min-fill tree decomposition:
+// each atom is assigned to a bag covering it; bag relations enumerate
+// satisfying assignments of the assigned atoms extended over per-variable
+// candidate domains for unconstrained bag variables. ok=false means
+// provably unsatisfiable before planning.
+func prepareDecomposition(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) (*plan, bool) {
+	inst, ok := instantiate(atoms, d, fixed)
+	if !ok {
+		return nil, false
+	}
+	if len(inst) == 0 {
+		return &plan{rels: []*varRel{{rows: []cq.Mapping{{}}}}, parent: []int{-1}, order: []int{0}}, true
+	}
+	hg := cq.AtomsHypergraph(inst)
+	dec := hg.TreeDecomposition()
+	nBags := len(dec.Bags)
+
+	bagSets := make([]map[string]bool, nBags)
+	for i, b := range dec.Bags {
+		bagSets[i] = make(map[string]bool, len(b))
+		for _, v := range b {
+			bagSets[i][v] = true
+		}
+	}
+	assigned := make([][]cq.Atom, nBags)
+	for _, a := range inst {
+		placed := false
+		for i := range bagSets {
+			if coversAtom(bagSets[i], a) {
+				assigned[i] = append(assigned[i], a)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// Cannot happen for a valid tree decomposition.
+			panic("cqeval: atom not covered by any bag")
+		}
+	}
+	cand := candidateDomains(inst, d)
+	p := &plan{parent: dec.Parent}
+	p.rels = make([]*varRel, nBags)
+	for i := range dec.Bags {
+		r := newVarRel(dec.Bags[i])
+		covered := make(map[string]bool)
+		for _, a := range assigned[i] {
+			for _, v := range a.Vars() {
+				covered[v] = true
+			}
+		}
+		var uncovered []string
+		for _, v := range r.vars {
+			if !covered[v] {
+				uncovered = append(uncovered, v)
+			}
+		}
+		base := cq.Projections(assigned[i], d, nil, r.vars)
+		rows := extendOverDomains(base, uncovered, cand)
+		if len(rows) == 0 {
+			p.failed = true
+		}
+		r.rows = rows
+		p.rels[i] = r
+	}
+	p.order = bottomUpOrder(dec.Parent)
+	return p, true
+}
+
+func coversAtom(bag map[string]bool, a cq.Atom) bool {
+	for _, v := range a.Vars() {
+		if !bag[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// candidateDomains computes, for each variable, the intersection over all
+// its occurrences of the values in the corresponding relation column — a
+// sound per-variable filter.
+func candidateDomains(atoms []cq.Atom, d *db.Database) map[string][]string {
+	sets := make(map[string]map[string]bool)
+	for _, a := range atoms {
+		rel := d.Relation(a.Rel)
+		for pos, t := range a.Args {
+			if !t.IsVar() {
+				continue
+			}
+			col := make(map[string]bool)
+			if rel != nil && rel.Arity() == len(a.Args) {
+				for _, tp := range rel.Tuples() {
+					col[tp[pos]] = true
+				}
+			}
+			if prev, ok := sets[t.Value()]; ok {
+				for v := range prev {
+					if !col[v] {
+						delete(prev, v)
+					}
+				}
+			} else {
+				sets[t.Value()] = col
+			}
+		}
+	}
+	out := make(map[string][]string, len(sets))
+	for v, set := range sets {
+		vals := make([]string, 0, len(set))
+		for c := range set {
+			vals = append(vals, c)
+		}
+		out[v] = vals
+	}
+	return out
+}
+
+// extendOverDomains extends each base row with all combinations of candidate
+// values for the uncovered variables.
+func extendOverDomains(base []cq.Mapping, uncovered []string, cand map[string][]string) []cq.Mapping {
+	rows := base
+	for _, v := range uncovered {
+		vals := cand[v]
+		if len(vals) == 0 {
+			return nil
+		}
+		next := make([]cq.Mapping, 0, len(rows)*len(vals))
+		for _, row := range rows {
+			for _, c := range vals {
+				r := row.Clone()
+				r[v] = c
+				next = append(next, r)
+			}
+		}
+		rows = next
+	}
+	return rows
+}
+
+func bottomUpOrder(parent []int) []int {
+	n := len(parent)
+	children := make([][]int, n)
+	root := -1
+	for i, p := range parent {
+		if p == -1 {
+			root = i
+		} else {
+			children[p] = append(children[p], i)
+		}
+	}
+	var order []int
+	var walk func(int)
+	walk = func(v int) {
+		for _, c := range children[v] {
+			walk(c)
+		}
+		order = append(order, v)
+	}
+	if root >= 0 {
+		walk(root)
+	}
+	return order
+}
+
+// satisfiable runs the bottom-up semijoin pass and reports whether the root
+// relation stays nonempty.
+func (p *plan) satisfiable() bool {
+	if p.failed {
+		return false
+	}
+	for _, i := range p.order {
+		if pa := p.parent[i]; pa != -1 {
+			p.rels[pa].semijoin(p.rels[i])
+			if len(p.rels[pa].rows) == 0 {
+				return false
+			}
+		}
+	}
+	root := p.order[len(p.order)-1]
+	return len(p.rels[root].rows) > 0
+}
+
+// projectAnswers performs the full Yannakakis pipeline: bottom-up reduction,
+// top-down reduction, then a projecting join along the tree. Bindings from
+// fixed for projection variables are merged into every output row.
+func (p *plan) projectAnswers(proj []string, fixed cq.Mapping) []cq.Mapping {
+	if p.failed {
+		return nil
+	}
+	// Bottom-up full reduction.
+	for _, i := range p.order {
+		if pa := p.parent[i]; pa != -1 {
+			p.rels[pa].semijoin(p.rels[i])
+			if len(p.rels[pa].rows) == 0 {
+				return nil
+			}
+		}
+	}
+	// Top-down reduction.
+	for j := len(p.order) - 1; j >= 0; j-- {
+		i := p.order[j]
+		if pa := p.parent[i]; pa != -1 {
+			p.rels[i].semijoin(p.rels[pa])
+		}
+	}
+	// Projecting join along the tree.
+	n := len(p.rels)
+	children := make([][]int, n)
+	root := -1
+	for i, pa := range p.parent {
+		if pa == -1 {
+			root = i
+		} else {
+			children[pa] = append(children[pa], i)
+		}
+	}
+	subtreeVars := make([][]string, n)
+	var collect func(int) []string
+	collect = func(v int) []string {
+		vars := p.rels[v].vars
+		for _, c := range children[v] {
+			vars = unionVars(vars, collect(c))
+		}
+		subtreeVars[v] = vars
+		return vars
+	}
+	collect(root)
+	var answers func(int) *varRel
+	answers = func(v int) *varRel {
+		r := p.rels[v]
+		for _, c := range children[v] {
+			r = join(r, answers(c))
+		}
+		keep := sharedVars(subtreeVars[v], proj)
+		if pa := p.parent[v]; pa != -1 {
+			keep = unionVars(keep, sharedVars(p.rels[v].vars, p.rels[pa].vars))
+		}
+		return r.project(keep)
+	}
+	result := answers(root)
+	extra := cq.Mapping{}
+	for _, v := range proj {
+		if c, ok := fixed[v]; ok {
+			extra[v] = c
+		}
+	}
+	out := cq.NewMappingSet()
+	for _, row := range result.rows {
+		merged := row.Clone()
+		for k, c := range extra {
+			merged[k] = c
+		}
+		out.Add(merged)
+	}
+	return out.All()
+}

@@ -1,0 +1,105 @@
+package cqeval
+
+import (
+	"wdpt/internal/cq"
+	"wdpt/internal/db"
+	"wdpt/internal/hypergraph"
+)
+
+// Hypertree returns the GHD-guided engine: a generalized hypertree
+// decomposition of width ≤ maxWidth is searched (growing from width 1);
+// each bag's relation is the join of its covering atoms projected to the
+// bag, and the bag tree is processed by Yannakakis. For acyclic queries
+// this coincides with the Yannakakis engine; for cyclic queries of small
+// hypertree width — such as Example 5's θ_n family, whose treewidth is
+// unbounded — it evaluates in |D|^O(maxWidth) where variable-based
+// decompositions cannot help. Queries whose instantiated hypergraph
+// exceeds maxWidth fall back to the decomposition engine.
+func Hypertree(maxWidth int) Engine {
+	if maxWidth < 1 {
+		maxWidth = 1
+	}
+	return hypertreeEngine{maxWidth: maxWidth}
+}
+
+type hypertreeEngine struct{ maxWidth int }
+
+func (e hypertreeEngine) Name() string { return "hypertree" }
+
+func (e hypertreeEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
+	p, ok := e.prepare(atoms, d, fixed)
+	if !ok {
+		return decompEngine{}.Satisfiable(atoms, d, fixed)
+	}
+	return p.satisfiable()
+}
+
+func (e hypertreeEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, proj []string) []cq.Mapping {
+	p, ok := e.prepare(atoms, d, fixed)
+	if !ok {
+		return decompEngine{}.Project(atoms, d, fixed, proj)
+	}
+	return p.projectAnswers(proj, fixed)
+}
+
+// prepare builds the plan; ok=false requests the fallback (width exceeded).
+func (e hypertreeEngine) prepare(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) (*plan, bool) {
+	inst, groundOK := instantiate(atoms, d, fixed)
+	if !groundOK {
+		return &plan{failed: true}, true
+	}
+	if len(inst) == 0 {
+		return &plan{rels: []*varRel{{rows: []cq.Mapping{{}}}}, parent: []int{-1}, order: []int{0}}, true
+	}
+	hg := cq.AtomsHypergraph(inst)
+	var g *hypergraph.GHD
+	for k := 1; k <= e.maxWidth; k++ {
+		if gd, ok := hg.GeneralizedHypertreeDecomposition(k); ok {
+			g = gd
+			break
+		}
+	}
+	if g == nil {
+		return nil, false
+	}
+	// Every atom must be enforced at some bag covering its variables, even
+	// when it is not part of that bag's edge cover.
+	bagSets := make([]map[string]bool, len(g.Bags))
+	for i, bag := range g.Bags {
+		bagSets[i] = make(map[string]bool, len(bag))
+		for _, v := range bag {
+			bagSets[i][v] = true
+		}
+	}
+	assigned := make([][]cq.Atom, len(g.Bags))
+	for _, a := range inst {
+		placed := false
+		for i := range bagSets {
+			if coversAtom(bagSets[i], a) {
+				assigned[i] = append(assigned[i], a)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			panic("cqeval: atom not covered by any GHD bag")
+		}
+	}
+	p := &plan{parent: g.Parent}
+	p.rels = make([]*varRel, len(g.Bags))
+	for i, bag := range g.Bags {
+		local := append([]cq.Atom(nil), assigned[i]...)
+		for _, ei := range g.Covers[i] {
+			local = append(local, inst[ei])
+		}
+		r := newVarRel(bag)
+		rows := cq.Projections(cq.DedupAtoms(local), d, nil, r.vars)
+		if len(rows) == 0 {
+			p.failed = true
+		}
+		r.rows = rows
+		p.rels[i] = r
+	}
+	p.order = bottomUpOrder(g.Parent)
+	return p, true
+}

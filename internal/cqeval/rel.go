@@ -1,0 +1,150 @@
+// Package cqeval provides evaluation engines for conjunctive queries: a
+// naive backtracking engine, the Yannakakis algorithm over join trees for
+// acyclic CQs (Theorem 3 substrate), and a tree-decomposition-guided engine
+// for CQs of bounded treewidth (Theorem 2 substrate). All engines expose the
+// same operations — satisfiability and projection under a partial
+// pre-binding — which are exactly the primitives the WDPT algorithms of
+// Section 3 need.
+package cqeval
+
+import (
+	"sort"
+	"strings"
+
+	"wdpt/internal/cq"
+)
+
+// varRel is a materialized relation over a set of variables: each row is a
+// mapping defined exactly on vars.
+type varRel struct {
+	vars []string
+	rows []cq.Mapping
+}
+
+func newVarRel(vars []string) *varRel {
+	sorted := append([]string(nil), vars...)
+	sort.Strings(sorted)
+	return &varRel{vars: sorted}
+}
+
+func (r *varRel) key(row cq.Mapping, on []string) string {
+	var b strings.Builder
+	for _, v := range on {
+		b.WriteString(row[v])
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// add inserts a row, deduplicating.
+func (r *varRel) addAll(rows []cq.Mapping) {
+	seen := make(map[string]bool, len(rows))
+	for _, row := range r.rows {
+		seen[r.key(row, r.vars)] = true
+	}
+	for _, row := range rows {
+		k := r.key(row, r.vars)
+		if !seen[k] {
+			seen[k] = true
+			r.rows = append(r.rows, row)
+		}
+	}
+}
+
+// sharedVars returns the sorted intersection of two sorted var lists.
+func sharedVars(a, b []string) []string {
+	set := make(map[string]bool, len(b))
+	for _, v := range b {
+		set[v] = true
+	}
+	var out []string
+	for _, v := range a {
+		if set[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// unionVars returns the sorted union of two var lists.
+func unionVars(a, b []string) []string {
+	set := make(map[string]bool, len(a)+len(b))
+	for _, v := range a {
+		set[v] = true
+	}
+	for _, v := range b {
+		set[v] = true
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// semijoin keeps the rows of r that agree with some row of s on the shared
+// variables, in place.
+func (r *varRel) semijoin(s *varRel) {
+	shared := sharedVars(r.vars, s.vars)
+	if len(shared) == 0 {
+		if len(s.rows) == 0 {
+			r.rows = nil
+		}
+		return
+	}
+	keys := make(map[string]bool, len(s.rows))
+	for _, row := range s.rows {
+		keys[s.key(row, shared)] = true
+	}
+	kept := r.rows[:0]
+	for _, row := range r.rows {
+		if keys[r.key(row, shared)] {
+			kept = append(kept, row)
+		}
+	}
+	r.rows = kept
+}
+
+// join returns the natural join of r and s.
+func join(r, s *varRel) *varRel {
+	shared := sharedVars(r.vars, s.vars)
+	out := newVarRel(unionVars(r.vars, s.vars))
+	index := make(map[string][]cq.Mapping, len(s.rows))
+	for _, row := range s.rows {
+		k := s.key(row, shared)
+		index[k] = append(index[k], row)
+	}
+	seen := make(map[string]bool)
+	for _, row := range r.rows {
+		for _, srow := range index[r.key(row, shared)] {
+			merged := row.Clone()
+			for k, v := range srow {
+				merged[k] = v
+			}
+			mk := out.key(merged, out.vars)
+			if !seen[mk] {
+				seen[mk] = true
+				out.rows = append(out.rows, merged)
+			}
+		}
+	}
+	return out
+}
+
+// project returns the projection of r to the given variables (intersected
+// with r's variables), deduplicating rows.
+func (r *varRel) project(onto []string) *varRel {
+	keep := sharedVars(r.vars, onto)
+	out := newVarRel(keep)
+	seen := make(map[string]bool, len(r.rows))
+	for _, row := range r.rows {
+		p := row.Restrict(keep)
+		k := out.key(p, keep)
+		if !seen[k] {
+			seen[k] = true
+			out.rows = append(out.rows, p)
+		}
+	}
+	return out
+}

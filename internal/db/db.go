@@ -1,0 +1,268 @@
+// Package db implements the relational database substrate over which
+// conjunctive queries and well-designed pattern trees are evaluated.
+//
+// A Database is a finite set of ground relational atoms (Definition in
+// Section 2 of Barceló & Pichler, PODS 2015). Relations store tuples of
+// string constants and maintain lazy per-position hash indexes so that
+// homomorphism search can enumerate only the tuples matching the already
+// bound positions of an atom.
+package db
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tuple is a single database row: a sequence of constants.
+type Tuple []string
+
+// Equal reports whether t and u have the same length and components.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// key renders the tuple as a canonical string used for set membership.
+func (t Tuple) key() string {
+	return strings.Join(t, "\x00")
+}
+
+// String renders the tuple as "(a, b, c)".
+func (t Tuple) String() string {
+	return "(" + strings.Join(t, ", ") + ")"
+}
+
+// Relation is a named relation instance: a set of tuples of fixed arity.
+type Relation struct {
+	name   string
+	arity  int
+	tuples []Tuple
+	seen   map[string]bool
+	// index[pos][value] lists the offsets into tuples whose component at
+	// position pos equals value. Built lazily by ensureIndex.
+	index []map[string][]int
+}
+
+// NewRelation creates an empty relation with the given name and arity.
+// Arity must be positive.
+func NewRelation(name string, arity int) *Relation {
+	if arity <= 0 {
+		panic(fmt.Sprintf("db: relation %q must have positive arity, got %d", name, arity))
+	}
+	return &Relation{
+		name:  name,
+		arity: arity,
+		seen:  make(map[string]bool),
+	}
+}
+
+// Name returns the relation symbol.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of (distinct) tuples stored.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuples returns the stored tuples. The returned slice must not be modified.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Insert adds a tuple, ignoring exact duplicates. It reports whether the
+// tuple was new. Inserting invalidates indexes, which are rebuilt on demand.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("db: tuple %v has arity %d, relation %q expects %d", t, len(t), r.name, r.arity))
+	}
+	k := t.key()
+	if r.seen[k] {
+		return false
+	}
+	r.seen[k] = true
+	cp := make(Tuple, len(t))
+	copy(cp, t)
+	r.tuples = append(r.tuples, cp)
+	r.index = nil
+	return true
+}
+
+// Contains reports whether the relation holds the given tuple.
+func (r *Relation) Contains(t Tuple) bool {
+	if len(t) != r.arity {
+		return false
+	}
+	return r.seen[t.key()]
+}
+
+func (r *Relation) ensureIndex() {
+	if r.index != nil {
+		return
+	}
+	r.index = make([]map[string][]int, r.arity)
+	for pos := 0; pos < r.arity; pos++ {
+		m := make(map[string][]int)
+		for i, t := range r.tuples {
+			m[t[pos]] = append(m[t[pos]], i)
+		}
+		r.index[pos] = m
+	}
+}
+
+// Matching returns the offsets of tuples whose component at position pos
+// equals value. The returned slice must not be modified.
+func (r *Relation) Matching(pos int, value string) []int {
+	r.ensureIndex()
+	return r.index[pos][value]
+}
+
+// Database is a finite set of ground relational atoms grouped by relation
+// symbol. The zero value is not usable; construct with New.
+type Database struct {
+	rels map[string]*Relation
+	// adom caches the sorted active domain; nil when stale.
+	adom []string
+}
+
+// New creates an empty database.
+func New() *Database {
+	return &Database{rels: make(map[string]*Relation)}
+}
+
+// Relation returns the relation with the given name, or nil if the database
+// holds no tuple for it.
+func (d *Database) Relation(name string) *Relation {
+	return d.rels[name]
+}
+
+// Relations returns all relation instances sorted by name.
+func (d *Database) Relations() []*Relation {
+	names := make([]string, 0, len(d.rels))
+	for n := range d.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Relation, len(names))
+	for i, n := range names {
+		out[i] = d.rels[n]
+	}
+	return out
+}
+
+// Insert adds the ground atom rel(t...) to the database, creating the
+// relation on first use. It panics if the relation exists with a different
+// arity, since a schema mismatch is a programming error.
+func (d *Database) Insert(rel string, t ...string) bool {
+	r := d.rels[rel]
+	if r == nil {
+		r = NewRelation(rel, len(t))
+		d.rels[rel] = r
+	}
+	d.adom = nil
+	return r.Insert(Tuple(t))
+}
+
+// Contains reports whether the ground atom rel(t...) is in the database.
+func (d *Database) Contains(rel string, t ...string) bool {
+	r := d.rels[rel]
+	if r == nil {
+		return false
+	}
+	return r.Contains(Tuple(t))
+}
+
+// Size returns the total number of tuples across all relations.
+func (d *Database) Size() int {
+	n := 0
+	for _, r := range d.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// ActiveDomain returns the sorted set of constants occurring in some tuple.
+func (d *Database) ActiveDomain() []string {
+	if d.adom != nil {
+		return d.adom
+	}
+	set := make(map[string]bool)
+	for _, r := range d.rels {
+		for _, t := range r.tuples {
+			for _, c := range t {
+				set[c] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	d.adom = out
+	return out
+}
+
+// Clone returns a deep copy of the database.
+func (d *Database) Clone() *Database {
+	out := New()
+	for name, r := range d.rels {
+		for _, t := range r.tuples {
+			out.Insert(name, t...)
+		}
+	}
+	return out
+}
+
+// Merge inserts every tuple of other into d.
+func (d *Database) Merge(other *Database) {
+	for name, r := range other.rels {
+		for _, t := range r.tuples {
+			d.Insert(name, t...)
+		}
+	}
+}
+
+// String renders the database as sorted "rel(a, b)" lines, one per tuple.
+func (d *Database) String() string {
+	var lines []string
+	for name, r := range d.rels {
+		for _, t := range r.tuples {
+			lines = append(lines, name+t.String())
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TripleStore is a convenience view of a database over the single ternary
+// relation used by RDF WDPTs (Section 2, "RDF well-designed pattern trees").
+type TripleStore struct {
+	*Database
+	rel string
+}
+
+// NewTripleStore creates an RDF-style database whose triples live in the
+// relation named rel (conventionally "triple").
+func NewTripleStore(rel string) *TripleStore {
+	return &TripleStore{Database: New(), rel: rel}
+}
+
+// RelName returns the name of the ternary relation holding the triples.
+func (ts *TripleStore) RelName() string { return ts.rel }
+
+// Add inserts the triple (s, p, o).
+func (ts *TripleStore) Add(s, p, o string) bool {
+	return ts.Insert(ts.rel, s, p, o)
+}
+
+// Has reports whether the triple (s, p, o) is present.
+func (ts *TripleStore) Has(s, p, o string) bool {
+	return ts.Contains(ts.rel, s, p, o)
+}

@@ -1,0 +1,189 @@
+package db
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelationInsertDedup(t *testing.T) {
+	r := NewRelation("R", 2)
+	if !r.Insert(Tuple{"a", "b"}) {
+		t.Fatal("first insert should report new")
+	}
+	if r.Insert(Tuple{"a", "b"}) {
+		t.Fatal("duplicate insert should report old")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("got %d tuples, want 1", r.Len())
+	}
+	if !r.Contains(Tuple{"a", "b"}) || r.Contains(Tuple{"b", "a"}) {
+		t.Fatal("contains is wrong")
+	}
+}
+
+func TestRelationArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inserting wrong arity should panic")
+		}
+	}()
+	r := NewRelation("R", 2)
+	r.Insert(Tuple{"a"})
+}
+
+func TestZeroArityRelationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero arity should panic")
+		}
+	}()
+	NewRelation("R", 0)
+}
+
+func TestMatchingIndex(t *testing.T) {
+	r := NewRelation("E", 2)
+	r.Insert(Tuple{"a", "b"})
+	r.Insert(Tuple{"a", "c"})
+	r.Insert(Tuple{"b", "c"})
+	if got := len(r.Matching(0, "a")); got != 2 {
+		t.Fatalf("Matching(0,a) = %d rows, want 2", got)
+	}
+	if got := len(r.Matching(1, "c")); got != 2 {
+		t.Fatalf("Matching(1,c) = %d rows, want 2", got)
+	}
+	if got := len(r.Matching(0, "zzz")); got != 0 {
+		t.Fatalf("Matching(0,zzz) = %d rows, want 0", got)
+	}
+	// Index must be rebuilt after inserts.
+	r.Insert(Tuple{"a", "d"})
+	if got := len(r.Matching(0, "a")); got != 3 {
+		t.Fatalf("after insert Matching(0,a) = %d rows, want 3", got)
+	}
+}
+
+func TestDatabaseBasics(t *testing.T) {
+	d := New()
+	d.Insert("E", "a", "b")
+	d.Insert("E", "b", "c")
+	d.Insert("V", "a")
+	if d.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", d.Size())
+	}
+	if !d.Contains("E", "a", "b") {
+		t.Fatal("missing E(a,b)")
+	}
+	if d.Contains("E", "c", "a") {
+		t.Fatal("unexpected E(c,a)")
+	}
+	if d.Contains("X", "a") {
+		t.Fatal("unknown relation should be empty")
+	}
+	adom := d.ActiveDomain()
+	if len(adom) != 3 || adom[0] != "a" || adom[1] != "b" || adom[2] != "c" {
+		t.Fatalf("ActiveDomain = %v, want [a b c]", adom)
+	}
+	rels := d.Relations()
+	if len(rels) != 2 || rels[0].Name() != "E" || rels[1].Name() != "V" {
+		t.Fatalf("Relations order wrong: %v", rels)
+	}
+}
+
+func TestActiveDomainInvalidation(t *testing.T) {
+	d := New()
+	d.Insert("E", "a", "b")
+	_ = d.ActiveDomain()
+	d.Insert("E", "c", "d")
+	if got := len(d.ActiveDomain()); got != 4 {
+		t.Fatalf("ActiveDomain after insert = %d constants, want 4", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := New()
+	d.Insert("E", "a", "b")
+	c := d.Clone()
+	c.Insert("E", "x", "y")
+	if d.Size() != 1 || c.Size() != 2 {
+		t.Fatalf("clone not independent: d=%d c=%d", d.Size(), c.Size())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	d := New()
+	d.Insert("E", "a", "b")
+	e := New()
+	e.Insert("E", "a", "b")
+	e.Insert("F", "c")
+	d.Merge(e)
+	if d.Size() != 2 {
+		t.Fatalf("Size after merge = %d, want 2", d.Size())
+	}
+}
+
+func TestString(t *testing.T) {
+	d := New()
+	d.Insert("E", "b", "c")
+	d.Insert("E", "a", "b")
+	want := "E(a, b)\nE(b, c)"
+	if got := d.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestTripleStore(t *testing.T) {
+	ts := NewTripleStore("triple")
+	ts.Add("s", "p", "o")
+	if !ts.Has("s", "p", "o") || ts.Has("o", "p", "s") {
+		t.Fatal("triple membership wrong")
+	}
+	if ts.RelName() != "triple" {
+		t.Fatal("wrong relation name")
+	}
+	if r := ts.Relation("triple"); r == nil || r.Arity() != 3 {
+		t.Fatal("underlying relation wrong")
+	}
+}
+
+func TestTupleEqualAndString(t *testing.T) {
+	a := Tuple{"x", "y"}
+	if !a.Equal(Tuple{"x", "y"}) || a.Equal(Tuple{"x"}) || a.Equal(Tuple{"x", "z"}) {
+		t.Fatal("Tuple.Equal wrong")
+	}
+	if a.String() != "(x, y)" {
+		t.Fatalf("Tuple.String = %q", a.String())
+	}
+}
+
+// Property: the per-position index agrees with a linear scan.
+func TestIndexMatchesScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRelation("R", 3)
+		consts := []string{"a", "b", "c", "d"}
+		for i := 0; i < 40; i++ {
+			r.Insert(Tuple{
+				consts[rng.Intn(len(consts))],
+				consts[rng.Intn(len(consts))],
+				consts[rng.Intn(len(consts))],
+			})
+		}
+		for pos := 0; pos < 3; pos++ {
+			for _, c := range consts {
+				want := 0
+				for _, tp := range r.Tuples() {
+					if tp[pos] == c {
+						want++
+					}
+				}
+				if got := len(r.Matching(pos, c)); got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+package gen
+
+import (
+	"fmt"
+
+	"wdpt/internal/core"
+	"wdpt/internal/cq"
+)
+
+// The exponential blow-up family of Figure 2 / Theorem 15: pairs of WDPTs
+// (p1, p2) with |p1| = O(n²) and |p2| = Ω(2ⁿ) such that p2 ∈ WB(k),
+// p2 ⊑ p1, and every WDPT in WB(k) between them is at least as large as p2.
+
+// alphaVar and zVar name the existential variables of the construction.
+func alphaVar(i int) cq.Term { return cq.V(fmt.Sprintf("alpha%d", i)) }
+func zVar(i int) cq.Term     { return cq.V(fmt.Sprintf("z%d", i)) }
+
+// Figure2P1 builds p1^(n) for parameters n ≥ 1 and k ≥ 2. Its root holds a
+// (k+1+n)-clique of d-atoms, putting it outside WB(k); the first leaf holds
+// e(z_1, ..., z_n) and leaf i holds {a_i(x_i), b_i(z_i), c_i(α_1)}. Free
+// variables are x, x_0, ..., x_n.
+func Figure2P1(n, k int) *core.PatternTree {
+	root := []cq.Atom{cq.NewAtom("a", cq.V("x"))}
+	for i := 0; i <= k; i++ {
+		root = append(root, cq.NewAtom(fmt.Sprintf("b%d", i), alphaVar(i)))
+	}
+	for i := 1; i <= n; i++ {
+		root = append(root,
+			cq.NewAtom(fmt.Sprintf("c%d", i), alphaVar(0)),
+			cq.NewAtom(fmt.Sprintf("c%d", i), zVar(i)))
+	}
+	root = append(root,
+		cq.NewAtom("d", alphaVar(0), alphaVar(0)),
+		cq.NewAtom("d", alphaVar(1), alphaVar(1)))
+	cliqueVars := cliqueTerms(n, k)
+	for i, a := range cliqueVars {
+		for j, b := range cliqueVars {
+			if i != j {
+				root = append(root, cq.NewAtom("d", a, b))
+			}
+		}
+	}
+	firstLeaf := core.NodeSpec{Atoms: []cq.Atom{cq.NewAtom("a0", cq.V("x0"))}}
+	eArgs := make([]cq.Term, n)
+	for i := 1; i <= n; i++ {
+		eArgs[i-1] = zVar(i)
+	}
+	firstLeaf.Atoms = append(firstLeaf.Atoms, cq.NewAtom("e", eArgs...))
+	children := []core.NodeSpec{firstLeaf}
+	for i := 1; i <= n; i++ {
+		children = append(children, core.NodeSpec{Atoms: []cq.Atom{
+			cq.NewAtom(fmt.Sprintf("a%d", i), cq.V(fmt.Sprintf("x%d", i))),
+			cq.NewAtom(fmt.Sprintf("b%d", i), zVar(i)),
+			cq.NewAtom(fmt.Sprintf("c%d", i), alphaVar(1)),
+		}})
+	}
+	return core.MustNew(core.NodeSpec{Atoms: root, Children: children}, figure2Free(n))
+}
+
+// Figure2P2 builds p2^(n): the root keeps only the (k+1)-clique over the
+// α_i (so every subtree CQ has treewidth ≤ k), and the first leaf holds all
+// 2ⁿ instantiations e(ᾱ), ᾱ ∈ {α_0, α_1}ⁿ — the unavoidable exponential
+// blow-up.
+func Figure2P2(n, k int) *core.PatternTree {
+	root := []cq.Atom{cq.NewAtom("a", cq.V("x"))}
+	for i := 0; i <= k; i++ {
+		root = append(root, cq.NewAtom(fmt.Sprintf("b%d", i), alphaVar(i)))
+	}
+	for i := 1; i <= n; i++ {
+		root = append(root, cq.NewAtom(fmt.Sprintf("c%d", i), alphaVar(0)))
+	}
+	var alphas []cq.Term
+	for i := 0; i <= k; i++ {
+		alphas = append(alphas, alphaVar(i))
+	}
+	for i, a := range alphas {
+		for j, b := range alphas {
+			if i != j {
+				root = append(root, cq.NewAtom("d", a, b))
+			}
+		}
+	}
+	root = append(root,
+		cq.NewAtom("d", alphaVar(0), alphaVar(0)),
+		cq.NewAtom("d", alphaVar(1), alphaVar(1)))
+	firstLeaf := core.NodeSpec{Atoms: []cq.Atom{cq.NewAtom("a0", cq.V("x0"))}}
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		args := make([]cq.Term, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				args[i] = alphaVar(1)
+			} else {
+				args[i] = alphaVar(0)
+			}
+		}
+		firstLeaf.Atoms = append(firstLeaf.Atoms, cq.NewAtom("e", args...))
+	}
+	children := []core.NodeSpec{firstLeaf}
+	for i := 1; i <= n; i++ {
+		children = append(children, core.NodeSpec{Atoms: []cq.Atom{
+			cq.NewAtom(fmt.Sprintf("a%d", i), cq.V(fmt.Sprintf("x%d", i))),
+			cq.NewAtom(fmt.Sprintf("c%d", i), alphaVar(1)),
+		}})
+	}
+	return core.MustNew(core.NodeSpec{Atoms: root, Children: children}, figure2Free(n))
+}
+
+func cliqueTerms(n, k int) []cq.Term {
+	var out []cq.Term
+	for i := 0; i <= k; i++ {
+		out = append(out, alphaVar(i))
+	}
+	for i := 1; i <= n; i++ {
+		out = append(out, zVar(i))
+	}
+	return out
+}
+
+func figure2Free(n int) []string {
+	free := []string{"x"}
+	for i := 0; i <= n; i++ {
+		free = append(free, fmt.Sprintf("x%d", i))
+	}
+	return free
+}

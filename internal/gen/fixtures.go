@@ -1,0 +1,78 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wdpt/internal/core"
+	"wdpt/internal/cq"
+	"wdpt/internal/db"
+)
+
+// DirectedCycleTree returns the single-node WDPT holding a directed m-cycle
+// over existential variables plus V(x) with x free — a constant-free
+// pattern of treewidth 2 whose WB(1)-approximation collapses the cycle.
+// Used by the semantic-optimization and approximation-payoff experiments.
+func DirectedCycleTree(m int) *core.PatternTree {
+	atoms := []cq.Atom{cq.NewAtom("V", cq.V("x"))}
+	for i := 0; i < m; i++ {
+		atoms = append(atoms, cq.NewAtom("E",
+			cq.V(fmt.Sprintf("c%d", i)),
+			cq.V(fmt.Sprintf("c%d", (i+1)%m))))
+	}
+	return core.MustNew(core.NodeSpec{Atoms: atoms}, []string{"x"})
+}
+
+// SymmetricCycleTree returns the single-node WDPT holding a symmetric
+// (both-directions) m-cycle plus V(x) free. For even m it folds onto a
+// symmetric edge and is therefore in M(WB(1)); for odd m ≥ 3 it is not.
+func SymmetricCycleTree(m int) *core.PatternTree {
+	atoms := []cq.Atom{cq.NewAtom("V", cq.V("x"))}
+	for i := 0; i < m; i++ {
+		u := fmt.Sprintf("c%d", i)
+		v := fmt.Sprintf("c%d", (i+1)%m)
+		atoms = append(atoms,
+			cq.NewAtom("E", cq.V(u), cq.V(v)),
+			cq.NewAtom("E", cq.V(v), cq.V(u)))
+	}
+	return core.MustNew(core.NodeSpec{Atoms: atoms}, []string{"x"})
+}
+
+// TriangleWithPath returns a WDPT whose root holds a triangle over
+// existential variables and a pendant path of the given length hanging off
+// one triangle vertex, ending in the free variable x — a family of growing
+// non-WB(1) trees for the approximation experiments.
+func TriangleWithPath(pathLen int) *core.PatternTree {
+	atoms := []cq.Atom{
+		cq.NewAtom("E", cq.V("a"), cq.V("b")),
+		cq.NewAtom("E", cq.V("b"), cq.V("c")),
+		cq.NewAtom("E", cq.V("c"), cq.V("a")),
+	}
+	prev := "a"
+	for i := 0; i < pathLen; i++ {
+		next := fmt.Sprintf("p%d", i)
+		atoms = append(atoms, cq.NewAtom("E", cq.V(prev), cq.V(next)))
+		prev = next
+	}
+	atoms = append(atoms, cq.NewAtom("E", cq.V(prev), cq.V("x")))
+	return core.MustNew(core.NodeSpec{Atoms: atoms}, []string{"x"})
+}
+
+// BipartiteDatabase returns a directed bipartite graph (edges from the left
+// to the right part only) with n vertices per side and outDeg edges per
+// left vertex, plus V facts. It contains no directed cycles, so cyclic
+// pattern cores fail on it while their collapsed approximations fail
+// immediately — the E10 payoff workload.
+func BipartiteDatabase(n, outDeg int, seed int64) *db.Database {
+	rng := rand.New(rand.NewSource(seed))
+	d := db.New()
+	for i := 0; i < n; i++ {
+		left := fmt.Sprintf("l%d", i)
+		d.Insert("V", left)
+		d.Insert("V", fmt.Sprintf("r%d", i))
+		for e := 0; e < outDeg; e++ {
+			d.Insert("E", left, fmt.Sprintf("r%d", rng.Intn(n)))
+		}
+	}
+	return d
+}

@@ -1,0 +1,33 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wdpt/internal/db"
+)
+
+// LayeredDatabase builds a layered directed graph: layers × perLayer
+// vertices, each vertex with outDeg random edges into the next layer, plus
+// V(v) facts. Homomorphism searches for depth-d path queries fan out as
+// outDeg^d on it, while its treewidth-1 structure keeps decomposition-guided
+// evaluation linear — the workload behind the E1 and E9 sweeps.
+func LayeredDatabase(layers, perLayer, outDeg int, seed int64) *db.Database {
+	rng := rand.New(rand.NewSource(seed))
+	d := db.New()
+	name := func(layer, i int) string { return fmt.Sprintf("L%d_%d", layer, i) }
+	for l := 0; l < layers; l++ {
+		for i := 0; i < perLayer; i++ {
+			d.Insert("V", name(l, i))
+			if l+1 < layers {
+				for e := 0; e < outDeg; e++ {
+					d.Insert("E", name(l, i), name(l+1, rng.Intn(perLayer)))
+				}
+			}
+		}
+	}
+	return d
+}
+
+// LayeredFirstVertex returns the canonical start vertex of LayeredDatabase.
+func LayeredFirstVertex() string { return "L0_0" }

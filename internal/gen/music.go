@@ -1,0 +1,75 @@
+// Package gen provides workload generators for tests, examples, and the
+// benchmark harness: the paper's running examples (Figure 1's music WDPT),
+// the hardness reductions from the appendix (3-colorability, Proposition 3),
+// the exponential blow-up family of Figure 2 / Theorem 15, and seeded random
+// WDPTs and databases with controlled structural parameters.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wdpt/internal/core"
+	"wdpt/internal/cq"
+	"wdpt/internal/db"
+)
+
+// MusicWDPT returns the WDPT of Figure 1 (query (1) of Example 1) over a
+// relational vocabulary:
+//
+//	(recorded_by(x,y) AND published(x,"after_2010"))
+//	   OPT rating(x,z)) OPT formed_in(y,z')
+//
+// with the given free variables (Example 1 uses all of x, y, z, zp;
+// Example 3 projects to a subset).
+func MusicWDPT(free ...string) *core.PatternTree {
+	return core.MustNew(core.NodeSpec{
+		Atoms: []cq.Atom{
+			cq.NewAtom("recorded_by", cq.V("x"), cq.V("y")),
+			cq.NewAtom("published", cq.V("x"), cq.C("after_2010")),
+		},
+		Children: []core.NodeSpec{
+			{Atoms: []cq.Atom{cq.NewAtom("rating", cq.V("x"), cq.V("z"))}},
+			{Atoms: []cq.Atom{cq.NewAtom("formed_in", cq.V("y"), cq.V("zp"))}},
+		},
+	}, free)
+}
+
+// MusicDatabase returns the database of Example 2.
+func MusicDatabase() *db.Database {
+	d := db.New()
+	d.Insert("recorded_by", "Our_love", "Caribou")
+	d.Insert("published", "Our_love", "after_2010")
+	d.Insert("recorded_by", "Swim", "Caribou")
+	d.Insert("published", "Swim", "after_2010")
+	d.Insert("rating", "Swim", "2")
+	return d
+}
+
+// MusicDatabaseLarge generates a synthetic music database with nBands bands
+// and recordsPerBand records each; a fraction of records carry a rating and
+// a fraction of bands a founding year, so optional matching is exercised on
+// all paths. Deterministic for a given seed.
+func MusicDatabaseLarge(nBands, recordsPerBand int, seed int64) *db.Database {
+	rng := rand.New(rand.NewSource(seed))
+	d := db.New()
+	for b := 0; b < nBands; b++ {
+		band := fmt.Sprintf("band%d", b)
+		if rng.Intn(3) != 0 {
+			d.Insert("formed_in", band, fmt.Sprint(1960+rng.Intn(60)))
+		}
+		for r := 0; r < recordsPerBand; r++ {
+			rec := fmt.Sprintf("rec%d_%d", b, r)
+			d.Insert("recorded_by", rec, band)
+			if rng.Intn(2) == 0 {
+				d.Insert("published", rec, "after_2010")
+			} else {
+				d.Insert("published", rec, "before_2010")
+			}
+			if rng.Intn(2) == 0 {
+				d.Insert("rating", rec, fmt.Sprint(1+rng.Intn(10)))
+			}
+		}
+	}
+	return d
+}

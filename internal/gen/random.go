@@ -1,0 +1,258 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wdpt/internal/core"
+	"wdpt/internal/cq"
+	"wdpt/internal/db"
+)
+
+// TreeParams controls random WDPT generation. Well-designedness holds by
+// construction: every variable a node inherits from its parent is actually
+// used in the node's label, so occurrence sets stay connected.
+type TreeParams struct {
+	// MaxDepth is the maximum tree depth (root has depth 0).
+	MaxDepth int
+	// MaxChildren is the maximum number of children per node.
+	MaxChildren int
+	// AtomsPerNode is the maximum number of atoms per node label (at least
+	// one is always generated).
+	AtomsPerNode int
+	// FreshVarsPerNode bounds the new variables a node introduces.
+	FreshVarsPerNode int
+	// InterfaceBound caps the number of variables a node may pass to its
+	// children (the BI(c) parameter); 0 means unbounded.
+	InterfaceBound int
+	// FreeProb is the probability that a variable is free.
+	FreeProb float64
+	// ConstProb is the probability that an atom argument is a constant
+	// (from a small fixed pool) instead of a variable. Default 0.
+	ConstProb float64
+	// Rels is the vocabulary; defaults to E/2 and T/3.
+	Rels []RelSpec
+}
+
+// RelSpec names a relation and its arity.
+type RelSpec struct {
+	Name  string
+	Arity int
+}
+
+func (tp TreeParams) withDefaults() TreeParams {
+	if tp.MaxDepth == 0 {
+		tp.MaxDepth = 2
+	}
+	if tp.MaxChildren == 0 {
+		tp.MaxChildren = 2
+	}
+	if tp.AtomsPerNode == 0 {
+		tp.AtomsPerNode = 2
+	}
+	if tp.FreshVarsPerNode == 0 {
+		tp.FreshVarsPerNode = 2
+	}
+	if tp.FreeProb == 0 {
+		tp.FreeProb = 0.4
+	}
+	if tp.Rels == nil {
+		tp.Rels = []RelSpec{{"E", 2}, {"T", 3}}
+	}
+	return tp
+}
+
+// RandomWDPT generates a seeded random well-designed pattern tree.
+func RandomWDPT(params TreeParams, seed int64) *core.PatternTree {
+	tp := params.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	fresh := 0
+	newVar := func() string {
+		fresh++
+		return fmt.Sprintf("v%d", fresh)
+	}
+	var build func(depth int, inherited []string) core.NodeSpec
+	build = func(depth int, inherited []string) core.NodeSpec {
+		pool := append([]string(nil), inherited...)
+		nFresh := 1 + rng.Intn(tp.FreshVarsPerNode)
+		for i := 0; i < nFresh; i++ {
+			pool = append(pool, newVar())
+		}
+		nAtoms := 1 + rng.Intn(tp.AtomsPerNode)
+		var atoms []cq.Atom
+		used := make(map[string]bool)
+		for i := 0; i < nAtoms; i++ {
+			rs := tp.Rels[rng.Intn(len(tp.Rels))]
+			args := make([]cq.Term, rs.Arity)
+			for j := range args {
+				if tp.ConstProb > 0 && rng.Float64() < tp.ConstProb {
+					args[j] = cq.C(fmt.Sprint(rng.Intn(3)))
+					continue
+				}
+				v := pool[rng.Intn(len(pool))]
+				args[j] = cq.V(v)
+				used[v] = true
+			}
+			atoms = append(atoms, cq.NewAtom(rs.Name, args...))
+		}
+		// Force every inherited variable into the label so occurrence sets
+		// stay connected.
+		for _, v := range inherited {
+			if !used[v] {
+				atoms = append(atoms, cq.NewAtom("E", cq.V(v), cq.V(v)))
+				used[v] = true
+			}
+		}
+		spec := core.NodeSpec{Atoms: atoms}
+		if depth < tp.MaxDepth {
+			var usedVars []string
+			for v := range used {
+				usedVars = append(usedVars, v)
+			}
+			// Deterministic order for reproducibility.
+			sortStrings(usedVars)
+			// BI(c) bounds the number of variables shared with ALL children
+			// together, so children draw their inherited variables from one
+			// per-node pool of at most InterfaceBound variables.
+			pool := usedVars
+			if tp.InterfaceBound > 0 && len(pool) > tp.InterfaceBound {
+				pool = pickDistinct(rng, usedVars, tp.InterfaceBound)
+			}
+			nChildren := rng.Intn(tp.MaxChildren + 1)
+			for i := 0; i < nChildren; i++ {
+				pass := pickDistinct(rng, pool, rng.Intn(len(pool)+1))
+				spec.Children = append(spec.Children, build(depth+1, pass))
+			}
+		}
+		return spec
+	}
+	rootSpec := build(0, nil)
+	allVars := collectVars(rootSpec)
+	var free []string
+	for _, v := range allVars {
+		if rng.Float64() < tp.FreeProb {
+			free = append(free, v)
+		}
+	}
+	if len(free) == 0 && len(allVars) > 0 {
+		free = []string{allVars[0]}
+	}
+	return core.MustNew(rootSpec, free)
+}
+
+func collectVars(spec core.NodeSpec) []string {
+	var atoms []cq.Atom
+	var walk func(s core.NodeSpec)
+	walk = func(s core.NodeSpec) {
+		atoms = append(atoms, s.Atoms...)
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(spec)
+	return cq.AtomsVars(atoms)
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func pickDistinct(rng *rand.Rand, pool []string, n int) []string {
+	if n >= len(pool) {
+		return append([]string(nil), pool...)
+	}
+	perm := rng.Perm(len(pool))
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = pool[perm[i]]
+	}
+	sortStrings(out)
+	return out
+}
+
+// DBParams controls random database generation.
+type DBParams struct {
+	// DomainSize is the number of distinct constants.
+	DomainSize int
+	// TuplesPerRel is the number of tuples inserted per relation.
+	TuplesPerRel int
+	// Rels is the vocabulary; defaults to E/2 and T/3.
+	Rels []RelSpec
+}
+
+// RandomDatabase generates a seeded random database.
+func RandomDatabase(params DBParams, seed int64) *db.Database {
+	if params.DomainSize == 0 {
+		params.DomainSize = 4
+	}
+	if params.TuplesPerRel == 0 {
+		params.TuplesPerRel = 10
+	}
+	if params.Rels == nil {
+		params.Rels = []RelSpec{{"E", 2}, {"T", 3}}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := db.New()
+	for _, rs := range params.Rels {
+		for i := 0; i < params.TuplesPerRel; i++ {
+			t := make([]string, rs.Arity)
+			for j := range t {
+				t[j] = fmt.Sprint(rng.Intn(params.DomainSize))
+			}
+			d.Insert(rs.Name, t...)
+		}
+	}
+	return d
+}
+
+// PathWDPT builds a chain-shaped WDPT of the given depth: node i holds
+// E(y_i, y_{i+1}) with y_0 free, a canonical tractable family
+// (ℓ-TW(1) ∩ BI(1), hence also g-TW(3) by Proposition 2).
+func PathWDPT(depth int, free ...string) *core.PatternTree {
+	var build func(i int) core.NodeSpec
+	build = func(i int) core.NodeSpec {
+		spec := core.NodeSpec{Atoms: []cq.Atom{
+			cq.NewAtom("E", cq.V(fmt.Sprintf("y%d", i)), cq.V(fmt.Sprintf("y%d", i+1))),
+		}}
+		if i+1 < depth {
+			spec.Children = []core.NodeSpec{build(i + 1)}
+		}
+		return spec
+	}
+	if len(free) == 0 {
+		free = []string{"y0"}
+	}
+	return core.MustNew(build(0), free)
+}
+
+// StarWDPT builds a WDPT whose root holds R(x, x) and which has width
+// optional children, child i holding E(x, z_i) with z_i free — a wide
+// bounded-interface family for evaluation benchmarks.
+func StarWDPT(width int) *core.PatternTree {
+	free := []string{"x"}
+	root := core.NodeSpec{Atoms: []cq.Atom{cq.NewAtom("V", cq.V("x"))}}
+	for i := 0; i < width; i++ {
+		z := fmt.Sprintf("z%d", i)
+		free = append(free, z)
+		root.Children = append(root.Children, core.NodeSpec{
+			Atoms: []cq.Atom{cq.NewAtom("E", cq.V("x"), cq.V(z))},
+		})
+	}
+	return core.MustNew(root, free)
+}
+
+// ChainDatabase returns a database with a single path 0 -> 1 -> ... -> n
+// plus V(i) facts, matching PathWDPT and StarWDPT vocabularies.
+func ChainDatabase(n int) *db.Database {
+	d := db.New()
+	for i := 0; i < n; i++ {
+		d.Insert("E", fmt.Sprint(i), fmt.Sprint(i+1))
+		d.Insert("V", fmt.Sprint(i))
+	}
+	d.Insert("V", fmt.Sprint(n))
+	return d
+}

@@ -1,0 +1,130 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wdpt/internal/core"
+	"wdpt/internal/cq"
+	"wdpt/internal/db"
+)
+
+// The 3-colorability reduction from the proof of Proposition 3: EVAL is
+// NP-hard already for g-TW(1) WDPTs. Given an undirected graph G = (V, E),
+// the reduction produces a WDPT p, a fixed 3-element database D, and a
+// mapping h with h(x) = 1, such that h ∈ p(D) iff G is 3-colorable.
+
+// Graph is a small undirected graph given by its vertex count and edge list.
+type Graph struct {
+	N     int
+	Edges [][2]int
+}
+
+// RandomGraph returns a random graph with n vertices where each edge is
+// present with probability p. Deterministic for a given seed.
+func RandomGraph(n int, p float64, seed int64) Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := Graph{N: n}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.Edges = append(g.Edges, [2]int{i, j})
+			}
+		}
+	}
+	return g
+}
+
+// CycleGraph returns the n-cycle, which is 3-colorable for every n ≥ 3; use
+// CompleteGraph(4) for a non-3-colorable case.
+func CycleGraph(n int) Graph {
+	g := Graph{N: n}
+	for i := 0; i < n; i++ {
+		g.Edges = append(g.Edges, [2]int{i, (i + 1) % n})
+	}
+	return g
+}
+
+// CompleteGraph returns K_n: 3-colorable iff n ≤ 3.
+func CompleteGraph(n int) Graph {
+	g := Graph{N: n}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.Edges = append(g.Edges, [2]int{i, j})
+		}
+	}
+	return g
+}
+
+// IsThreeColorable decides 3-colorability by backtracking; the reference
+// oracle for the reduction.
+func (g Graph) IsThreeColorable() bool {
+	adj := make([][]int, g.N)
+	for _, e := range g.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	color := make([]int, g.N)
+	var rec func(v int) bool
+	rec = func(v int) bool {
+		if v == g.N {
+			return true
+		}
+		for c := 1; c <= 3; c++ {
+			ok := true
+			for _, u := range adj[v] {
+				if color[u] == c {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				color[v] = c
+				if rec(v + 1) {
+					return true
+				}
+				color[v] = 0
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// ThreeColorInstance builds the Proposition 3 instance for g: a WDPT
+// p ∈ g-TW(1) ∩ g-HW(1), the 3-element database D = {c(1,1), c(2,2),
+// c(3,3)}, and the mapping h = {x -> 1}, such that h ∈ p(D) iff g is
+// 3-colorable.
+//
+// The root holds c(u_i, u_i) for every vertex i plus c(x, x); for every
+// edge e_j = {a, b} and color k there is a child with label
+// {c(u_a, k), c(u_b, k), c(x_j_k, x_j_k)} whose x_j_k is free. The free
+// variables are x and all x_j_k. A maximal homomorphism assigning colors to
+// the u_i avoids every child iff the assignment is a proper coloring, and
+// exactly then is the answer defined on x alone.
+func ThreeColorInstance(g Graph) (*core.PatternTree, *db.Database, cq.Mapping) {
+	rootAtoms := []cq.Atom{cq.NewAtom("c", cq.V("x"), cq.V("x"))}
+	for i := 0; i < g.N; i++ {
+		u := cq.V(fmt.Sprintf("u%d", i))
+		rootAtoms = append(rootAtoms, cq.NewAtom("c", u, u))
+	}
+	free := []string{"x"}
+	var children []core.NodeSpec
+	for j, e := range g.Edges {
+		for k := 1; k <= 3; k++ {
+			xjk := fmt.Sprintf("x%d_%d", j, k)
+			free = append(free, xjk)
+			children = append(children, core.NodeSpec{Atoms: []cq.Atom{
+				cq.NewAtom("c", cq.V(fmt.Sprintf("u%d", e[0])), cq.C(fmt.Sprint(k))),
+				cq.NewAtom("c", cq.V(fmt.Sprintf("u%d", e[1])), cq.C(fmt.Sprint(k))),
+				cq.NewAtom("c", cq.V(xjk), cq.V(xjk)),
+			}})
+		}
+	}
+	p := core.MustNew(core.NodeSpec{Atoms: rootAtoms, Children: children}, free)
+	d := db.New()
+	d.Insert("c", "1", "1")
+	d.Insert("c", "2", "2")
+	d.Insert("c", "3", "3")
+	return p, d, cq.Mapping{"x": "1"}
+}

@@ -1,0 +1,197 @@
+// Package harness is the experiment framework behind cmd/wdptbench and the
+// root-level benchmarks: a registry of experiments — one per table or
+// figure artifact of the paper — with parameter sweeps, timing, and aligned
+// text-table rendering. EXPERIMENTS.md records the measured outputs next to
+// the paper's claims.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Config tunes how heavy an experiment run is.
+type Config struct {
+	// Quick shrinks every sweep to smoke-test sizes (used by tests).
+	Quick bool
+	// Repetitions per measured point (default 3; the minimum is reported).
+	Repetitions int
+}
+
+func (c Config) reps() int {
+	if c.Repetitions <= 0 {
+		return 3
+	}
+	return c.Repetitions
+}
+
+// Table is a rendered experiment result: a titled grid of rows.
+type Table struct {
+	ID      string
+	Title   string
+	Paper   string // which table/figure of the paper this regenerates
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, formatting every cell with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case time.Duration:
+			row[i] = formatDuration(v)
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatDuration(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// Render draws the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "reproduces: %s\n", t.Paper)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is a registered, runnable experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Paper string
+	Run   func(Config) *Table
+}
+
+var registry = map[string]Experiment{}
+
+// Register adds an experiment; duplicate IDs panic (programming error).
+func Register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("harness: duplicate experiment id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns the experiments sorted by id.
+func All() []Experiment {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		// Numeric-aware: E2 before E10.
+		return expOrder(ids[i]) < expOrder(ids[j]) || (expOrder(ids[i]) == expOrder(ids[j]) && ids[i] < ids[j])
+	})
+	out := make([]Experiment, len(ids))
+	for i, id := range ids {
+		out[i] = registry[id]
+	}
+	return out
+}
+
+func expOrder(id string) int {
+	n := 0
+	for _, r := range id {
+		if r >= '0' && r <= '9' {
+			n = n*10 + int(r-'0')
+		}
+	}
+	return n
+}
+
+// Measure runs fn reps times and returns the minimum wall-clock duration —
+// the standard way to suppress scheduling noise in micro-measurements.
+func Measure(reps int, fn func()) time.Duration {
+	best := time.Duration(-1)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		fn()
+		d := time.Since(start)
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// CSV renders the table as comma-separated values (header + rows), for
+// plotting the figure-shaped experiments outside the terminal. Cells
+// containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 13 {
+		t.Fatalf("registered experiments = %d, want 13 (E1..E13)", len(all))
+	}
+	// Numeric-aware ordering: E2 before E10.
+	for i := 1; i < len(all); i++ {
+		if expOrder(all[i-1].ID) > expOrder(all[i].ID) {
+			t.Fatalf("ordering wrong: %s before %s", all[i-1].ID, all[i].ID)
+		}
+	}
+	if _, ok := Get("E1"); !ok {
+		t.Fatal("E1 missing")
+	}
+	if _, ok := Get("nope"); ok {
+		t.Fatal("bogus id found")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration should panic")
+		}
+	}()
+	Register(Experiment{ID: "E1"})
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		ID:      "T",
+		Title:   "test",
+		Paper:   "none",
+		Columns: []string{"a", "long-column"},
+	}
+	tbl.AddRow(1, 2*time.Millisecond)
+	tbl.AddRow("xx", 1500*time.Nanosecond)
+	tbl.Notes = append(tbl.Notes, "a note")
+	out := tbl.Render()
+	for _, want := range []string{"T — test", "a   long-column", "2.00ms", "1.5µs", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		500 * time.Nanosecond:  "500ns",
+		1500 * time.Nanosecond: "1.5µs",
+		2 * time.Millisecond:   "2.00ms",
+		3 * time.Second:        "3.00s",
+	}
+	for d, want := range cases {
+		if got := formatDuration(d); got != want {
+			t.Fatalf("formatDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestMeasureReturnsMinimum(t *testing.T) {
+	d := Measure(3, func() { time.Sleep(time.Millisecond) })
+	if d < time.Millisecond/2 || d > 100*time.Millisecond {
+		t.Fatalf("Measure = %v, implausible", d)
+	}
+}
+
+// TestAllExperimentsQuick smoke-tests every experiment in quick mode: each
+// must produce a table with rows and no ERROR notes.
+func TestAllExperimentsQuick(t *testing.T) {
+	cfg := Config{Quick: true, Repetitions: 1}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl := e.Run(cfg)
+			if tbl == nil || len(tbl.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			for _, n := range tbl.Notes {
+				if strings.Contains(n, "ERROR") || strings.Contains(n, "DISAGREEMENT") {
+					t.Fatalf("%s reported: %s", e.ID, n)
+				}
+			}
+			if tbl.Render() == "" {
+				t.Fatalf("%s rendered empty", e.ID)
+			}
+		})
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tbl := &Table{Columns: []string{"a", "b"}}
+	tbl.AddRow("plain", `with "quote", and comma`)
+	csv := tbl.CSV()
+	want := "a,b\nplain,\"with \"\"quote\"\", and comma\"\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}

@@ -1,0 +1,288 @@
+package hypergraph
+
+// Treewidth computation. The heuristic side uses min-fill elimination
+// orderings; the exact side searches elimination orderings with memoization
+// on the set of already-eliminated vertices (the fill-in graph after
+// eliminating a set is independent of the order, so the state space is the
+// subset lattice).
+
+// exactTreewidthLimit bounds the vertex count for which the exact search is
+// attempted; beyond it Treewidth falls back to the min-fill upper bound.
+const exactTreewidthLimit = 28
+
+// Treewidth returns the treewidth of h. exact reports whether the value is
+// exact (vertex count within exactTreewidthLimit) or a min-fill upper bound.
+// The treewidth of an edgeless or empty hypergraph is 0.
+func (h *Hypergraph) Treewidth() (width int, exact bool) {
+	n := h.NumVertices()
+	if n == 0 {
+		return 0, true
+	}
+	ub := h.treewidthMinFill()
+	if n > exactTreewidthLimit {
+		return ub, false
+	}
+	// Iterative deepening from a cheap lower bound up to the upper bound.
+	lb := h.treewidthLowerBound()
+	for k := lb; k < ub; k++ {
+		if h.TreewidthAtMost(k) {
+			return k, true
+		}
+	}
+	return ub, true
+}
+
+// TreewidthAtMost decides tw(h) ≤ k exactly via memoized elimination-order
+// search. For hypergraphs larger than exactTreewidthLimit vertices it first
+// tries the min-fill upper bound and only then runs the exponential search,
+// which may be slow.
+func (h *Hypergraph) TreewidthAtMost(k int) bool {
+	n := h.NumVertices()
+	if n <= k+1 {
+		return true
+	}
+	if ub := h.treewidthMinFill(); ub <= k {
+		return true
+	}
+	adj := h.adjacency()
+	eliminated := NewSet(n)
+	memo := make(map[string]bool)
+	return eliminateSearch(adj, eliminated, n, k, memo)
+}
+
+// eliminateSearch reports whether the remaining graph admits an elimination
+// ordering in which every vertex has at most k neighbors when eliminated.
+func eliminateSearch(adj []Set, eliminated Set, remaining, k int, memo map[string]bool) bool {
+	if remaining <= k+1 {
+		return true
+	}
+	key := eliminated.Key()
+	if v, ok := memo[key]; ok {
+		return v
+	}
+	result := false
+	n := len(adj)
+	// The "simplicial vertex rule": a vertex whose neighborhood is already a
+	// clique can always be eliminated first without loss of generality.
+	forced := -1
+	for v := 0; v < n && forced < 0; v++ {
+		if eliminated.Has(v) {
+			continue
+		}
+		nb := adj[v].Subtract(eliminated)
+		if nb.Len() > k {
+			continue
+		}
+		if isClique(adj, eliminated, nb) {
+			forced = v
+		}
+	}
+	try := func(v int) bool {
+		nb := adj[v].Subtract(eliminated)
+		if nb.Len() > k {
+			return false
+		}
+		added := eliminate(adj, eliminated, v, nb)
+		ok := eliminateSearch(adj, eliminated, remaining-1, k, memo)
+		undo(adj, eliminated, v, added)
+		return ok
+	}
+	if forced >= 0 {
+		result = try(forced)
+	} else {
+		for v := 0; v < n; v++ {
+			if eliminated.Has(v) {
+				continue
+			}
+			if try(v) {
+				result = true
+				break
+			}
+		}
+	}
+	memo[key] = result
+	return result
+}
+
+type fillEdge struct{ u, v int }
+
+// eliminate removes v and turns its live neighborhood nb into a clique,
+// returning the fill edges added for undo.
+func eliminate(adj []Set, eliminated Set, v int, nb Set) []fillEdge {
+	var added []fillEdge
+	elems := nb.Elements()
+	for i, u := range elems {
+		for _, w := range elems[i+1:] {
+			if !adj[u].Has(w) {
+				adj[u].Add(w)
+				adj[w].Add(u)
+				added = append(added, fillEdge{u, w})
+			}
+		}
+	}
+	eliminated.Add(v)
+	return added
+}
+
+func undo(adj []Set, eliminated Set, v int, added []fillEdge) {
+	eliminated.Remove(v)
+	for _, e := range added {
+		adj[e.u].Remove(e.v)
+		adj[e.v].Remove(e.u)
+	}
+}
+
+func isClique(adj []Set, eliminated, vs Set) bool {
+	elems := vs.Elements()
+	for i, u := range elems {
+		for _, w := range elems[i+1:] {
+			if !adj[u].Has(w) {
+				return false
+			}
+		}
+	}
+	_ = eliminated
+	return true
+}
+
+// treewidthMinFill returns the width of the min-fill elimination ordering, a
+// standard treewidth upper bound.
+func (h *Hypergraph) treewidthMinFill() int {
+	_, width := h.minFillOrder()
+	return width
+}
+
+// minFillOrder computes a min-fill elimination ordering and its width.
+func (h *Hypergraph) minFillOrder() (order []int, width int) {
+	n := h.NumVertices()
+	adj := h.adjacency()
+	eliminated := NewSet(n)
+	for step := 0; step < n; step++ {
+		best, bestFill, bestDeg := -1, -1, -1
+		for v := 0; v < n; v++ {
+			if eliminated.Has(v) {
+				continue
+			}
+			nb := adj[v].Subtract(eliminated)
+			fill := fillCount(adj, nb)
+			deg := nb.Len()
+			if best == -1 || fill < bestFill || (fill == bestFill && deg < bestDeg) {
+				best, bestFill, bestDeg = v, fill, deg
+			}
+		}
+		nb := adj[best].Subtract(eliminated)
+		if d := nb.Len(); d > width {
+			width = d
+		}
+		eliminate(adj, eliminated, best, nb)
+		order = append(order, best)
+	}
+	return order, width
+}
+
+func fillCount(adj []Set, nb Set) int {
+	elems := nb.Elements()
+	fill := 0
+	for i, u := range elems {
+		for _, w := range elems[i+1:] {
+			if !adj[u].Has(w) {
+				fill++
+			}
+		}
+	}
+	return fill
+}
+
+// treewidthLowerBound returns a cheap lower bound: the minimum degree of the
+// densest "minor" obtained by repeatedly deleting a minimum-degree vertex
+// (the MMD lower bound).
+func (h *Hypergraph) treewidthLowerBound() int {
+	adj := h.adjacency()
+	live := h.AllVertices()
+	lb := 0
+	for live.Len() > 1 {
+		best, bestDeg := -1, -1
+		for _, v := range live.Elements() {
+			d := adj[v].Intersect(live).Len()
+			if best == -1 || d < bestDeg {
+				best, bestDeg = v, d
+			}
+		}
+		if bestDeg > lb {
+			lb = bestDeg
+		}
+		live.Remove(best)
+	}
+	return lb
+}
+
+// TreeDecomposition builds a tree decomposition from the min-fill
+// elimination ordering. Its width is an upper bound on tw(h); for many
+// practically arising queries it is optimal.
+func (h *Hypergraph) TreeDecomposition() *Decomposition {
+	n := h.NumVertices()
+	if n == 0 {
+		return &Decomposition{Bags: [][]string{{}}, Parent: []int{-1}}
+	}
+	order, _ := h.minFillOrder()
+	// Recompute fill graph along the order, recording each bag.
+	adj := h.adjacency()
+	eliminated := NewSet(n)
+	bags := make([]Set, n)
+	for _, v := range order {
+		nb := adj[v].Subtract(eliminated)
+		bag := nb.Clone()
+		bag.Add(v)
+		bags[v] = bag
+		eliminate(adj, eliminated, v, nb)
+	}
+	// Standard construction: node for each vertex in elimination order; the
+	// parent of v's node is the node of the earliest-eliminated vertex in
+	// bag(v) ∖ {v}; last vertex is the root.
+	pos := make([]int, n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	d := &Decomposition{Bags: make([][]string, n), Parent: make([]int, n)}
+	node := make([]int, n) // vertex -> node id (we use elimination position)
+	for i, v := range order {
+		node[v] = i
+	}
+	for i, v := range order {
+		d.Bags[i] = h.namesOf(bags[v])
+		parent := -1
+		bestPos := n + 1
+		for _, u := range bags[v].Elements() {
+			if u == v {
+				continue
+			}
+			if pos[u] < bestPos {
+				bestPos = pos[u]
+				parent = node[u]
+			}
+		}
+		d.Parent[i] = parent
+	}
+	// Re-root so that node with Parent -1 is unique: vertices eliminated
+	// last in each component have no parent; link extra roots to the first.
+	root := -1
+	for i := range d.Parent {
+		if d.Parent[i] == -1 {
+			if root == -1 {
+				root = i
+			} else {
+				d.Parent[i] = root
+			}
+		}
+	}
+	return d
+}
+
+func (h *Hypergraph) namesOf(s Set) []string {
+	elems := s.Elements()
+	out := make([]string, len(elems))
+	for i, e := range elems {
+		out[i] = h.names[e]
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package sparql
+
+import "testing"
+
+// Fuzz targets: the parsers must never panic and, when they accept an
+// input, the result must round-trip through the printer. Without -fuzz
+// these run their seed corpora as regular tests.
+
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		`a(?x)`,
+		`SELECT ?x WHERE a(?x) OPT b(?x, ?y)`,
+		`((?s, p, ?o)) AND knows(?o, ?w)`,
+		`(a(?x) AND b(?x)) OPT (c(?x, ?y) OPT d(?y))`,
+		`SELECT ?x WHERE a(?x) UNION garbage`,
+		`a("quoted \" escape")`,
+		`a(?x,, )`,
+		`(((((`,
+		`ANS(?x) { a(?x) }`,
+		"a(?x) # comment\nAND b(?x)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParseQuery(src)
+		if err != nil || p == nil {
+			return
+		}
+		// Accepted queries re-render and re-parse to the same tree.
+		again, err := ParseWDPT(Format(p))
+		if err != nil {
+			t.Fatalf("Format output unparseable: %v\ninput: %q\nformat:\n%s", err, src, Format(p))
+		}
+		if again.String() != p.String() {
+			t.Fatalf("round trip changed tree for %q", src)
+		}
+	})
+}
+
+func FuzzParseWDPT(f *testing.F) {
+	seeds := []string{
+		`ANS(?x) { a(?x) }`,
+		`ANS() { a(c) { b(?y) } }`,
+		`ANS(?x, ?y) { r(?x, ?y) { s(?x) } { t(?y) } }`,
+		`ANS(?x) { }`,
+		`ANS(?x { a(?x) }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParseWDPT(src)
+		if err != nil || p == nil {
+			return
+		}
+		if _, err := ParseWDPT(Format(p)); err != nil {
+			t.Fatalf("Format output unparseable: %v for %q", err, src)
+		}
+	})
+}
+
+func FuzzParseDatabase(f *testing.F) {
+	seeds := []string{
+		`a(1). b(1, 2).`,
+		`rel("with space", x)`,
+		`# only a comment`,
+		`broken(`,
+		`a(1) a(2) a(3)`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := ParseDatabase(src)
+		if err != nil {
+			return
+		}
+		if d == nil {
+			t.Fatal("nil database without error")
+		}
+		_ = d.Size()
+	})
+}

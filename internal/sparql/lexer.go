@@ -1,0 +1,179 @@
+// Package sparql provides query-language tooling around WDPTs: a parser for
+// an algebraic {AND, OPT} pattern syntax in the style of Pérez et al. [18]
+// (over relational atoms or RDF triple patterns), the well-designedness
+// check for such patterns, their conversion to pattern trees via OPT normal
+// form, a direct text format for WDPTs, and a line-based database format.
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokComma
+	tokDot
+	tokVar    // ?name
+	tokIdent  // bare identifier (relation or constant)
+	tokString // "quoted constant"
+	tokAnd    // AND
+	tokOpt    // OPT
+	tokAns    // ANS
+	tokSelect // SELECT
+	tokWhere  // WHERE
+	tokUnion  // UNION
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokVar:
+		return "?" + t.text
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.text
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '#': // comment to end of line
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, pos: l.pos}, nil
+
+scan:
+	start := l.pos
+	c := l.src[l.pos]
+	switch c {
+	case '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case '{':
+		l.pos++
+		return token{tokLBrace, "{", start}, nil
+	case '}':
+		l.pos++
+		return token{tokRBrace, "}", start}, nil
+	case ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case '.':
+		l.pos++
+		return token{tokDot, ".", start}, nil
+	case '*':
+		l.pos++
+		return token{tokIdent, "*", start}, nil
+	case '?':
+		l.pos++
+		name := l.ident()
+		if name == "" {
+			return token{}, fmt.Errorf("sparql: position %d: '?' must be followed by a variable name", start)
+		}
+		return token{tokVar, name, start}, nil
+	case '"':
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			if l.src[l.pos] == '\\' && l.pos+1 < len(l.src) {
+				l.pos++
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, fmt.Errorf("sparql: position %d: unterminated string", start)
+		}
+		l.pos++
+		return token{tokString, b.String(), start}, nil
+	}
+	if r, _ := utf8.DecodeRuneInString(l.src[l.pos:]); isIdentStart(r) || unicode.IsDigit(r) {
+		word := l.ident()
+		switch strings.ToUpper(word) {
+		case "AND":
+			return token{tokAnd, word, start}, nil
+		case "OPT", "OPTIONAL":
+			return token{tokOpt, word, start}, nil
+		case "ANS":
+			return token{tokAns, word, start}, nil
+		case "SELECT":
+			return token{tokSelect, word, start}, nil
+		case "WHERE":
+			return token{tokWhere, word, start}, nil
+		case "UNION":
+			return token{tokUnion, word, start}, nil
+		}
+		return token{tokIdent, word, start}, nil
+	}
+	return token{}, fmt.Errorf("sparql: position %d: unexpected character %q", start, c)
+}
+
+func (l *lexer) ident() string {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isIdentPart(r) {
+			break
+		}
+		l.pos += size
+	}
+	return l.src[start:l.pos]
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}

@@ -1,0 +1,397 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+
+	"wdpt/internal/core"
+	"wdpt/internal/cq"
+	"wdpt/internal/db"
+	"wdpt/internal/uwdpt"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func newParser(src string) (*parser, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	return &parser{toks: toks}, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(k tokenKind) bool {
+	return p.peek().kind == k
+}
+func (p *parser) accept(k tokenKind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	if !p.at(k) {
+		return token{}, fmt.Errorf("sparql: expected %s, found %s", what, p.peek())
+	}
+	return p.next(), nil
+}
+
+// ParsePattern parses an {AND, OPT} pattern expression, e.g.
+//
+//	((rec_by(?x, ?y) AND publ(?x, "after_2010")) OPT rating(?x, ?z))
+//
+// Triple patterns (?x, p, ?y) are sugar for triple(?x, p, ?y). AND binds
+// tighter than OPT; both associate to the left.
+func ParsePattern(src string) (Expr, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	e, err := p.pattern()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokEOF, "end of input"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// pattern := andPattern (OPT andPattern)*
+func (p *parser) pattern() (Expr, error) {
+	left, err := p.andPattern()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokOpt) {
+		right, err := p.andPattern()
+		if err != nil {
+			return nil, err
+		}
+		left = &OptExpr{L: left, R: right}
+	}
+	return left, nil
+}
+
+// andPattern := unit (AND unit)*
+func (p *parser) andPattern() (Expr, error) {
+	left, err := p.unit()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokAnd) {
+		right, err := p.unit()
+		if err != nil {
+			return nil, err
+		}
+		left = &AndExpr{L: left, R: right}
+	}
+	return left, nil
+}
+
+// unit := atom | tripleSugar | '(' pattern ')'
+func (p *parser) unit() (Expr, error) {
+	switch p.peek().kind {
+	case tokIdent:
+		a, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		return &AtomExpr{Atom: a}, nil
+	case tokLParen:
+		// Either a parenthesized pattern or a triple pattern (t, t, t).
+		save := p.pos
+		p.next()
+		if trip, ok := p.tryTriple(); ok {
+			return &AtomExpr{Atom: trip}, nil
+		}
+		p.pos = save
+		p.next() // re-consume '('
+		e, err := p.pattern()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, fmt.Errorf("sparql: expected an atom or '(', found %s", p.peek())
+}
+
+// tryTriple attempts to parse "t, t, t)" after a consumed '(' and reports
+// success; on failure the caller restores the position.
+func (p *parser) tryTriple() (cq.Atom, bool) {
+	var terms []cq.Term
+	for i := 0; i < 3; i++ {
+		t, ok := p.tryTerm()
+		if !ok {
+			return cq.Atom{}, false
+		}
+		terms = append(terms, t)
+		if i < 2 && !p.accept(tokComma) {
+			return cq.Atom{}, false
+		}
+	}
+	if !p.accept(tokRParen) {
+		return cq.Atom{}, false
+	}
+	return cq.NewAtom("triple", terms...), true
+}
+
+func (p *parser) tryTerm() (cq.Term, bool) {
+	switch p.peek().kind {
+	case tokVar:
+		return cq.V(p.next().text), true
+	case tokIdent:
+		// A bare identifier followed by '(' is a relation, not a term.
+		if p.toks[p.pos+1].kind == tokLParen {
+			return cq.Term{}, false
+		}
+		return cq.C(p.next().text), true
+	case tokString:
+		return cq.C(p.next().text), true
+	}
+	return cq.Term{}, false
+}
+
+// atom := ident '(' term (',' term)* ')'  |  ident '(' ')' is rejected:
+// relations have positive arity, except the vacuous marker true().
+func (p *parser) atom() (cq.Atom, error) {
+	rel, err := p.expect(tokIdent, "a relation name")
+	if err != nil {
+		return cq.Atom{}, err
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return cq.Atom{}, err
+	}
+	var terms []cq.Term
+	if !p.accept(tokRParen) {
+		for {
+			t, ok := p.tryTerm()
+			if !ok {
+				return cq.Atom{}, fmt.Errorf("sparql: expected a term in %s(...), found %s", rel.text, p.peek())
+			}
+			terms = append(terms, t)
+			if p.accept(tokRParen) {
+				break
+			}
+			if _, err := p.expect(tokComma, "',' or ')'"); err != nil {
+				return cq.Atom{}, err
+			}
+		}
+	}
+	return cq.NewAtom(rel.text, terms...), nil
+}
+
+// ParseQuery parses a full query:
+//
+//	SELECT ?y ?z WHERE <pattern>
+//
+// or a bare pattern (then projection-free). It validates well-designedness
+// and returns the pattern tree.
+func ParseQuery(src string) (*core.PatternTree, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokEOF, "end of input"); err != nil {
+		return nil, err
+	}
+	return tree, nil
+}
+
+func (p *parser) query() (*core.PatternTree, error) {
+	var free []string
+	if p.accept(tokSelect) {
+		for p.at(tokVar) {
+			free = append(free, p.next().text)
+			p.accept(tokComma)
+		}
+		if len(free) == 0 {
+			return nil, fmt.Errorf("sparql: SELECT needs at least one ?variable")
+		}
+		if _, err := p.expect(tokWhere, "WHERE"); err != nil {
+			return nil, err
+		}
+	}
+	e, err := p.pattern()
+	if err != nil {
+		return nil, err
+	}
+	return ToWDPT(e, free)
+}
+
+// ParseUnionQuery parses a union of queries separated by UNION:
+//
+//	SELECT ?x WHERE <pattern> UNION SELECT ?y WHERE <pattern> ...
+func ParseUnionQuery(src string) (*uwdpt.Union, error) {
+	parts := splitTopLevel(src, "UNION")
+	var trees []*core.PatternTree
+	for _, part := range parts {
+		t, err := ParseQuery(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		trees = append(trees, t)
+	}
+	return uwdpt.New(trees...)
+}
+
+// splitTopLevel splits src on the keyword outside parentheses and braces.
+func splitTopLevel(src, keyword string) []string {
+	var parts []string
+	depth := 0
+	last := 0
+	upper := strings.ToUpper(src)
+	for i := 0; i < len(src); i++ {
+		switch src[i] {
+		case '(', '{':
+			depth++
+		case ')', '}':
+			depth--
+		}
+		if depth == 0 && strings.HasPrefix(upper[i:], keyword) {
+			prev, _ := utf8.DecodeLastRuneInString(src[:i])
+			before := i == 0 || !isIdentPart(prev)
+			afterIdx := i + len(keyword)
+			next, _ := utf8.DecodeRuneInString(src[afterIdx:])
+			after := afterIdx >= len(src) || !isIdentPart(next)
+			if before && after {
+				parts = append(parts, src[last:i])
+				last = afterIdx
+				i = afterIdx - 1
+			}
+		}
+	}
+	parts = append(parts, src[last:])
+	return parts
+}
+
+// ParseWDPT parses the explicit tree format produced by Format:
+//
+//	ANS(?x, ?y)
+//	{ R(?x, ?y), S(?x)
+//	  { T(?y, ?z) }
+//	}
+func ParseWDPT(src string) (*core.PatternTree, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokAns, "ANS"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	var free []string
+	if !p.accept(tokRParen) {
+		for {
+			v, err := p.expect(tokVar, "a ?variable")
+			if err != nil {
+				return nil, err
+			}
+			free = append(free, v.text)
+			if p.accept(tokRParen) {
+				break
+			}
+			if _, err := p.expect(tokComma, "',' or ')'"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	spec, err := p.nodeSpec()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokEOF, "end of input"); err != nil {
+		return nil, err
+	}
+	return core.New(spec, free)
+}
+
+func (p *parser) nodeSpec() (core.NodeSpec, error) {
+	if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+		return core.NodeSpec{}, err
+	}
+	var spec core.NodeSpec
+	for {
+		switch p.peek().kind {
+		case tokRBrace:
+			p.next()
+			return spec, nil
+		case tokLBrace:
+			child, err := p.nodeSpec()
+			if err != nil {
+				return core.NodeSpec{}, err
+			}
+			spec.Children = append(spec.Children, child)
+		case tokIdent:
+			a, err := p.atom()
+			if err != nil {
+				return core.NodeSpec{}, err
+			}
+			spec.Atoms = append(spec.Atoms, a)
+			p.accept(tokComma)
+		default:
+			return core.NodeSpec{}, fmt.Errorf("sparql: expected an atom, '{' or '}', found %s", p.peek())
+		}
+	}
+}
+
+// ParseDatabase parses a line-oriented database file: one ground atom per
+// statement, e.g.
+//
+//	recorded_by(Our_love, Caribou).
+//	rating("Swim", "2")
+//
+// The trailing dot is optional; '#' starts a comment.
+func ParseDatabase(src string) (*db.Database, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	d := db.New()
+	for !p.at(tokEOF) {
+		rel, err := p.expect(tokIdent, "a relation name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		var vals []string
+		for {
+			switch p.peek().kind {
+			case tokIdent, tokString:
+				vals = append(vals, p.next().text)
+			case tokVar:
+				return nil, fmt.Errorf("sparql: database atoms must be ground, found ?%s", p.peek().text)
+			default:
+				return nil, fmt.Errorf("sparql: expected a constant in %s(...), found %s", rel.text, p.peek())
+			}
+			if p.accept(tokRParen) {
+				break
+			}
+			if _, err := p.expect(tokComma, "',' or ')'"); err != nil {
+				return nil, err
+			}
+		}
+		p.accept(tokDot)
+		d.Insert(rel.text, vals...)
+	}
+	return d, nil
+}

@@ -1,0 +1,144 @@
+package sparql
+
+import (
+	"fmt"
+
+	"wdpt/internal/core"
+	"wdpt/internal/cq"
+	"wdpt/internal/uwdpt"
+)
+
+// ParseSPARQL parses queries in the W3C-flavored surface syntax that the
+// paper's {AND, OPT} algebra abstracts (its footnote 1 contrasts the two):
+//
+//	SELECT ?y ?z WHERE {
+//	    ?x recorded_by ?y .
+//	    ?x published "after_2010" .
+//	    OPTIONAL { ?x rating ?z }
+//	    OPTIONAL { ?y formed_in ?zp . OPTIONAL { ?zp decade ?d } }
+//	}
+//
+// Triples are subject-predicate-object terms separated by whitespace and
+// terminated by '.' (optional before '}' or OPTIONAL); OPTIONAL groups nest
+// arbitrarily. `SELECT *` (or omitting SELECT) keeps all variables. Triples
+// become atoms of the relation named by TripleRelation; predicates may be
+// variables, as usual in SPARQL. The pattern is converted through the
+// {AND, OPT} algebra, so non-well-designed queries are rejected with the
+// offending variable named.
+func ParseSPARQL(src string) (*core.PatternTree, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := p.sparqlQuery()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokEOF, "end of input"); err != nil {
+		return nil, err
+	}
+	return tree, nil
+}
+
+// ParseSPARQLUnion parses SPARQL-syntax queries separated by top-level
+// UNION keywords.
+func ParseSPARQLUnion(src string) (*uwdpt.Union, error) {
+	parts := splitTopLevel(src, "UNION")
+	var trees []*core.PatternTree
+	for _, part := range parts {
+		t, err := ParseSPARQL(part)
+		if err != nil {
+			return nil, err
+		}
+		trees = append(trees, t)
+	}
+	return uwdpt.New(trees...)
+}
+
+// TripleRelation is the relation symbol given to parsed SPARQL triples,
+// matching the triple-pattern sugar of ParsePattern.
+const TripleRelation = "triple"
+
+func (p *parser) sparqlQuery() (*core.PatternTree, error) {
+	var free []string
+	selectAll := true
+	if p.accept(tokSelect) {
+		if p.at(tokIdent) && p.peek().text == "*" {
+			p.next()
+		} else if p.at(tokVar) {
+			selectAll = false
+			for p.at(tokVar) {
+				free = append(free, p.next().text)
+				p.accept(tokComma)
+			}
+		}
+		if _, err := p.expect(tokWhere, "WHERE"); err != nil {
+			return nil, err
+		}
+	}
+	group, err := p.sparqlGroup()
+	if err != nil {
+		return nil, err
+	}
+	if selectAll {
+		return ToWDPT(group, nil)
+	}
+	return ToWDPT(group, free)
+}
+
+// sparqlGroup parses "{ triples and OPTIONAL groups }" into the algebra:
+// the mandatory triples joined by AND, each OPTIONAL attached by OPT in
+// order of appearance.
+func (p *parser) sparqlGroup() (Expr, error) {
+	if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	var mandatory Expr
+	var optionals []Expr
+	for {
+		switch {
+		case p.accept(tokRBrace):
+			if mandatory == nil {
+				return nil, fmt.Errorf("sparql: a group needs at least one mandatory triple")
+			}
+			e := mandatory
+			for _, o := range optionals {
+				e = &OptExpr{L: e, R: o}
+			}
+			return e, nil
+		case p.at(tokOpt): // the lexer classifies OPTIONAL (any case) as tokOpt
+			p.next()
+			inner, err := p.sparqlGroup()
+			if err != nil {
+				return nil, err
+			}
+			optionals = append(optionals, inner)
+		case p.at(tokEOF):
+			return nil, fmt.Errorf("sparql: unterminated group (missing '}')")
+		default:
+			triple, err := p.sparqlTriple()
+			if err != nil {
+				return nil, err
+			}
+			if mandatory == nil {
+				mandatory = triple
+			} else {
+				mandatory = &AndExpr{L: mandatory, R: triple}
+			}
+			p.accept(tokDot)
+		}
+	}
+}
+
+// sparqlTriple parses three whitespace-separated terms.
+func (p *parser) sparqlTriple() (Expr, error) {
+	terms := make([]cq.Term, 3)
+	for i := 0; i < 3; i++ {
+		t, ok := p.tryTerm()
+		if !ok {
+			return nil, fmt.Errorf("sparql: expected a triple term, found %s", p.peek())
+		}
+		terms[i] = t
+	}
+	return &AtomExpr{Atom: cq.NewAtom(TripleRelation, terms...)}, nil
+}

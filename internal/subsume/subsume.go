@@ -1,0 +1,180 @@
+// Package subsume implements the static-analysis problems of Section 4 of
+// Barceló & Pichler (PODS 2015): subsumption p1 ⊑ p2, subsumption-
+// equivalence ≡s, and equivalence under the maximal-mappings semantics ≡max
+// (equal to ≡s by Proposition 5).
+//
+// The decision procedure follows the small-model property underlying the
+// Π₂ᴾ upper bound: p1 ⊑ p2 can be refuted iff it can be refuted on a
+// database that is a homomorphic image of the frozen canonical database of
+// some rooted subtree of p1 — i.e. a quotient of its variables, with blocks
+// optionally collapsed onto the constants mentioned by either tree. For each
+// such candidate database D and answer h ∈ p1(D), the check "some answer of
+// p2 over D subsumes h" is exactly PARTIAL-EVAL(p2, D, h), which is where
+// the asymmetry of Theorem 11 comes from: when p2 is globally tractable the
+// inner check runs in polynomial time and overall membership drops from
+// Π₂ᴾ to coNP.
+package subsume
+
+import (
+	"fmt"
+
+	"wdpt/internal/core"
+	"wdpt/internal/cq"
+	"wdpt/internal/cqeval"
+	"wdpt/internal/db"
+)
+
+// Options configures the subsumption test.
+type Options struct {
+	// Engine used for the inner PARTIAL-EVAL checks; defaults to
+	// cqeval.Auto(), which is the tractable path when the right-hand tree
+	// is globally tractable (Theorem 11).
+	Engine cqeval.Engine
+	// InnerEnumerate switches the inner check to full enumeration of
+	// p2(D) — the ablation baseline corresponding to the generic Π₂ᴾ
+	// procedure.
+	InnerEnumerate bool
+}
+
+func (o Options) engine() cqeval.Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	return cqeval.Auto()
+}
+
+// Subsumes decides p1 ⊑ p2: over every database, every answer of p1 is
+// subsumed by an answer of p2. The test is exact; its running time is
+// exponential in the size of p1 (the problem is Π₂ᴾ-complete, Section 4).
+func Subsumes(p1, p2 *core.PatternTree, opts Options) bool {
+	_, _, ok := findCounterexample(p1, p2, opts)
+	return !ok
+}
+
+// CounterExample searches for a witness against p1 ⊑ p2: a database D and
+// an answer h ∈ p1(D) not subsumed by any answer of p2 over D. ok=false
+// means p1 ⊑ p2 holds.
+func CounterExample(p1, p2 *core.PatternTree, opts Options) (*db.Database, cq.Mapping, bool) {
+	return findCounterexample(p1, p2, opts)
+}
+
+func findCounterexample(p1, p2 *core.PatternTree, opts Options) (*db.Database, cq.Mapping, bool) {
+	eng := opts.engine()
+	consts := collectConstants(p1, p2)
+	var witnessD *db.Database
+	var witnessH cq.Mapping
+	found := false
+	p1.EnumerateSubtrees(func(s core.Subtree) bool {
+		atoms := p1.SubtreeAtoms(s)
+		QuotientDatabases(atoms, consts, func(d *db.Database) bool {
+			for _, h := range p1.Evaluate(d) {
+				subsumed := false
+				if opts.InnerEnumerate {
+					for _, g := range p2.Evaluate(d) {
+						if h.SubsumedBy(g) {
+							subsumed = true
+							break
+						}
+					}
+				} else {
+					subsumed = p2.PartialEval(d, h, eng)
+				}
+				if !subsumed {
+					witnessD, witnessH, found = d, h, true
+					return false
+				}
+			}
+			return true
+		})
+		return !found
+	})
+	return witnessD, witnessH, found
+}
+
+// Equivalent decides subsumption-equivalence p1 ≡s p2 (both directions).
+func Equivalent(p1, p2 *core.PatternTree, opts Options) bool {
+	return Subsumes(p1, p2, opts) && Subsumes(p2, p1, opts)
+}
+
+// MaxEquivalent decides p1 ≡max p2: p1_m(D) = p2_m(D) over every database.
+// By Proposition 5 this coincides with subsumption-equivalence, which is how
+// it is decided here; tests cross-validate the proposition semantically.
+func MaxEquivalent(p1, p2 *core.PatternTree, opts Options) bool {
+	return Equivalent(p1, p2, opts)
+}
+
+// collectConstants gathers the constants mentioned by both trees.
+func collectConstants(trees ...*core.PatternTree) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, p := range trees {
+		for _, a := range p.AllAtoms() {
+			for _, t := range a.Args {
+				if !t.IsVar() && !seen[t.Value()] {
+					seen[t.Value()] = true
+					out = append(out, t.Value())
+				}
+			}
+		}
+	}
+	return out
+}
+
+// QuotientDatabases enumerates the homomorphic images of the frozen atoms:
+// for every partition of the variables and every assignment of blocks to
+// fresh constants or to constants from consts, the ground image database is
+// passed to visit. visit returning false stops the enumeration. This is the
+// small-model space on which subsumption of (unions of) WDPTs can be
+// refuted.
+func QuotientDatabases(atoms []cq.Atom, consts []string, visit func(*db.Database) bool) {
+	vars := cq.AtomsVars(atoms)
+	assign := make(cq.Mapping, len(vars))
+	// reps tracks current block representatives among variables.
+	var reps []string
+	stopped := false
+	var rec func(i int)
+	rec = func(i int) {
+		if stopped {
+			return
+		}
+		if i == len(vars) {
+			d := db.New()
+			for _, a := range atoms {
+				ground := assign.ApplyAtom(a)
+				vals := make([]string, len(ground.Args))
+				for j, t := range ground.Args {
+					vals[j] = t.Value()
+				}
+				d.Insert(a.Rel, vals...)
+			}
+			if !visit(d) {
+				stopped = true
+			}
+			return
+		}
+		v := vars[i]
+		// Join an existing variable block.
+		for _, r := range reps {
+			assign[v] = assign[r]
+			rec(i + 1)
+			if stopped {
+				return
+			}
+		}
+		// Collapse onto a known constant.
+		for _, c := range consts {
+			assign[v] = c
+			rec(i + 1)
+			if stopped {
+				return
+			}
+		}
+		// Start a fresh block with its own fresh constant.
+		assign[v] = fmt.Sprintf("•%s", v)
+		reps = append(reps, v)
+		rec(i + 1)
+		reps = reps[:len(reps)-1]
+		delete(assign, v)
+	}
+	rec(0)
+}

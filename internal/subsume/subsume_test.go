@@ -1,0 +1,305 @@
+package subsume
+
+import (
+	"testing"
+
+	"wdpt/internal/core"
+	"wdpt/internal/cq"
+	"wdpt/internal/gen"
+)
+
+func TestSubsumptionReflexive(t *testing.T) {
+	trees := []*core.PatternTree{
+		gen.MusicWDPT("x", "y", "z", "zp"),
+		gen.PathWDPT(2),
+		gen.StarWDPT(2),
+	}
+	for i, p := range trees {
+		if !Subsumes(p, p, Options{}) {
+			t.Fatalf("tree %d: p ⊑ p must hold", i)
+		}
+	}
+}
+
+func TestSubsumptionMusicPruned(t *testing.T) {
+	full := gen.MusicWDPT("x", "y", "z", "zp")
+	rootOnly := core.MustNew(core.NodeSpec{
+		Atoms: []cq.Atom{
+			cq.NewAtom("recorded_by", cq.V("x"), cq.V("y")),
+			cq.NewAtom("published", cq.V("x"), cq.C("after_2010")),
+		},
+	}, []string{"x", "y"})
+	if !Subsumes(rootOnly, full, Options{}) {
+		t.Fatal("root-only tree should be subsumed by the full tree")
+	}
+	if Subsumes(full, rootOnly, Options{}) {
+		t.Fatal("full tree answers bind z and cannot be subsumed by root-only")
+	}
+	if Equivalent(full, rootOnly, Options{}) {
+		t.Fatal("not subsumption-equivalent")
+	}
+}
+
+func TestCounterExampleWitness(t *testing.T) {
+	full := gen.MusicWDPT("x", "y", "z", "zp")
+	rootOnly := core.MustNew(core.NodeSpec{
+		Atoms: []cq.Atom{
+			cq.NewAtom("recorded_by", cq.V("x"), cq.V("y")),
+			cq.NewAtom("published", cq.V("x"), cq.C("after_2010")),
+		},
+	}, []string{"x", "y"})
+	d, h, found := CounterExample(full, rootOnly, Options{})
+	if !found {
+		t.Fatal("expected a counterexample")
+	}
+	// Verify the witness: h ∈ full(D), and no answer of rootOnly subsumes h.
+	inP1 := false
+	for _, a := range full.Evaluate(d) {
+		if a.Equal(h) {
+			inP1 = true
+		}
+	}
+	if !inP1 {
+		t.Fatalf("witness mapping %v is not an answer of p1 over\n%s", h, d)
+	}
+	for _, g := range rootOnly.Evaluate(d) {
+		if h.SubsumedBy(g) {
+			t.Fatalf("witness %v is subsumed by %v — not a counterexample", h, g)
+		}
+	}
+}
+
+// TestSubsumptionMatchesCQContainment: for single-node WDPTs (CQs),
+// subsumption coincides with CQ containment because all answers are total
+// on the free variables.
+func TestSubsumptionMatchesCQContainment(t *testing.T) {
+	cases := []struct{ q1, q2 *cq.CQ }{
+		{
+			cq.MustNew([]string{"x"}, []cq.Atom{cq.NewAtom("E", cq.V("x"), cq.V("y")), cq.NewAtom("E", cq.V("y"), cq.V("z"))}),
+			cq.MustNew([]string{"x"}, []cq.Atom{cq.NewAtom("E", cq.V("x"), cq.V("y"))}),
+		},
+		{
+			cq.MustNew([]string{"x"}, []cq.Atom{cq.NewAtom("E", cq.V("x"), cq.V("x"))}),
+			cq.MustNew([]string{"x"}, []cq.Atom{cq.NewAtom("E", cq.V("x"), cq.V("y"))}),
+		},
+		{
+			cq.MustNew([]string{"u"}, []cq.Atom{cq.NewAtom("E", cq.V("u"), cq.V("v"))}),
+			cq.MustNew([]string{"a"}, []cq.Atom{cq.NewAtom("E", cq.V("a"), cq.V("b")), cq.NewAtom("E", cq.V("b"), cq.V("c"))}),
+		},
+	}
+	for i, c := range cases {
+		// Rename free variables so positional containment matches by name.
+		want := cq.ContainedIn(c.q1, c.q2)
+		p1, p2 := core.FromCQ(c.q1), core.FromCQ(renameFreeLike(c.q2, c.q1))
+		if got := Subsumes(p1, p2, Options{}); got != want {
+			t.Fatalf("case %d: Subsumes = %v, containment = %v", i, got, want)
+		}
+	}
+}
+
+// renameFreeLike renames the free variables of q to match ref positionally
+// (subsumption compares variables by name, containment by position).
+func renameFreeLike(q, ref *cq.CQ) *cq.CQ {
+	ren := make(map[string]string)
+	for i, x := range q.Free() {
+		ren[x] = ref.Free()[i]
+	}
+	// Avoid capturing existential variables that share names with targets.
+	var atoms []cq.Atom
+	for _, a := range q.Atoms() {
+		args := make([]cq.Term, len(a.Args))
+		for j, tm := range a.Args {
+			if tm.IsVar() {
+				if to, ok := ren[tm.Value()]; ok {
+					args[j] = cq.V(to)
+					continue
+				}
+				args[j] = cq.V("e_" + tm.Value())
+				continue
+			}
+			args[j] = tm
+		}
+		atoms = append(atoms, cq.NewAtom(a.Rel, args...))
+	}
+	free := make([]string, len(q.Free()))
+	copy(free, ref.Free()[:len(q.Free())])
+	return cq.MustNew(free, atoms)
+}
+
+// TestInnerChecksAgree: the PARTIAL-EVAL inner check (Theorem 11 path) and
+// the enumeration inner check decide subsumption identically.
+func TestInnerChecksAgree(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		p1 := gen.RandomWDPT(gen.TreeParams{MaxDepth: 1, MaxChildren: 1, AtomsPerNode: 1, FreshVarsPerNode: 1}, seed)
+		p2 := gen.RandomWDPT(gen.TreeParams{MaxDepth: 1, MaxChildren: 1, AtomsPerNode: 1, FreshVarsPerNode: 1}, seed+50)
+		fast := Subsumes(p1, p2, Options{})
+		slow := Subsumes(p1, p2, Options{InnerEnumerate: true})
+		if fast != slow {
+			t.Fatalf("seed %d: inner checks disagree: fast=%v slow=%v\np1:\n%s\np2:\n%s", seed, fast, slow, p1, p2)
+		}
+	}
+}
+
+// TestSubsumptionSoundOnRandomDatabases: whenever Subsumes(p1, p2) holds,
+// every answer of p1 over random databases is subsumed by an answer of p2.
+func TestSubsumptionSoundOnRandomDatabases(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		p1 := gen.RandomWDPT(gen.TreeParams{MaxDepth: 1, MaxChildren: 1, AtomsPerNode: 1, FreshVarsPerNode: 1}, seed)
+		p2 := gen.RandomWDPT(gen.TreeParams{MaxDepth: 1, MaxChildren: 1, AtomsPerNode: 1, FreshVarsPerNode: 1}, seed+31)
+		holds := Subsumes(p1, p2, Options{})
+		for dbSeed := int64(0); dbSeed < 4; dbSeed++ {
+			d := gen.RandomDatabase(gen.DBParams{DomainSize: 3, TuplesPerRel: 6}, dbSeed)
+			a2 := p2.Evaluate(d)
+			for _, h := range p1.Evaluate(d) {
+				subsumed := false
+				for _, g := range a2 {
+					if h.SubsumedBy(g) {
+						subsumed = true
+						break
+					}
+				}
+				if holds && !subsumed {
+					t.Fatalf("seed %d: Subsumes holds but answer %v unsubsumed on db seed %d\np1:\n%s\np2:\n%s",
+						seed, h, dbSeed, p1, p2)
+				}
+			}
+		}
+	}
+}
+
+// TestProposition5: subsumption-equivalent trees have identical maximal
+// answers over random databases.
+func TestProposition5(t *testing.T) {
+	// A pair of syntactically different but subsumption-equivalent trees:
+	// the music tree and itself with children swapped.
+	p1 := gen.MusicWDPT("x", "y", "z", "zp")
+	p2 := core.MustNew(core.NodeSpec{
+		Atoms: []cq.Atom{
+			cq.NewAtom("recorded_by", cq.V("x"), cq.V("y")),
+			cq.NewAtom("published", cq.V("x"), cq.C("after_2010")),
+		},
+		Children: []core.NodeSpec{
+			{Atoms: []cq.Atom{cq.NewAtom("formed_in", cq.V("y"), cq.V("zp"))}},
+			{Atoms: []cq.Atom{cq.NewAtom("rating", cq.V("x"), cq.V("z"))}},
+		},
+	}, []string{"x", "y", "z", "zp"})
+	if !Equivalent(p1, p2, Options{}) {
+		t.Fatal("child order must not matter for subsumption-equivalence")
+	}
+	if !MaxEquivalent(p1, p2, Options{}) {
+		t.Fatal("MaxEquivalent must agree")
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		d := gen.MusicDatabaseLarge(6, 2, seed)
+		m1 := cq.NewMappingSet()
+		for _, h := range p1.EvaluateMaximal(d) {
+			m1.Add(h)
+		}
+		m2 := p2.EvaluateMaximal(d)
+		if m1.Len() != len(m2) {
+			t.Fatalf("seed %d: maximal answer counts differ: %d vs %d", seed, m1.Len(), len(m2))
+		}
+		for _, h := range m2 {
+			if !m1.Contains(h) {
+				t.Fatalf("seed %d: maximal answer %v missing from p1", seed, h)
+			}
+		}
+	}
+}
+
+// TestSubsumptionDetectsStrictlyMoreOptional: adding an optional child makes
+// the tree subsume the original but not vice versa (when the child can
+// match).
+func TestSubsumptionDetectsStrictlyMoreOptional(t *testing.T) {
+	base := core.MustNew(core.NodeSpec{
+		Atoms: []cq.Atom{cq.NewAtom("E", cq.V("x"), cq.V("y"))},
+	}, []string{"x", "y"})
+	extended := core.MustNew(core.NodeSpec{
+		Atoms: []cq.Atom{cq.NewAtom("E", cq.V("x"), cq.V("y"))},
+		Children: []core.NodeSpec{
+			{Atoms: []cq.Atom{cq.NewAtom("E", cq.V("y"), cq.V("w"))}},
+		},
+	}, []string{"x", "y", "w"})
+	if !Subsumes(base, extended, Options{}) {
+		t.Fatal("base ⊑ extended should hold")
+	}
+	if Subsumes(extended, base, Options{}) {
+		t.Fatal("extended ⋢ base: answers binding w are not subsumed")
+	}
+}
+
+// TestSubsumptionWithConstantsProperty: on random trees THAT MENTION
+// CONSTANTS, a positive subsumption answer is sound on random databases,
+// and a negative answer comes with a verifiable counterexample. This
+// exercises the block-onto-constant collapses of the small-model space.
+func TestSubsumptionWithConstantsProperty(t *testing.T) {
+	params := gen.TreeParams{MaxDepth: 1, MaxChildren: 1, AtomsPerNode: 1, FreshVarsPerNode: 1, ConstProb: 0.3}
+	for seed := int64(0); seed < 14; seed++ {
+		p1 := gen.RandomWDPT(params, seed)
+		p2 := gen.RandomWDPT(params, seed+77)
+		d, h, refuted := CounterExample(p1, p2, Options{})
+		if refuted {
+			// Verify the witness end to end.
+			found := false
+			for _, a := range p1.Evaluate(d) {
+				if a.Equal(h) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("seed %d: witness %v is not an answer of p1 over\n%s", seed, h, d)
+			}
+			for _, g := range p2.Evaluate(d) {
+				if h.SubsumedBy(g) {
+					t.Fatalf("seed %d: witness %v subsumed by %v", seed, h, g)
+				}
+			}
+			continue
+		}
+		// Positive: spot-check soundness on random databases (which also
+		// contain the constant pool used by the generator).
+		for dbSeed := int64(0); dbSeed < 3; dbSeed++ {
+			d := gen.RandomDatabase(gen.DBParams{DomainSize: 3, TuplesPerRel: 7}, dbSeed)
+			a2 := p2.Evaluate(d)
+			for _, a := range p1.Evaluate(d) {
+				ok := false
+				for _, g := range a2 {
+					if a.SubsumedBy(g) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("seed %d: Subsumes held but answer %v unsubsumed\np1:\n%s\np2:\n%s\ndb:\n%s",
+						seed, a, p1, p2, d)
+				}
+			}
+		}
+	}
+}
+
+// TestSubsumptionTransitivity: ⊑ is transitive on a chain of pruned trees.
+func TestSubsumptionTransitivity(t *testing.T) {
+	full := gen.MusicWDPT("x", "y", "z", "zp")
+	mid := core.MustNew(core.NodeSpec{
+		Atoms: []cq.Atom{
+			cq.NewAtom("recorded_by", cq.V("x"), cq.V("y")),
+			cq.NewAtom("published", cq.V("x"), cq.C("after_2010")),
+		},
+		Children: []core.NodeSpec{
+			{Atoms: []cq.Atom{cq.NewAtom("rating", cq.V("x"), cq.V("z"))}},
+		},
+	}, []string{"x", "y", "z"})
+	rootOnly := core.MustNew(core.NodeSpec{
+		Atoms: []cq.Atom{
+			cq.NewAtom("recorded_by", cq.V("x"), cq.V("y")),
+			cq.NewAtom("published", cq.V("x"), cq.C("after_2010")),
+		},
+	}, []string{"x", "y"})
+	if !Subsumes(rootOnly, mid, Options{}) || !Subsumes(mid, full, Options{}) {
+		t.Fatal("chain links should hold")
+	}
+	if !Subsumes(rootOnly, full, Options{}) {
+		t.Fatal("transitivity violated")
+	}
+}

@@ -1,0 +1,56 @@
+package uwdpt
+
+import (
+	"wdpt/internal/core"
+	"wdpt/internal/cq"
+	"wdpt/internal/cqeval"
+	"wdpt/internal/db"
+)
+
+// OptimizedUnion is the fixed-parameter-tractable union evaluator of
+// Corollary 3: the M(UWB(k)) membership test of Theorem 17 runs once at
+// construction; when the union is subsumption-equivalent to a union of
+// tractable CQs, all subsequent ⋃-PARTIAL-EVAL and ⋃-MAX-EVAL queries run
+// against that union of single-node trees in polynomial time.
+type OptimizedUnion struct {
+	original *Union
+	witness  *Union // union of tractable single-node trees, or nil
+}
+
+// OptimizeUnion prepares the FPT evaluator. maxCQs caps the φ_cq
+// enumeration (0 = no cap); when the cap is hit the membership answer may
+// be incomplete and the evaluator falls back to the original union.
+func OptimizeUnion(u *Union, c cq.Class, maxCQs int) *OptimizedUnion {
+	o := &OptimizedUnion{original: u}
+	witnesses, member, exact := MemberUWB(u, c, maxCQs)
+	if member && exact {
+		o.witness = AsUnionOfWDPTs(witnesses)
+	}
+	return o
+}
+
+// Tractable reports whether a tractable witness union is available.
+func (o *OptimizedUnion) Tractable() bool { return o.witness != nil }
+
+// Witness returns the equivalent union of tractable CQs, or nil.
+func (o *OptimizedUnion) Witness() *Union { return o.witness }
+
+// PartialEval answers ⋃-PARTIAL-EVAL for the original union.
+func (o *OptimizedUnion) PartialEval(d *db.Database, h cq.Mapping, eng cqeval.Engine) bool {
+	if o.witness != nil {
+		return o.witness.PartialEval(d, h, eng)
+	}
+	return o.original.PartialEval(d, h, eng)
+}
+
+// MaxEval answers ⋃-MAX-EVAL for the original union.
+func (o *OptimizedUnion) MaxEval(d *db.Database, h cq.Mapping, eng cqeval.Engine) bool {
+	if o.witness != nil {
+		return o.witness.MaxEval(d, h, eng)
+	}
+	return o.original.MaxEval(d, h, eng)
+}
+
+// Originals returns the trees of the original union; exposed so callers can
+// fall back to exact evaluation when needed.
+func (o *OptimizedUnion) Originals() []*core.PatternTree { return o.original.Trees() }

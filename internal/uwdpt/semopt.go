@@ -1,0 +1,135 @@
+package uwdpt
+
+import (
+	"fmt"
+
+	"wdpt/internal/core"
+	"wdpt/internal/cq"
+)
+
+// Semantic optimization and approximation of UWDPTs (Section 6). The key
+// tool is Proposition 9: φ is subsumption-equivalent to its CQ translation
+// φ_cq, so membership in M(UWB(k)) and UWB(k)-approximation reduce to the
+// corresponding — much easier — problems on unions of CQs.
+
+// UCQSubsumes decides φ_cq ⊑ φ'_cq for unions of CQs under the mapping
+// (name-based) semantics: every answer of a CQ on the left is subsumed by
+// an answer of some CQ on the right. For CQs the canonical database
+// suffices: q ⊑ q' iff free(q) ⊆ free(q') and there is a homomorphism from
+// q' to q fixing the free variables of q.
+func UCQSubsumes(left, right []*cq.CQ) bool {
+	for _, q := range left {
+		if !ucqMemberSubsumed(q, right) {
+			return false
+		}
+	}
+	return true
+}
+
+func ucqMemberSubsumed(q *cq.CQ, right []*cq.CQ) bool {
+	for _, qp := range right {
+		if cqSubsumed(q, qp) {
+			return true
+		}
+	}
+	return false
+}
+
+// cqSubsumed reports q ⊑ q' in the name-based subsumption order.
+func cqSubsumed(q, qp *cq.CQ) bool {
+	freeP := make(map[string]bool, len(qp.Free()))
+	for _, x := range qp.Free() {
+		freeP[x] = true
+	}
+	req := make(map[string]string, len(q.Free()))
+	for _, x := range q.Free() {
+		if !freeP[x] {
+			return false // free(q) ⊄ free(q')
+		}
+		req[x] = x
+	}
+	return cq.HomToAtoms(qp.Atoms(), q.Atoms(), req)
+}
+
+// UCQEquivalent decides subsumption-equivalence of unions of CQs.
+func UCQEquivalent(left, right []*cq.CQ) bool {
+	return UCQSubsumes(left, right) && UCQSubsumes(right, left)
+}
+
+// UCQReduce computes φ_cq^r (proof of Theorem 17): it removes every CQ that
+// is subsumed by another CQ of the union, keeping one representative per
+// equivalence class.
+func UCQReduce(qs []*cq.CQ) []*cq.CQ {
+	var out []*cq.CQ
+	for i, q := range qs {
+		dominated := false
+		for j, qp := range qs {
+			if i == j {
+				continue
+			}
+			if cqSubsumed(q, qp) {
+				if !cqSubsumed(qp, q) || j < i {
+					dominated = true
+					break
+				}
+			}
+		}
+		if !dominated {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// MemberUWB decides membership of φ in M(UWB(k)) via Proposition 9 /
+// Theorem 17: φ ∈ M(UWB(k)) iff every CQ of the reduced translation φ_cq^r
+// is equivalent to a CQ in C(k). It returns the witnesses (the equivalent
+// tractable CQs, which as single-node WDPTs form the union φ' of
+// Theorem 17.2). maxCQs caps the subtree enumeration (0 = no cap); exact
+// reports whether the cap was NOT hit, i.e. the answer is exact.
+func MemberUWB(u *Union, c cq.Class, maxCQs int) (witnesses []*cq.CQ, member, exact bool) {
+	translation := u.CQTranslation(maxCQs)
+	exact = maxCQs == 0 || len(translation) < maxCQs
+	reduced := UCQReduce(translation)
+	for _, q := range reduced {
+		w, ok := cq.EquivalentInClass(q, c)
+		if !ok {
+			return nil, false, exact
+		}
+		witnesses = append(witnesses, w)
+	}
+	return witnesses, true, exact
+}
+
+// ApproximateUWB computes the UWB(k)-approximation of φ (Theorem 18): the
+// union of the C(k)-approximations of the CQs in φ_cq, reduced. Every
+// member of the result is a polynomial-size CQ in C(k) (a single-node WDPT
+// in WB(k)); the union is the unique UWB(k)-approximation up to ≡s.
+// φ must be constant-free (Section 6 studies approximations without
+// constants). maxCQs caps the subtree enumeration (0 = no cap).
+func ApproximateUWB(u *Union, c cq.Class, maxCQs int) ([]*cq.CQ, error) {
+	for _, p := range u.trees {
+		if p.HasConstants() {
+			return nil, fmt.Errorf("uwdpt: UWB approximations are only defined for constant-free unions")
+		}
+	}
+	if !c.SubqueryClosed() {
+		return nil, fmt.Errorf("uwdpt: class %s is not subquery-closed; use TW(k) or HW'(k)", c.Name())
+	}
+	translation := u.CQTranslation(maxCQs)
+	var members []*cq.CQ
+	for _, q := range translation {
+		members = append(members, cq.ApproximationsInClass(q, c)...)
+	}
+	return UCQReduce(members), nil
+}
+
+// AsUnionOfWDPTs converts a union of CQs into a UWDPT of single-node trees,
+// e.g. to compare a UWB(k)-approximation with the original union under ⊑.
+func AsUnionOfWDPTs(qs []*cq.CQ) *Union {
+	trees := make([]*core.PatternTree, len(qs))
+	for i, q := range qs {
+		trees[i] = core.FromCQ(q)
+	}
+	return MustNew(trees...)
+}

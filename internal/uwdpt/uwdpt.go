@@ -1,0 +1,189 @@
+// Package uwdpt implements unions of well-designed pattern trees (UWDPTs),
+// Section 6 of Barceló & Pichler (PODS 2015): union evaluation in its three
+// variants (Theorem 16), the translation φ ↦ φ_cq into unions of CQs, union
+// subsumption and subsumption-equivalence, membership in M(UWB(k)) via
+// Proposition 9 / Theorem 17, and UWB(k)-approximations via per-CQ
+// approximations (Theorem 18).
+package uwdpt
+
+import (
+	"fmt"
+
+	"wdpt/internal/core"
+	"wdpt/internal/cq"
+	"wdpt/internal/cqeval"
+	"wdpt/internal/db"
+	"wdpt/internal/subsume"
+)
+
+// Union is a union of WDPTs φ = p_1 ∪ ... ∪ p_n. Members need not share
+// free variables.
+type Union struct {
+	trees []*core.PatternTree
+}
+
+// New builds a union; at least one member is required.
+func New(trees ...*core.PatternTree) (*Union, error) {
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("uwdpt: a union needs at least one member")
+	}
+	return &Union{trees: append([]*core.PatternTree(nil), trees...)}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(trees ...*core.PatternTree) *Union {
+	u, err := New(trees...)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Trees returns the member WDPTs. Must not be modified.
+func (u *Union) Trees() []*core.PatternTree { return u.trees }
+
+// Size returns the total size of the members.
+func (u *Union) Size() int {
+	n := 0
+	for _, p := range u.trees {
+		n += p.Size()
+	}
+	return n
+}
+
+// Evaluate computes φ(D) = ⋃ p_i(D).
+func (u *Union) Evaluate(d *db.Database) []cq.Mapping {
+	set := cq.NewMappingSet()
+	for _, p := range u.trees {
+		for _, h := range p.Evaluate(d) {
+			set.Add(h)
+		}
+	}
+	return set.All()
+}
+
+// EvaluateMaximal computes φ_m(D): the ⊑-maximal members of φ(D).
+func (u *Union) EvaluateMaximal(d *db.Database) []cq.Mapping {
+	set := cq.NewMappingSet()
+	for _, h := range u.Evaluate(d) {
+		set.Add(h)
+	}
+	return set.Maximal()
+}
+
+// Eval decides ⋃-EVAL: h ∈ φ(D), i.e. h ∈ p_i(D) for some member. Each
+// member test uses the interface algorithm, so the union problem stays in
+// LOGCFL for unions of ℓ-C(k) ∩ BI(c) trees (Theorem 16.1).
+func (u *Union) Eval(d *db.Database, h cq.Mapping, eng cqeval.Engine) bool {
+	for _, p := range u.trees {
+		if p.EvalInterface(d, h, eng) {
+			return true
+		}
+	}
+	return false
+}
+
+// PartialEval decides ⋃-PARTIAL-EVAL: some answer of some member extends h
+// (Theorem 16.2).
+func (u *Union) PartialEval(d *db.Database, h cq.Mapping, eng cqeval.Engine) bool {
+	for _, p := range u.trees {
+		if p.PartialEval(d, h, eng) {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxEval decides ⋃-MAX-EVAL: h is a ⊑-maximal element of φ(D). This holds
+// iff h is a partial answer of some member and no member has an answer
+// properly extending h — in which case the witnessing member also has h as
+// an exact answer (Theorem 16.2 keeps this in LOGCFL for g-C(k) members).
+func (u *Union) MaxEval(d *db.Database, h cq.Mapping, eng cqeval.Engine) bool {
+	if !u.PartialEval(d, h, eng) {
+		return false
+	}
+	for _, p := range u.trees {
+		if p.ProperExtensionExists(d, h, eng) {
+			return false
+		}
+	}
+	return true
+}
+
+// CQTranslation computes φ_cq (Section 6): the union, over members p and
+// rooted subtrees T' of p, of the projected CQs r_T'. The number of
+// subtrees can be exponential; maxCQs caps the output (0 = no cap).
+// Duplicate CQs (same atoms and free variables) are merged.
+func (u *Union) CQTranslation(maxCQs int) []*cq.CQ {
+	var out []*cq.CQ
+	seen := make(map[string]bool)
+	for _, p := range u.trees {
+		p.EnumerateSubtrees(func(s core.Subtree) bool {
+			q := p.SubtreeProjectedCQ(s)
+			key := q.String()
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, q)
+			}
+			return maxCQs == 0 || len(out) < maxCQs
+		})
+		if maxCQs != 0 && len(out) >= maxCQs {
+			break
+		}
+	}
+	return out
+}
+
+// Subsumes decides φ ⊑ φ': over every database, every answer of φ is
+// subsumed by an answer of φ'. The small-model space is the same as for
+// single trees, applied to each member of the left-hand union.
+func Subsumes(u1, u2 *Union, opts subsume.Options) bool {
+	consts := unionConstants(u1, u2)
+	eng := opts.Engine
+	if eng == nil {
+		eng = cqeval.Auto()
+	}
+	holds := true
+	for _, p := range u1.trees {
+		p.EnumerateSubtrees(func(s core.Subtree) bool {
+			atoms := p.SubtreeAtoms(s)
+			subsume.QuotientDatabases(atoms, consts, func(d *db.Database) bool {
+				for _, h := range u1.Evaluate(d) {
+					if !u2.PartialEval(d, h, eng) {
+						holds = false
+						return false
+					}
+				}
+				return true
+			})
+			return holds
+		})
+		if !holds {
+			break
+		}
+	}
+	return holds
+}
+
+// Equivalent decides subsumption-equivalence of unions.
+func Equivalent(u1, u2 *Union, opts subsume.Options) bool {
+	return Subsumes(u1, u2, opts) && Subsumes(u2, u1, opts)
+}
+
+func unionConstants(us ...*Union) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, u := range us {
+		for _, p := range u.trees {
+			for _, a := range p.AllAtoms() {
+				for _, t := range a.Args {
+					if !t.IsVar() && !seen[t.Value()] {
+						seen[t.Value()] = true
+						out = append(out, t.Value())
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,327 @@
+package uwdpt
+
+import (
+	"testing"
+
+	"wdpt/internal/core"
+	"wdpt/internal/cq"
+	"wdpt/internal/cqeval"
+	"wdpt/internal/gen"
+	"wdpt/internal/subsume"
+)
+
+func edgeTree(freeY bool) *core.PatternTree {
+	free := []string{"x"}
+	if freeY {
+		free = append(free, "y")
+	}
+	return core.MustNew(core.NodeSpec{
+		Atoms: []cq.Atom{cq.NewAtom("E", cq.V("x"), cq.V("y"))},
+	}, free)
+}
+
+func TestUnionBasics(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Fatal("empty union accepted")
+	}
+	u := MustNew(gen.PathWDPT(2), gen.StarWDPT(2))
+	if len(u.Trees()) != 2 || u.Size() <= 0 {
+		t.Fatal("union shape wrong")
+	}
+}
+
+func TestUnionEvaluation(t *testing.T) {
+	// Union of a music tree and an edge tree over disjoint vocabularies.
+	u := MustNew(gen.MusicWDPT("x", "y"), core.MustNew(core.NodeSpec{
+		Atoms: []cq.Atom{cq.NewAtom("likes", cq.V("a"), cq.V("b"))},
+	}, []string{"a", "b"}))
+	d := gen.MusicDatabase()
+	d.Insert("likes", "alice", "caribou")
+	answers := u.Evaluate(d)
+	// Music part: (Our_love, Caribou), (Swim, Caribou); likes part: 1.
+	if len(answers) != 3 {
+		t.Fatalf("union answers = %v, want 3", answers)
+	}
+	eng := cqeval.Auto()
+	if !u.Eval(d, cq.Mapping{"a": "alice", "b": "caribou"}, eng) {
+		t.Fatal("likes answer missing")
+	}
+	if !u.Eval(d, cq.Mapping{"x": "Swim", "y": "Caribou"}, eng) {
+		t.Fatal("music answer missing")
+	}
+	if u.Eval(d, cq.Mapping{"x": "alice"}, eng) {
+		t.Fatal("bogus answer accepted")
+	}
+	if !u.PartialEval(d, cq.Mapping{"y": "Caribou"}, eng) {
+		t.Fatal("partial answer missing")
+	}
+}
+
+func TestUnionMaxEval(t *testing.T) {
+	// Two trees over the same vocabulary: p1 returns x; p2 returns x and
+	// optionally y. Maximal answers bind both when possible.
+	p1 := core.MustNew(core.NodeSpec{
+		Atoms: []cq.Atom{cq.NewAtom("E", cq.V("x"), cq.V("w"))},
+	}, []string{"x"})
+	p2 := core.MustNew(core.NodeSpec{
+		Atoms: []cq.Atom{cq.NewAtom("E", cq.V("x"), cq.V("y"))},
+	}, []string{"x", "y"})
+	u := MustNew(p1, p2)
+	d := gen.ChainDatabase(2) // E(0,1), E(1,2)
+	eng := cqeval.Auto()
+	// {x:0} ∈ φ(D) via p1 but is properly extended by {x:0, y:1} from p2.
+	if u.MaxEval(d, cq.Mapping{"x": "0"}, eng) {
+		t.Fatal("{x:0} is not maximal in the union")
+	}
+	if !u.MaxEval(d, cq.Mapping{"x": "0", "y": "1"}, eng) {
+		t.Fatal("{x:0, y:1} should be maximal")
+	}
+	// Cross-check against enumerated maximal answers.
+	maxSet := cq.NewMappingSet()
+	for _, h := range u.EvaluateMaximal(d) {
+		maxSet.Add(h)
+	}
+	for _, h := range u.Evaluate(d) {
+		if got := u.MaxEval(d, h, eng); got != maxSet.Contains(h) {
+			t.Fatalf("MaxEval(%v) = %v disagrees with enumeration", h, got)
+		}
+	}
+}
+
+func TestCQTranslation(t *testing.T) {
+	p := gen.MusicWDPT("x", "y", "z", "zp")
+	u := MustNew(p)
+	qs := u.CQTranslation(0)
+	// 4 subtrees, pairwise distinct CQs (Example 8 shape).
+	if len(qs) != 4 {
+		t.Fatalf("translation = %d CQs, want 4", len(qs))
+	}
+	// The cap is honored.
+	if got := len(u.CQTranslation(2)); got != 2 {
+		t.Fatalf("capped translation = %d, want 2", got)
+	}
+}
+
+// TestProposition9Equivalence: φ ≡s φ_cq (the translation is subsumption-
+// equivalent to the union), checked with the exact union subsumption test.
+func TestProposition9Equivalence(t *testing.T) {
+	p := core.MustNew(core.NodeSpec{
+		Atoms: []cq.Atom{cq.NewAtom("E", cq.V("x"), cq.V("y"))},
+		Children: []core.NodeSpec{
+			{Atoms: []cq.Atom{cq.NewAtom("E", cq.V("y"), cq.V("z"))}},
+		},
+	}, []string{"x", "z"})
+	u := MustNew(p)
+	trans := AsUnionOfWDPTs(u.CQTranslation(0))
+	if !Equivalent(u, trans, subsume.Options{}) {
+		t.Fatal("φ and φ_cq must be subsumption-equivalent")
+	}
+}
+
+func TestUCQSubsumes(t *testing.T) {
+	qEdge := cq.MustNew([]string{"x"}, []cq.Atom{cq.NewAtom("E", cq.V("x"), cq.V("y"))})
+	qPath := cq.MustNew([]string{"x"}, []cq.Atom{
+		cq.NewAtom("E", cq.V("x"), cq.V("y")), cq.NewAtom("E", cq.V("y"), cq.V("z")),
+	})
+	qBoth := cq.MustNew([]string{"x", "y"}, []cq.Atom{cq.NewAtom("E", cq.V("x"), cq.V("y"))})
+	if !UCQSubsumes([]*cq.CQ{qPath}, []*cq.CQ{qEdge}) {
+		t.Fatal("path ⊑ edge (same free var)")
+	}
+	if UCQSubsumes([]*cq.CQ{qEdge}, []*cq.CQ{qPath}) {
+		t.Fatal("edge ⋢ path")
+	}
+	if !UCQSubsumes([]*cq.CQ{qEdge}, []*cq.CQ{qBoth}) {
+		t.Fatal("edge ⊑ both: free(x) ⊆ free(x,y) with identity hom")
+	}
+	if UCQSubsumes([]*cq.CQ{qBoth}, []*cq.CQ{qEdge}) {
+		t.Fatal("both ⋢ edge: y would be dropped")
+	}
+}
+
+func TestUCQReduce(t *testing.T) {
+	qEdge := cq.MustNew([]string{"x"}, []cq.Atom{cq.NewAtom("E", cq.V("x"), cq.V("y"))})
+	qPath := cq.MustNew([]string{"x"}, []cq.Atom{
+		cq.NewAtom("E", cq.V("x"), cq.V("y")), cq.NewAtom("E", cq.V("y"), cq.V("z")),
+	})
+	reduced := UCQReduce([]*cq.CQ{qPath, qEdge})
+	if len(reduced) != 1 || reduced[0] != qEdge {
+		t.Fatalf("reduce = %v, want just the edge query", reduced)
+	}
+	// Equivalent duplicates collapse to one representative.
+	qEdge2 := cq.MustNew([]string{"x"}, []cq.Atom{cq.NewAtom("E", cq.V("x"), cq.V("w"))})
+	reduced = UCQReduce([]*cq.CQ{qEdge, qEdge2})
+	if len(reduced) != 1 {
+		t.Fatalf("equivalent CQs should collapse, got %v", reduced)
+	}
+}
+
+func TestMemberUWB(t *testing.T) {
+	// A path-shaped tree: all subtree CQs are TW(1) — member.
+	u := MustNew(gen.PathWDPT(3, "y0", "y3"))
+	ws, member, exact := MemberUWB(u, cq.TW(1), 0)
+	if !member || !exact || len(ws) == 0 {
+		t.Fatalf("path union should be in M(UWB(1)): member=%v exact=%v", member, exact)
+	}
+	// Triangle root: not a member for TW(1).
+	tri := core.MustNew(core.NodeSpec{Atoms: []cq.Atom{
+		cq.NewAtom("E", cq.V("a"), cq.V("b")),
+		cq.NewAtom("E", cq.V("b"), cq.V("c")),
+		cq.NewAtom("E", cq.V("c"), cq.V("a")),
+		cq.NewAtom("V", cq.V("x")),
+	}}, []string{"x"})
+	if _, member, _ := MemberUWB(MustNew(tri), cq.TW(1), 0); member {
+		t.Fatal("triangle union must not be in M(UWB(1))")
+	}
+	if _, member, _ := MemberUWB(MustNew(tri), cq.TW(2), 0); !member {
+		t.Fatal("triangle union is in M(UWB(2))")
+	}
+	// A foldable (symmetric 4-cycle) member is semantically in M(UWB(1)).
+	sym := core.MustNew(core.NodeSpec{Atoms: []cq.Atom{
+		cq.NewAtom("E", cq.V("a"), cq.V("b")), cq.NewAtom("E", cq.V("b"), cq.V("a")),
+		cq.NewAtom("E", cq.V("b"), cq.V("c")), cq.NewAtom("E", cq.V("c"), cq.V("b")),
+		cq.NewAtom("E", cq.V("c"), cq.V("d")), cq.NewAtom("E", cq.V("d"), cq.V("c")),
+		cq.NewAtom("E", cq.V("d"), cq.V("a")), cq.NewAtom("E", cq.V("a"), cq.V("d")),
+		cq.NewAtom("V", cq.V("x")),
+	}}, []string{"x"})
+	if _, member, _ := MemberUWB(MustNew(sym), cq.TW(1), 0); !member {
+		t.Fatal("symmetric 4-cycle union should be in M(UWB(1)) via its core")
+	}
+}
+
+func TestApproximateUWB(t *testing.T) {
+	tri := core.MustNew(core.NodeSpec{Atoms: []cq.Atom{
+		cq.NewAtom("E", cq.V("a"), cq.V("b")),
+		cq.NewAtom("E", cq.V("b"), cq.V("c")),
+		cq.NewAtom("E", cq.V("c"), cq.V("a")),
+		cq.NewAtom("V", cq.V("x")),
+	}}, []string{"x"})
+	u := MustNew(tri)
+	approx, err := ApproximateUWB(u, cq.TW(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(approx) == 0 {
+		t.Fatal("no approximation members")
+	}
+	// The approximation must be subsumed by φ and consist of TW(1) CQs.
+	if !Subsumes(AsUnionOfWDPTs(approx), u, subsume.Options{}) {
+		t.Fatal("UWB approximation must be subsumed by the union")
+	}
+	for _, q := range approx {
+		if !cq.TW(1).Contains(q) {
+			t.Fatalf("approximation member %v not in TW(1)", q)
+		}
+	}
+	// Constants are rejected.
+	if _, err := ApproximateUWB(MustNew(gen.MusicWDPT("x", "y")), cq.TW(1), 0); err == nil {
+		t.Fatal("constants must be rejected")
+	}
+	// Non-subquery-closed classes are rejected.
+	if _, err := ApproximateUWB(u, cq.HW(1), 0); err == nil {
+		t.Fatal("HW(k) must be rejected")
+	}
+}
+
+// TestUnionSubsumptionVsMembers: φ1 ⊑ φ1 ∪ φ2, and a union subsumes each
+// member.
+func TestUnionSubsumptionVsMembers(t *testing.T) {
+	p1 := edgeTree(false)
+	p2 := gen.PathWDPT(2)
+	u1 := MustNew(p1)
+	u12 := MustNew(p1, p2)
+	if !Subsumes(u1, u12, subsume.Options{}) {
+		t.Fatal("member should be subsumed by union")
+	}
+	if !Subsumes(u12, u12, subsume.Options{}) {
+		t.Fatal("union subsumes itself")
+	}
+}
+
+func TestTheorem16AgreementProperty(t *testing.T) {
+	// Union evaluation problems agree with definitional evaluation on
+	// random instances.
+	eng := cqeval.Auto()
+	for seed := int64(0); seed < 10; seed++ {
+		u := MustNew(
+			gen.RandomWDPT(gen.TreeParams{MaxDepth: 1, MaxChildren: 2}, seed),
+			gen.RandomWDPT(gen.TreeParams{MaxDepth: 2, MaxChildren: 1}, seed+100),
+		)
+		d := gen.RandomDatabase(gen.DBParams{DomainSize: 3, TuplesPerRel: 6}, seed+7)
+		answers := u.Evaluate(d)
+		maxSet := cq.NewMappingSet()
+		for _, h := range u.EvaluateMaximal(d) {
+			maxSet.Add(h)
+		}
+		for _, h := range answers {
+			if !u.Eval(d, h, eng) {
+				t.Fatalf("seed %d: enumerated answer %v rejected by Eval", seed, h)
+			}
+			if !u.PartialEval(d, h, eng) {
+				t.Fatalf("seed %d: enumerated answer %v rejected by PartialEval", seed, h)
+			}
+			if got := u.MaxEval(d, h, eng); got != maxSet.Contains(h) {
+				t.Fatalf("seed %d: MaxEval(%v) = %v disagrees", seed, h, got)
+			}
+		}
+	}
+}
+
+func TestOptimizeUnionCorollary3(t *testing.T) {
+	// A union containing a foldable member: the optimizer finds a witness
+	// union of tractable CQs and answers identically.
+	sym := core.MustNew(core.NodeSpec{Atoms: []cq.Atom{
+		cq.NewAtom("E", cq.V("a"), cq.V("b")), cq.NewAtom("E", cq.V("b"), cq.V("a")),
+		cq.NewAtom("E", cq.V("b"), cq.V("c")), cq.NewAtom("E", cq.V("c"), cq.V("b")),
+		cq.NewAtom("E", cq.V("c"), cq.V("d")), cq.NewAtom("E", cq.V("d"), cq.V("c")),
+		cq.NewAtom("E", cq.V("d"), cq.V("a")), cq.NewAtom("E", cq.V("a"), cq.V("d")),
+		cq.NewAtom("V", cq.V("x")),
+	}}, []string{"x"})
+	u := MustNew(sym, gen.PathWDPT(2))
+	o := OptimizeUnion(u, cq.TW(1), 0)
+	if !o.Tractable() {
+		t.Fatal("expected a tractable witness")
+	}
+	if len(o.Originals()) != 2 {
+		t.Fatal("originals lost")
+	}
+	eng := cqeval.Auto()
+	for seed := int64(0); seed < 5; seed++ {
+		d := gen.RandomDatabase(gen.DBParams{
+			DomainSize:   3,
+			TuplesPerRel: 8,
+			Rels:         []gen.RelSpec{{Name: "E", Arity: 2}, {Name: "V", Arity: 1}},
+		}, seed)
+		for _, h := range []cq.Mapping{{}, {"x": "0"}, {"x": "9"}, {"y0": "1"}} {
+			if got, want := o.PartialEval(d, h, eng), u.PartialEval(d, h, eng); got != want {
+				t.Fatalf("seed %d: PartialEval(%v) witness=%v direct=%v", seed, h, got, want)
+			}
+			if got, want := o.MaxEval(d, h, eng), u.MaxEval(d, h, eng); got != want {
+				t.Fatalf("seed %d: MaxEval(%v) witness=%v direct=%v", seed, h, got, want)
+			}
+		}
+	}
+}
+
+func TestOptimizeUnionNonMember(t *testing.T) {
+	tri := core.MustNew(core.NodeSpec{Atoms: []cq.Atom{
+		cq.NewAtom("E", cq.V("a"), cq.V("b")),
+		cq.NewAtom("E", cq.V("b"), cq.V("c")),
+		cq.NewAtom("E", cq.V("c"), cq.V("a")),
+		cq.NewAtom("V", cq.V("x")),
+	}}, []string{"x"})
+	u := MustNew(tri)
+	o := OptimizeUnion(u, cq.TW(1), 0)
+	if o.Tractable() {
+		t.Fatal("triangle union must have no TW(1) witness")
+	}
+	eng := cqeval.Auto()
+	d := gen.RandomDatabase(gen.DBParams{
+		Rels: []gen.RelSpec{{Name: "E", Arity: 2}, {Name: "V", Arity: 1}},
+	}, 1)
+	if o.PartialEval(d, cq.Mapping{}, eng) != u.PartialEval(d, cq.Mapping{}, eng) {
+		t.Fatal("fallback disagrees")
+	}
+	if o.MaxEval(d, cq.Mapping{}, eng) != u.MaxEval(d, cq.Mapping{}, eng) {
+		t.Fatal("fallback MaxEval disagrees")
+	}
+}
