@@ -13,11 +13,22 @@ import (
 	"wdpt/internal/harness"
 )
 
+// benchSizes drops the largest of the given sweep sizes in -short mode, so
+// that a -short -benchtime=1x pass (the race-detector smoke in
+// scripts/check.sh) finishes without timeouts while full runs keep the
+// paper's sweeps intact.
+func benchSizes(sizes ...int) []int {
+	if testing.Short() && len(sizes) > 1 {
+		return sizes[:len(sizes)-1]
+	}
+	return sizes
+}
+
 // BenchmarkTable1EvalBoundedInterface (E1): exact evaluation on a
 // ℓ-TW(1) ∩ BI(1) chain tree — the Theorem 6 interface algorithm against
 // the naive band enumeration, over a layered database with fan-out.
 func BenchmarkTable1EvalBoundedInterface(b *testing.B) {
-	for _, depth := range []int{2, 4, 6} {
+	for _, depth := range benchSizes(2, 4, 6) {
 		d := gen.LayeredDatabase(depth+1, 40, 4, int64(depth))
 		p := gen.PathWDPT(depth)
 		h := wdpt.Mapping{"y0": gen.LayeredFirstVertex()}
@@ -39,7 +50,7 @@ func BenchmarkTable1EvalBoundedInterface(b *testing.B) {
 // NP-hard (Proposition 3) — the 3-colorability reduction on K_n.
 func BenchmarkTable1EvalGlobalHard(b *testing.B) {
 	eng := wdpt.AutoEngine()
-	for _, n := range []int{4, 5, 6} {
+	for _, n := range benchSizes(4, 5, 6) {
 		p, d, h := gen.ThreeColorInstance(gen.CompleteGraph(n))
 		b.Run(fmt.Sprintf("K%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -53,7 +64,7 @@ func BenchmarkTable1EvalGlobalHard(b *testing.B) {
 // same instances (Theorem 8).
 func BenchmarkTable1PartialEval(b *testing.B) {
 	eng := wdpt.AutoEngine()
-	for _, n := range []int{4, 6, 8} {
+	for _, n := range benchSizes(4, 6, 8) {
 		p, d, h := gen.ThreeColorInstance(gen.CompleteGraph(n))
 		b.Run(fmt.Sprintf("K%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -66,7 +77,7 @@ func BenchmarkTable1PartialEval(b *testing.B) {
 // BenchmarkTable1MaxEval (E4): MAX-EVAL stays polynomial (Theorem 9).
 func BenchmarkTable1MaxEval(b *testing.B) {
 	eng := wdpt.AutoEngine()
-	for _, n := range []int{4, 6, 8} {
+	for _, n := range benchSizes(4, 6, 8) {
 		p, d, h := gen.ThreeColorInstance(gen.CompleteGraph(n))
 		b.Run(fmt.Sprintf("K%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -79,7 +90,7 @@ func BenchmarkTable1MaxEval(b *testing.B) {
 // BenchmarkTable1Subsumption (E5): the coNP inner check of Theorem 11
 // against the generic enumeration inner check.
 func BenchmarkTable1Subsumption(b *testing.B) {
-	for _, w := range []int{2, 3} {
+	for _, w := range benchSizes(2, 3) {
 		p := gen.StarWDPT(w)
 		b.Run(fmt.Sprintf("partialeval-inner/width=%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -96,7 +107,7 @@ func BenchmarkTable1Subsumption(b *testing.B) {
 
 // BenchmarkTable2Membership (E6): M(WB(1)) membership on symmetric cycles.
 func BenchmarkTable2Membership(b *testing.B) {
-	for _, m := range []int{3, 4} {
+	for _, m := range benchSizes(3, 4) {
 		p := gen.SymmetricCycleTree(m)
 		b.Run(fmt.Sprintf("C%d", m), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -108,7 +119,7 @@ func BenchmarkTable2Membership(b *testing.B) {
 
 // BenchmarkTable2Approximation (E7): WB(1)-approximation construction.
 func BenchmarkTable2Approximation(b *testing.B) {
-	for _, l := range []int{0, 1} {
+	for _, l := range benchSizes(0, 1) {
 		p := gen.TriangleWithPath(l)
 		b.Run(fmt.Sprintf("pathlen=%d", l), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -124,7 +135,7 @@ func BenchmarkTable2Approximation(b *testing.B) {
 // checking class membership; the measured artifact is the 2^n size ratio,
 // reported as custom metrics.
 func BenchmarkFigure2Blowup(b *testing.B) {
-	for _, n := range []int{4, 8} {
+	for _, n := range benchSizes(4, 8) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			var ratio float64
 			for i := 0; i < b.N; i++ {
@@ -174,7 +185,11 @@ func BenchmarkApproximationPayoff(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	d := gen.LayeredDatabase(4, 300, 10, 1)
+	perLayer := 300
+	if testing.Short() {
+		perLayer = 60
+	}
+	d := gen.LayeredDatabase(4, perLayer, 10, 1)
 	b.Run("direct", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			p.Evaluate(d)
@@ -193,7 +208,7 @@ func BenchmarkUnionEval(b *testing.B) {
 	d := gen.LayeredDatabase(5, 40, 4, 3)
 	h := wdpt.Mapping{"y0": gen.LayeredFirstVertex()}
 	eng := wdpt.AutoEngine()
-	for _, m := range []int{1, 4, 8} {
+	for _, m := range benchSizes(1, 4, 8) {
 		trees := make([]*wdpt.PatternTree, m)
 		for i := range trees {
 			trees[i] = gen.PathWDPT(i + 1)
@@ -262,9 +277,13 @@ func BenchmarkFPTEvaluation(b *testing.B) {
 	if !opt.Tractable() {
 		b.Fatal("expected a tractable witness")
 	}
+	tuples := 400
+	if testing.Short() {
+		tuples = 120
+	}
 	d := gen.RandomDatabase(gen.DBParams{
 		DomainSize:   60,
-		TuplesPerRel: 400,
+		TuplesPerRel: tuples,
 		Rels:         []gen.RelSpec{{Name: "E", Arity: 2}, {Name: "V", Arity: 1}},
 	}, 1)
 	eng := wdpt.AutoEngine()

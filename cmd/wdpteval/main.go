@@ -74,13 +74,13 @@ func evalMain(out io.Writer, query, queryFile, dbFile, mode, mapping, engineName
 	}
 	switch mode {
 	case "enumerate":
-		answers := p.EvaluateWith(d, eng)
+		answers := wdpt.SortSolutions(p.EvaluateWith(d, eng))
 		fmt.Fprintf(out, "p(D): %d answer(s)\n", len(answers))
 		for _, h := range answers {
 			fmt.Fprintln(out, "  "+h.String())
 		}
 	case "maximal":
-		answers := p.EvaluateMaximal(d)
+		answers := wdpt.SortSolutions(p.EvaluateMaximal(d))
 		fmt.Fprintf(out, "p_m(D): %d answer(s)\n", len(answers))
 		for _, h := range answers {
 			fmt.Fprintln(out, "  "+h.String())

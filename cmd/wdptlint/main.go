@@ -1,0 +1,139 @@
+// Command wdptlint is the project-specific static-analysis gate. It enforces
+// the determinism and hygiene rules that back the reproduction's claims (see
+// docs/STATIC_ANALYSIS.md for rationale):
+//
+//	R1  map-order determinism: a range over a map must not feed ordered
+//	    output (slice appends, writers) unless the keys are sorted first
+//	R2  no panics or log.Fatal in library packages (internal/*)
+//	R3  no unchecked error returns in library packages (internal/*)
+//	R4  no fmt.Print* / os.Stdout outside cmd/ and examples/
+//	R5  exported identifiers in the root package, internal/core, and
+//	    internal/cq require doc comments
+//
+// Findings print as "file:line: [rule] message" and make the tool exit 1.
+// A finding is suppressed by a directive on the same line or the line above:
+//
+//	//lint:ignore R1 reason why the unordered iteration is safe
+//
+// The tool is built exclusively on the standard library (go/parser, go/types,
+// go/importer); go.mod stays dependency-free.
+//
+// Usage:
+//
+//	wdptlint [-rules R1,R2] [./... | ./pkg/dir ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wdptlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rulesFlag := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	enabled, err := parseRules(*rulesFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "wdptlint: %v\n", err)
+		return 2
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "wdptlint: %v\n", err)
+		return 2
+	}
+	findings, err := Lint(cwd, patterns, enabled)
+	if err != nil {
+		fmt.Fprintf(stderr, "wdptlint: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "wdptlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// allRules lists every implemented rule in report order.
+var allRules = []string{"R1", "R2", "R3", "R4", "R5"}
+
+func parseRules(s string) (map[string]bool, error) {
+	enabled := make(map[string]bool, len(allRules))
+	if strings.TrimSpace(s) == "" {
+		for _, r := range allRules {
+			enabled[r] = true
+		}
+		return enabled, nil
+	}
+	known := make(map[string]bool, len(allRules))
+	for _, r := range allRules {
+		known[r] = true
+	}
+	for _, r := range strings.Split(s, ",") {
+		r = strings.TrimSpace(r)
+		if !known[r] {
+			return nil, fmt.Errorf("unknown rule %q (known: %s)", r, strings.Join(allRules, ", "))
+		}
+		enabled[r] = true
+	}
+	return enabled, nil
+}
+
+// Lint loads the packages selected by patterns (resolved relative to dir,
+// which must lie inside a module) and returns the unsuppressed findings,
+// sorted by file, line, and rule.
+func Lint(dir string, patterns []string, enabled map[string]bool) ([]Finding, error) {
+	l, err := newLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := l.load(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, p := range pkgs {
+		findings = append(findings, lintPackage(l, p, enabled)...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return findings, nil
+}
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	File string // path relative to the module root
+	Line int
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Rule, f.Msg)
+}

@@ -1,0 +1,248 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The fixture module under testdata/lintmod contains one package per rule,
+// each with violations, exempt idioms, and suppression cases. Expected
+// findings are declared in the fixtures themselves with trailing markers:
+//
+//	out = append(out, v) // want R1
+//
+// The marker lists every rule expected to fire on that line.
+const fixtureDir = "testdata/lintmod"
+
+// readMarkers collects the expected findings from the fixture sources as
+// "file:line:rule" keys (file paths relative to the fixture module root).
+func readMarkers(t *testing.T) map[string]int {
+	t.Helper()
+	want := make(map[string]int)
+	err := filepath.WalkDir(fixtureDir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(fixtureDir, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		for i, line := range strings.Split(string(data), "\n") {
+			_, marker, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			for _, rule := range strings.Fields(marker) {
+				want[fmt.Sprintf("%s:%d:%s", rel, i+1, rule)]++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("reading markers: %v", err)
+	}
+	return want
+}
+
+func findingKeys(findings []Finding) map[string]int {
+	got := make(map[string]int)
+	for _, f := range findings {
+		got[fmt.Sprintf("%s:%d:%s", f.File, f.Line, f.Rule)]++
+	}
+	return got
+}
+
+func diffKeys(t *testing.T, want, got map[string]int) {
+	t.Helper()
+	var keys []string
+	for k := range want {
+		keys = append(keys, k)
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if want[k] != got[k] {
+			t.Errorf("finding %s: want %d, got %d", k, want[k], got[k])
+		}
+	}
+}
+
+// TestFixtureFindings runs every rule over the fixture module and checks the
+// findings against the // want markers: each rule fires where expected, the
+// exempt idioms stay silent, and every suppression case is honored.
+func TestFixtureFindings(t *testing.T) {
+	enabled, err := parseRules("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Lint(fixtureDir, []string{"./..."}, enabled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffKeys(t, readMarkers(t), findingKeys(findings))
+}
+
+// TestRuleSubset checks that -rules style filtering runs only the selected
+// rules.
+func TestRuleSubset(t *testing.T) {
+	enabled, err := parseRules("R2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Lint(fixtureDir, []string{"./..."}, enabled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]int)
+	for k, n := range readMarkers(t) {
+		if strings.HasSuffix(k, ":R2") {
+			want[k] = n
+		}
+	}
+	diffKeys(t, want, findingKeys(findings))
+}
+
+// TestSinglePackagePattern checks non-recursive package patterns.
+func TestSinglePackagePattern(t *testing.T) {
+	enabled, err := parseRules("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Lint(fixtureDir, []string{"./internal/r4"}, enabled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]int)
+	for k, n := range readMarkers(t) {
+		if strings.HasPrefix(k, "internal/r4/") {
+			want[k] = n
+		}
+	}
+	diffKeys(t, want, findingKeys(findings))
+}
+
+func TestParseRules(t *testing.T) {
+	all, err := parseRules("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(allRules) {
+		t.Fatalf("parseRules(\"\") enabled %d rules, want %d", len(all), len(allRules))
+	}
+	subset, err := parseRules("R1, R5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !subset["R1"] || !subset["R5"] || subset["R2"] {
+		t.Fatalf("parseRules(\"R1, R5\") = %v", subset)
+	}
+	if _, err := parseRules("R9"); err == nil {
+		t.Fatal("parseRules(\"R9\") should fail")
+	}
+}
+
+// TestFindingsSorted checks the report order: file, then line, then rule.
+func TestFindingsSorted(t *testing.T) {
+	enabled, err := parseRules("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Lint(fixtureDir, []string{"./..."}, enabled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Rule < b.Rule
+	}) {
+		t.Errorf("findings not sorted: %v", findings)
+	}
+}
+
+// TestRunExitCodes drives the CLI entry point: findings mean exit 1 with one
+// "file:line: [rule] message" line per finding, a clean tree means exit 0,
+// and bad flags mean exit 2.
+func TestRunExitCodes(t *testing.T) {
+	t.Chdir(fixtureDir)
+	var stdout, stderr bytes.Buffer
+
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("run(./...) = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	want := 0
+	for _, n := range readMarkersFrom(t, ".") {
+		want += n
+	}
+	if len(lines) != want {
+		t.Fatalf("run printed %d findings, want %d:\n%s", len(lines), want, stdout.String())
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, ": [R") {
+			t.Errorf("malformed finding line %q", line)
+		}
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"./cmd/..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(./cmd/...) = %d, want 0 (stdout: %s)", code, stdout.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("clean run printed findings: %s", stdout.String())
+	}
+
+	if code := run([]string{"-rules", "R9"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run(-rules R9) = %d, want 2", code)
+	}
+}
+
+// readMarkersFrom is readMarkers with an explicit root, for tests that chdir.
+func readMarkersFrom(t *testing.T, dir string) map[string]int {
+	t.Helper()
+	want := make(map[string]int)
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, marker, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			for _, rule := range strings.Fields(marker) {
+				want[fmt.Sprintf("%s:%d:%s", path, i+1, rule)]++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("reading markers: %v", err)
+	}
+	return want
+}

@@ -1,0 +1,506 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// Package-role predicates: the rules distinguish binaries (cmd/, examples/),
+// which own the process and its standard streams, from library packages
+// (everything else), which must stay silent, panic-free, and error-checked.
+
+func isBinaryPkg(rel string) bool {
+	return rel == "cmd" || rel == "examples" ||
+		strings.HasPrefix(rel, "cmd/") || strings.HasPrefix(rel, "examples/")
+}
+
+func isInternalPkg(rel string) bool {
+	return rel == "internal" || strings.HasPrefix(rel, "internal/")
+}
+
+// docRequiredPkg reports whether R5 applies: the public façade and the two
+// packages whose exported surface mirrors the paper's definitions.
+func docRequiredPkg(rel string) bool {
+	return rel == "." || rel == "internal/core" || rel == "internal/cq"
+}
+
+// lintPackage runs the enabled rules over one package and returns the
+// unsuppressed findings.
+func lintPackage(l *loader, p *lintPkg, enabled map[string]bool) []Finding {
+	var out []Finding
+	for _, f := range p.files {
+		var fs []Finding
+		if enabled["R1"] {
+			fs = append(fs, lintMapOrder(l, p, f)...)
+		}
+		if enabled["R2"] && !isBinaryPkg(p.rel) {
+			fs = append(fs, lintNoPanic(l, p, f)...)
+		}
+		if enabled["R3"] && isInternalPkg(p.rel) {
+			fs = append(fs, lintUncheckedErrors(l, p, f)...)
+		}
+		if enabled["R4"] && !isBinaryPkg(p.rel) {
+			fs = append(fs, lintNoStdout(l, p, f)...)
+		}
+		if enabled["R5"] && docRequiredPkg(p.rel) {
+			fs = append(fs, lintDocComments(l, p, f)...)
+		}
+		out = append(out, applySuppressions(l, f, fs)...)
+	}
+	return out
+}
+
+func (l *loader) finding(pos token.Pos, rule, format string, args ...interface{}) Finding {
+	position := l.fset.Position(pos)
+	file := position.Filename
+	if rel, err := filepath.Rel(l.root, file); err == nil {
+		file = filepath.ToSlash(rel)
+	}
+	return Finding{File: file, Line: position.Line, Rule: rule, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ---------------------------------------------------------------------------
+// R1 — map-order determinism.
+//
+// Go randomizes map iteration order, so a range over a map whose body feeds
+// an ordered sink (appends to a slice declared outside the loop, writes to a
+// writer, sends on a channel) produces run-to-run nondeterministic results.
+// The canonical key-collection idiom — append the keys, then sort them before
+// use — is recognized and exempted.
+
+func lintMapOrder(l *loader, p *lintPkg, f *ast.File) []Finding {
+	var out []Finding
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		for _, s := range mapRangeSinks(p, rs) {
+			if s.target != nil && sortedAfter(p, stack, rs, s.target) {
+				continue
+			}
+			out = append(out, l.finding(s.pos, "R1",
+				"range over map %s: %s depends on map iteration order; iterate over sorted keys",
+				exprString(rs.X), s.what))
+		}
+		return true
+	})
+	return out
+}
+
+// sink is one order-sensitive operation inside a map-range body.
+type sink struct {
+	pos    token.Pos
+	what   string
+	target types.Object // appended-to slice, when the sink is an append
+}
+
+func mapRangeSinks(p *lintPkg, rs *ast.RangeStmt) []sink {
+	var sinks []sink
+	outside := func(e ast.Expr) types.Object {
+		id := rootIdent(e)
+		if id == nil {
+			return nil
+		}
+		obj := p.info.ObjectOf(id)
+		if obj == nil || obj.Pos() == token.NoPos {
+			return nil
+		}
+		if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+			return nil // declared inside the loop: per-iteration state
+		}
+		return obj
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if obj := outside(n.Chan); obj != nil {
+				sinks = append(sinks, sink{pos: n.Pos(), what: fmt.Sprintf("send on channel %q", obj.Name())})
+			}
+		case *ast.CallExpr:
+			if isBuiltin(p.info, n.Fun, "append") && len(n.Args) > 0 {
+				if obj := outside(n.Args[0]); obj != nil {
+					sinks = append(sinks, sink{
+						pos:    n.Pos(),
+						what:   fmt.Sprintf("append to slice %q declared outside the loop", obj.Name()),
+						target: obj,
+					})
+				}
+				return true
+			}
+			fn := calleeFunc(p.info, n)
+			if fn == nil {
+				return true
+			}
+			if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+				(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+				sinks = append(sinks, sink{pos: n.Pos(), what: "call to fmt." + fn.Name() + " writes ordered output"})
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				switch fn.Name() {
+				case "Write", "WriteString", "WriteByte", "WriteRune":
+					if sel, ok := unparen(n.Fun).(*ast.SelectorExpr); ok {
+						if obj := outside(sel.X); obj != nil {
+							sinks = append(sinks, sink{pos: n.Pos(),
+								what: fmt.Sprintf("%s on %q writes ordered output", fn.Name(), obj.Name())})
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return sinks
+}
+
+// sortedAfter recognizes the sorted-keys idiom: the slice fed by the range
+// is passed to a sort.* or slices.* call later in the same enclosing block.
+func sortedAfter(p *lintPkg, stack []ast.Node, rs *ast.RangeStmt, target types.Object) bool {
+	var block []ast.Stmt
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch b := stack[i].(type) {
+		case *ast.BlockStmt:
+			block = b.List
+		case *ast.CaseClause:
+			block = b.Body
+		case *ast.CommClause:
+			block = b.Body
+		default:
+			continue
+		}
+		break
+	}
+	idx := -1
+	for i, s := range block {
+		if s == ast.Stmt(rs) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	for _, s := range block[idx+1:] {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := calleeFunc(p.info, call)
+		if fn == nil || fn.Pkg() == nil {
+			continue
+		}
+		if pkg := fn.Pkg().Path(); pkg != "sort" && pkg != "slices" {
+			continue
+		}
+		for _, arg := range call.Args {
+			if id := rootIdent(arg); id != nil && p.info.ObjectOf(id) == target {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// R2 — no panics in library packages.
+
+func lintNoPanic(l *loader, p *lintPkg, f *ast.File) []Finding {
+	var out []Finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isBuiltin(p.info, call.Fun, "panic") {
+			out = append(out, l.finding(call.Pos(), "R2",
+				"panic in library package %s: return an error instead", p.path))
+			return true
+		}
+		if fn := calleeFunc(p.info, call); fn != nil {
+			switch fn.FullName() {
+			case "log.Fatal", "log.Fatalf", "log.Fatalln", "os.Exit":
+				out = append(out, l.finding(call.Pos(), "R2",
+					"%s in library package %s: return an error instead", fn.FullName(), p.path))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// R3 — unchecked error returns in internal packages.
+//
+// A call whose result includes an error must not be used as a bare
+// statement. Writes to error-free sinks (strings.Builder, bytes.Buffer —
+// their Write methods are documented to always return a nil error) are
+// exempt, including fmt.Fprint* directed at them.
+
+func lintUncheckedErrors(l *loader, p *lintPkg, f *ast.File) []Finding {
+	var out []Finding
+	check := func(call *ast.CallExpr, context string) {
+		t := p.info.TypeOf(call)
+		if t == nil || !typeHasError(t) || errCheckedSink(p, call) {
+			return
+		}
+		name := "call"
+		if fn := calleeFunc(p.info, call); fn != nil {
+			name = fn.FullName()
+		}
+		out = append(out, l.finding(call.Pos(), "R3",
+			"%s of %s discards its error result", context, name))
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				check(call, "result")
+			}
+		case *ast.GoStmt:
+			check(n.Call, "go statement")
+		case *ast.DeferStmt:
+			check(n.Call, "deferred call")
+		}
+		return true
+	})
+	return out
+}
+
+func typeHasError(t types.Type) bool {
+	errType := types.Universe.Lookup("error").Type()
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errType)
+}
+
+func errCheckedSink(p *lintPkg, call *ast.CallExpr) bool {
+	fn := calleeFunc(p.info, call)
+	if fn == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return isErrFreeWriter(sig.Recv().Type())
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		// fmt.Print* goes to os.Stdout, whose placement R4 already polices;
+		// double-reporting the conventionally ignored stdout error is noise.
+		if strings.HasPrefix(fn.Name(), "Print") {
+			return true
+		}
+		if strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+			if t := p.info.TypeOf(call.Args[0]); t != nil {
+				return isErrFreeWriter(t)
+			}
+		}
+	}
+	return false
+}
+
+func isErrFreeWriter(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return full == "strings.Builder" || full == "bytes.Buffer"
+}
+
+// ---------------------------------------------------------------------------
+// R4 — no stdout writes outside binaries.
+
+func lintNoStdout(l *loader, p *lintPkg, f *ast.File) []Finding {
+	var out []Finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(p.info, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				switch fn.Name() {
+				case "Print", "Printf", "Println":
+					out = append(out, l.finding(n.Pos(), "R4",
+						"fmt.%s writes to os.Stdout from library package %s: take an io.Writer instead", fn.Name(), p.path))
+				}
+			}
+		case *ast.SelectorExpr:
+			if obj, ok := p.info.Uses[n.Sel].(*types.Var); ok &&
+				obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "Stdout" {
+				out = append(out, l.finding(n.Pos(), "R4",
+					"os.Stdout used in library package %s: take an io.Writer instead", p.path))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// R5 — doc comments on exported identifiers.
+
+func lintDocComments(l *loader, p *lintPkg, f *ast.File) []Finding {
+	var out []Finding
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			kind := "function"
+			if d.Recv != nil {
+				if !exportedReceiver(d) {
+					continue
+				}
+				kind = "method"
+			}
+			out = append(out, l.finding(d.Name.Pos(), "R5",
+				"exported %s %s lacks a doc comment", kind, d.Name.Name))
+		case *ast.GenDecl:
+			if d.Tok == token.IMPORT {
+				continue
+			}
+			for _, spec := range d.Specs {
+				var names []*ast.Ident
+				var doc *ast.CommentGroup
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					names = []*ast.Ident{s.Name}
+					doc = s.Doc
+				case *ast.ValueSpec:
+					names = s.Names
+					doc = s.Doc
+				}
+				if doc != nil || d.Doc != nil {
+					continue
+				}
+				for _, name := range names {
+					if name.IsExported() {
+						out = append(out, l.finding(name.Pos(), "R5",
+							"exported %s %s lacks a doc comment", strings.ToLower(d.Tok.String()), name.Name))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if len(d.Recv.List) == 0 {
+		return false
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Shared AST/type helpers.
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}
+
+// rootIdent returns the leftmost identifier of an lvalue-ish expression:
+// b in &b, s.rows, m[k], (*p).field.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isBuiltin(info *types.Info, fun ast.Expr, name string) bool {
+	id, ok := unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// calleeFunc resolves the called function or method, or nil for builtins,
+// type conversions, and calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.CallExpr:
+		return exprString(v.Fun) + "(...)"
+	case *ast.ParenExpr:
+		return exprString(v.X)
+	}
+	return "expression"
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// A finding is suppressed by a directive comment either trailing the flagged
+// line or on the line immediately above it:
+//
+//	//lint:ignore R1 iteration order is irrelevant: results feed a set
+//
+// The directive names one rule or a comma-separated list of rules and must
+// give a non-empty reason; a directive without a reason suppresses nothing.
+
+const ignorePrefix = "//lint:ignore "
+
+// applySuppressions drops the findings covered by a lint:ignore directive in
+// the file they were reported in.
+func applySuppressions(l *loader, f *ast.File, findings []Finding) []Finding {
+	if len(findings) == 0 {
+		return nil
+	}
+	byLine := make(map[int][]string) // line -> rules suppressed on that line
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				continue // no reason given: directive is inert
+			}
+			line := l.fset.Position(c.Pos()).Line
+			byLine[line] = append(byLine[line], strings.Split(fields[0], ",")...)
+		}
+	}
+	if len(byLine) == 0 {
+		return findings
+	}
+	matches := func(line int, rule string) bool {
+		for _, r := range byLine[line] {
+			if r == rule {
+				return true
+			}
+		}
+		return false
+	}
+	out := findings[:0]
+	for _, fd := range findings {
+		if matches(fd.Line, fd.Rule) || matches(fd.Line-1, fd.Rule) {
+			continue
+		}
+		out = append(out, fd)
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+// Command bin verifies that binaries are exempt from R2 and R4.
+package main
+
+import "fmt"
+
+func main() {
+	fmt.Println("binaries may print")
+	if len(fmt.Sprint()) > 0 {
+		panic("binaries may panic")
+	}
+}

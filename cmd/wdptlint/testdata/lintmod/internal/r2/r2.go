@@ -1,0 +1,30 @@
+// Package r2 exercises the R2 no-panic rule.
+package r2
+
+import "log"
+
+// Explode panics from a library package.
+func Explode() {
+	panic("boom") // want R2
+}
+
+// Die calls log.Fatal from a library package.
+func Die() {
+	log.Fatal("fatal") // want R2
+}
+
+// MustPositive documents its programming-error contract; the directive on
+// the line above the panic suppresses the finding.
+func MustPositive(n int) int {
+	if n <= 0 {
+		//lint:ignore R2 documented programming-error contract
+		panic("r2: n must be positive")
+	}
+	return n
+}
+
+// Unreasoned shows that a directive without a reason suppresses nothing.
+func Unreasoned() {
+	//lint:ignore R2
+	panic("still flagged") // want R2
+}

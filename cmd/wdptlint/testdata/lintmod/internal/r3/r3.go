@@ -1,0 +1,32 @@
+// Package r3 exercises the R3 unchecked-error rule.
+package r3
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report writes a line and drops the error.
+func Report(w io.Writer) {
+	fmt.Fprintln(w, "report") // want R3
+}
+
+// CloseLater defers a Close whose error is dropped.
+func CloseLater(c io.Closer) {
+	defer c.Close() // want R3
+}
+
+// Render writes to a strings.Builder, whose writes never fail; exempt.
+func Render() string {
+	var b strings.Builder
+	b.WriteString("a")
+	fmt.Fprintf(&b, "%d", 1)
+	return b.String()
+}
+
+// BestEffort deliberately ignores a diagnostic write.
+func BestEffort(w io.Writer) {
+	//lint:ignore R3 best-effort diagnostic write
+	fmt.Fprintln(w, "diagnostic")
+}

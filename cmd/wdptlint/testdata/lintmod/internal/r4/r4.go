@@ -1,0 +1,22 @@
+// Package r4 exercises the R4 stdout rule.
+package r4
+
+import (
+	"fmt"
+	"os"
+)
+
+// Announce prints from a library package.
+func Announce() {
+	fmt.Println("announce") // want R4
+}
+
+// Out returns the process stdout.
+func Out() *os.File {
+	return os.Stdout // want R4
+}
+
+// Debug is a suppressed escape hatch.
+func Debug() {
+	fmt.Println("debug") //lint:ignore R4 fixture keeps a debugging helper by design
+}

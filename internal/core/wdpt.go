@@ -82,6 +82,7 @@ func New(root NodeSpec, free []string) (*PatternTree, error) {
 func MustNew(root NodeSpec, free []string) *PatternTree {
 	p, err := New(root, free)
 	if err != nil {
+		//lint:ignore R2 Must-constructor: panicking on invalid literals is its documented contract
 		panic(err)
 	}
 	return p
@@ -105,7 +106,13 @@ func (p *PatternTree) validate() error {
 			mentions[v] = true
 		}
 	}
-	for v, nodes := range occ {
+	vars := make([]string, 0, len(occ))
+	for v := range occ {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars) // deterministic error messages
+	for _, v := range vars {
+		nodes := occ[v]
 		inSet := make(map[*Node]bool, len(nodes))
 		for _, n := range nodes {
 			inSet[n] = true

@@ -82,6 +82,7 @@ func (h Mapping) Union(hp Mapping) Mapping {
 	out := h.Clone()
 	for k, v := range hp {
 		if prev, ok := out[k]; ok && prev != v {
+			//lint:ignore R2 documented contract: callers must check CompatibleWith first
 			panic("cq: union of incompatible mappings at variable " + k)
 		}
 		out[k] = v
@@ -138,6 +139,46 @@ func (h Mapping) String() string {
 	return "{" + strings.Join(parts, ", ") + "}"
 }
 
+// CompareMappings compares two partial mappings in the canonical solution
+// order: entry by entry over their sorted domains, first by variable name,
+// then by term value; a mapping whose entries are a strict prefix of the
+// other's sorts first. It returns -1, 0, or +1.
+func CompareMappings(a, b Mapping) int {
+	da, db := a.Domain(), b.Domain()
+	for i := 0; i < len(da) && i < len(db); i++ {
+		if da[i] != db[i] {
+			if da[i] < db[i] {
+				return -1
+			}
+			return 1
+		}
+		if va, vb := a[da[i]], b[db[i]]; va != vb {
+			if va < vb {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(da) < len(db):
+		return -1
+	case len(da) > len(db):
+		return 1
+	}
+	return 0
+}
+
+// SortSolutions sorts a solution list in place into the canonical order of
+// CompareMappings and returns it. Applying it at every output boundary makes
+// solution enumeration byte-stable across runs regardless of map iteration
+// order anywhere upstream.
+func SortSolutions(sols []Mapping) []Mapping {
+	sort.SliceStable(sols, func(i, j int) bool {
+		return CompareMappings(sols[i], sols[j]) < 0
+	})
+	return sols
+}
+
 // MappingSet is a set of partial mappings with canonical-key deduplication.
 type MappingSet struct {
 	byKey map[string]Mapping
@@ -167,18 +208,14 @@ func (s *MappingSet) Contains(h Mapping) bool {
 // Len returns the number of mappings in the set.
 func (s *MappingSet) Len() int { return len(s.byKey) }
 
-// All returns the mappings sorted by canonical key, for deterministic output.
+// All returns the mappings in the canonical solution order of
+// CompareMappings, for deterministic output.
 func (s *MappingSet) All() []Mapping {
-	keys := make([]string, 0, len(s.byKey))
-	for k := range s.byKey {
-		keys = append(keys, k)
+	out := make([]Mapping, 0, len(s.byKey))
+	for _, h := range s.byKey {
+		out = append(out, h) //lint:ignore R1 canonical order is restored by SortSolutions on return
 	}
-	sort.Strings(keys)
-	out := make([]Mapping, len(keys))
-	for i, k := range keys {
-		out[i] = s.byKey[k]
-	}
-	return out
+	return SortSolutions(out)
 }
 
 // Maximal returns the mappings of the set that are not properly subsumed by

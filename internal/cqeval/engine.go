@@ -1,6 +1,8 @@
 package cqeval
 
 import (
+	"sort"
+
 	"wdpt/internal/cq"
 	"wdpt/internal/db"
 )
@@ -212,6 +214,7 @@ func prepareDecomposition(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) (*p
 		}
 		if !placed {
 			// Cannot happen for a valid tree decomposition.
+			//lint:ignore R2 unreachable invariant violation: every atom is covered by construction
 			panic("cqeval: atom not covered by any bag")
 		}
 	}
@@ -287,6 +290,7 @@ func candidateDomains(atoms []cq.Atom, d *db.Database) map[string][]string {
 		for c := range set {
 			vals = append(vals, c)
 		}
+		sort.Strings(vals)
 		out[v] = vals
 	}
 	return out

@@ -55,6 +55,7 @@ type Relation struct {
 // Arity must be positive.
 func NewRelation(name string, arity int) *Relation {
 	if arity <= 0 {
+		//lint:ignore R2 documented contract: arity misuse is a programming error, like a bad make() cap
 		panic(fmt.Sprintf("db: relation %q must have positive arity, got %d", name, arity))
 	}
 	return &Relation{
@@ -80,6 +81,7 @@ func (r *Relation) Tuples() []Tuple { return r.tuples }
 // tuple was new. Inserting invalidates indexes, which are rebuilt on demand.
 func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != r.arity {
+		//lint:ignore R2 documented contract: arity misuse is a programming error, like a bad index
 		panic(fmt.Sprintf("db: tuple %v has arity %d, relation %q expects %d", t, len(t), r.name, r.arity))
 	}
 	k := t.key()

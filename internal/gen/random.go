@@ -3,6 +3,7 @@ package gen
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"wdpt/internal/core"
 	"wdpt/internal/cq"
@@ -110,7 +111,7 @@ func RandomWDPT(params TreeParams, seed int64) *core.PatternTree {
 				usedVars = append(usedVars, v)
 			}
 			// Deterministic order for reproducibility.
-			sortStrings(usedVars)
+			sort.Strings(usedVars)
 			// BI(c) bounds the number of variables shared with ALL children
 			// together, so children draw their inherited variables from one
 			// per-node pool of at most InterfaceBound variables.
@@ -153,14 +154,6 @@ func collectVars(spec core.NodeSpec) []string {
 	return cq.AtomsVars(atoms)
 }
 
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
-}
-
 func pickDistinct(rng *rand.Rand, pool []string, n int) []string {
 	if n >= len(pool) {
 		return append([]string(nil), pool...)
@@ -170,7 +163,7 @@ func pickDistinct(rng *rand.Rand, pool []string, n int) []string {
 	for i := 0; i < n; i++ {
 		out[i] = pool[perm[i]]
 	}
-	sortStrings(out)
+	sort.Strings(out)
 	return out
 }
 

@@ -391,6 +391,9 @@ func ParseDatabase(src string) (*db.Database, error) {
 			}
 		}
 		p.accept(tokDot)
+		if r := d.Relation(rel.text); r != nil && r.Arity() != len(vals) {
+			return nil, fmt.Errorf("sparql: %s used with arity %d and %d", rel.text, r.Arity(), len(vals))
+		}
 		d.Insert(rel.text, vals...)
 	}
 	return d, nil

@@ -2,6 +2,7 @@ package sparql
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"wdpt/internal/core"
@@ -45,16 +46,8 @@ func Vars(e Expr) []string {
 	for v := range set {
 		out = append(out, v)
 	}
-	sortStrings(out)
+	sort.Strings(out)
 	return out
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 // IsWellDesigned checks the condition of Pérez et al. [18]: for every
@@ -127,6 +120,7 @@ func OptNormalForm(e Expr) Expr {
 		r := OptNormalForm(x.R)
 		return andCombine(l, r)
 	}
+	//lint:ignore R2 exhaustive type switch over the sealed Expr interface
 	panic(fmt.Sprintf("sparql: unknown expression %T", e))
 }
 
@@ -171,6 +165,7 @@ func buildSpec(e Expr) core.NodeSpec {
 		l.Children = append(l.Children, buildSpec(x.R))
 		return l
 	}
+	//lint:ignore R2 exhaustive type switch over the sealed Expr interface
 	panic(fmt.Sprintf("sparql: unknown expression %T", e))
 }
 

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, vet, wdptlint, build, tests under the race
+# detector, a -short benchmark smoke, and a bounded parser fuzz smoke.
+# CI (.github/workflows/ci.yml) runs exactly this script.
+#
+#   ./scripts/check.sh
+#
+# Environment:
+#   WDPT_SKIP_FUZZ=1   skip the fuzz smoke (useful where the fuzz cache
+#                      is unavailable or the time budget is tight)
+#   FUZZTIME=10s       per-target fuzz budget
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+  echo "gofmt needed on:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== wdptlint"
+go run ./cmd/wdptlint ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== benchmark smoke (-race -short -benchtime=1x)"
+go test -race -short -run='^$' -bench=. -benchtime=1x .
+
+if [[ "${WDPT_SKIP_FUZZ:-0}" != "1" ]]; then
+  fuzztime="${FUZZTIME:-10s}"
+  for target in FuzzParseQuery FuzzParseWDPT FuzzParseDatabase; do
+    echo "== fuzz smoke: ${target} (${fuzztime})"
+    go test -run="^${target}\$" -fuzz="^${target}\$" -fuzztime="${fuzztime}" ./internal/sparql
+  done
+else
+  echo "== fuzz smoke skipped (WDPT_SKIP_FUZZ=1)"
+fi
+
+echo "OK"

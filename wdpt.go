@@ -86,6 +86,19 @@ var (
 	NewAtom = cq.NewAtom
 )
 
+// Deterministic solution ordering. Every enumeration in the library already
+// returns this order; the helpers let consumers re-canonicalize solution
+// lists they have merged or filtered themselves.
+var (
+	// SortSolutions sorts a solution list in place into the canonical order
+	// (by variable name, then term value) and returns it, making output
+	// byte-stable across runs.
+	SortSolutions = cq.SortSolutions
+	// CompareSolutions compares two mappings in the canonical solution order,
+	// returning -1, 0, or +1.
+	CompareSolutions = cq.CompareMappings
+)
+
 // Database constructors.
 var (
 	// NewDatabase returns an empty database.
