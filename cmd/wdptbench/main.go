@@ -6,7 +6,14 @@
 //	wdptbench -list
 //	wdptbench                 # run everything (about a minute)
 //	wdptbench -run E2,E8      # run selected experiments
-//	wdptbench -quick          # smoke-test sizes
+//	wdptbench -quick          # smoke-test sizes (-short is an alias)
+//	wdptbench -json           # also write the BENCH_<date>.json artifact
+//
+// With -json, the run additionally writes a BENCH_<date>.json metrics
+// artifact into -out (default "."): per-experiment wall-clock time, the
+// engine work counters of docs/OBSERVABILITY.md, and the rendered rows —
+// the machine-readable companion to EXPERIMENTS.md. The -cpuprofile,
+// -memprofile, and -trace flags capture pprof artifacts of the whole run.
 //
 // The command exits non-zero when any experiment's built-in cross-checks
 // report an ERROR or a DISAGREEMENT, so a clean run doubles as an
@@ -14,18 +21,42 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"wdpt/internal/harness"
+	"wdpt/internal/obs"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// benchExperiment is one experiment's slice of the BENCH_<date>.json
+// artifact: identity, wall-clock cost, work counters, and the table rows.
+type benchExperiment struct {
+	ID        string           `json:"id"`
+	Title     string           `json:"title"`
+	Paper     string           `json:"paper"`
+	ElapsedNS int64            `json:"elapsed_ns"`
+	Counters  map[string]int64 `json:"counters"`
+	Columns   []string         `json:"columns"`
+	Rows      [][]string       `json:"rows"`
+	Notes     []string         `json:"notes,omitempty"`
+}
+
+// benchArtifact is the top-level BENCH_<date>.json document.
+type benchArtifact struct {
+	Date        string            `json:"date"`
+	Quick       bool              `json:"quick"`
+	Repetitions int               `json:"repetitions"`
+	Experiments []benchExperiment `json:"experiments"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -34,8 +65,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list experiments and exit")
 	runIDs := fs.String("run", "", "comma-separated experiment ids (default: all)")
 	quick := fs.Bool("quick", false, "use smoke-test sizes")
+	short := fs.Bool("short", false, "alias of -quick")
 	reps := fs.Int("reps", 0, "repetitions per measured point (default 3)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := fs.Bool("json", false, "write the BENCH_<date>.json metrics artifact")
+	outDir := fs.String("out", ".", "directory for the BENCH_<date>.json artifact")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	traceFile := fs.String("trace", "", "write a runtime execution trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -58,22 +95,63 @@ func run(args []string, stdout, stderr io.Writer) int {
 			selected = append(selected, e)
 		}
 	}
-	cfg := harness.Config{Quick: *quick, Repetitions: *reps}
+	stop, err := obs.Profiles{CPUFile: *cpuProfile, MemFile: *memProfile, TraceFile: *traceFile}.Start()
+	if err != nil {
+		fmt.Fprintf(stderr, "wdptbench: %v\n", err)
+		return 2
+	}
+	cfg := harness.Config{Quick: *quick || *short, Repetitions: *reps}
+	artifact := benchArtifact{
+		Date:        time.Now().Format("2006-01-02"),
+		Quick:       cfg.Quick,
+		Repetitions: *reps,
+	}
 	failed := false
 	for _, e := range selected {
+		// A fresh Stats per experiment keeps each artifact entry's counters
+		// attributable to that experiment alone.
+		cfg.Stats = obs.NewStats()
 		start := time.Now()
 		tbl := e.Run(cfg)
+		elapsed := time.Since(start)
 		if *csv {
 			fmt.Fprintf(stdout, "# %s — %s\n%s\n", tbl.ID, tbl.Title, tbl.CSV())
 		} else {
 			fmt.Fprintf(stdout, "%s\n(total experiment time: %v)\n\n",
-				tbl.Render(), time.Since(start).Round(time.Millisecond))
+				tbl.Render(), elapsed.Round(time.Millisecond))
 		}
 		for _, n := range tbl.Notes {
 			if strings.Contains(n, "ERROR") || strings.Contains(n, "DISAGREEMENT") {
 				failed = true
 			}
 		}
+		artifact.Experiments = append(artifact.Experiments, benchExperiment{
+			ID:        tbl.ID,
+			Title:     tbl.Title,
+			Paper:     tbl.Paper,
+			ElapsedNS: elapsed.Nanoseconds(),
+			Counters:  cfg.Stats.Snapshot(),
+			Columns:   tbl.Columns,
+			Rows:      tbl.Rows,
+			Notes:     tbl.Notes,
+		})
+	}
+	if serr := stop(); serr != nil {
+		fmt.Fprintf(stderr, "wdptbench: %v\n", serr)
+		return 2
+	}
+	if *jsonOut {
+		path := filepath.Join(*outDir, "BENCH_"+artifact.Date+".json")
+		data, err := json.MarshalIndent(artifact, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "wdptbench: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "wdptbench: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", path)
 	}
 	if failed {
 		fmt.Fprintln(stderr, "wdptbench: at least one experiment reported an ERROR")

@@ -11,13 +11,24 @@
 //	partial    decide whether h extends to an answer
 //	max        decide h ∈ p_m(D)
 //
+// Observability (see docs/OBSERVABILITY.md):
+//
+//	-explain       print the plan the engine chose for each tree node
+//	-stats         print the engine work counters after evaluating
+//	-json          emit one JSON document (answers, plans, counters)
+//	-cpuprofile f  write a pprof CPU profile to f
+//	-memprofile f  write a pprof heap profile to f
+//	-trace f       write a runtime execution trace to f
+//
 // Example:
 //
 //	wdpteval -db data.txt -query 'SELECT ?y WHERE (rec(?x,?y) OPT rating(?x,?z))'
 //	wdpteval -db data.txt -queryfile q.wdpt -mode partial -map 'y=Caribou'
+//	wdpteval -db data.txt -queryfile q.wdpt -explain -stats -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,75 +39,152 @@ import (
 	"wdpt/internal/approx"
 	"wdpt/internal/core"
 	"wdpt/internal/cqeval"
+	"wdpt/internal/obs"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// options collects the parsed command line.
+type options struct {
+	query, queryFile, dbFile string
+	mode, mapping, engine    string
+	classify                 bool
+	explain                  bool
+	stats                    bool
+	jsonOut                  bool
+	optimize                 int
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("wdpteval", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	query := fs.String("query", "", "query text (algebraic or ANS tree format)")
-	queryFile := fs.String("queryfile", "", "file containing the query")
-	dbFile := fs.String("db", "", "database file of ground atoms (required)")
-	mode := fs.String("mode", "enumerate", "enumerate|maximal|exact|partial|max")
-	mapping := fs.String("map", "", "partial mapping 'x=a,y=b' for the decision modes")
-	engineName := fs.String("engine", "auto", "CQ engine: auto|naive|yannakakis|decomposition|hypertree")
-	classify := fs.Bool("classify", false, "print the structural classification before evaluating")
-	optimize := fs.Int("optimize", 0, "k > 0: route partial/max modes through the Corollary 2 M(WB(k)) witness when one exists")
+	var o options
+	fs.StringVar(&o.query, "query", "", "query text (algebraic or ANS tree format)")
+	fs.StringVar(&o.queryFile, "queryfile", "", "file containing the query")
+	fs.StringVar(&o.dbFile, "db", "", "database file of ground atoms (required)")
+	fs.StringVar(&o.mode, "mode", "enumerate", "enumerate|maximal|exact|partial|max")
+	fs.StringVar(&o.mapping, "map", "", "partial mapping 'x=a,y=b' for the decision modes")
+	fs.StringVar(&o.engine, "engine", "auto", "CQ engine: auto|naive|yannakakis|decomposition|hypertree")
+	fs.BoolVar(&o.classify, "classify", false, "print the structural classification before evaluating")
+	fs.BoolVar(&o.explain, "explain", false, "print the chosen evaluation plan for each tree node")
+	fs.BoolVar(&o.stats, "stats", false, "print the engine work counters after evaluating")
+	fs.BoolVar(&o.jsonOut, "json", false, "emit one JSON document instead of text")
+	fs.IntVar(&o.optimize, "optimize", 0, "k > 0: route partial/max modes through the Corollary 2 M(WB(k)) witness when one exists")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	traceFile := fs.String("trace", "", "write a runtime execution trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if err := evalMain(stdout, *query, *queryFile, *dbFile, *mode, *mapping, *engineName, *classify, *optimize); err != nil {
+	stop, err := obs.Profiles{CPUFile: *cpuProfile, MemFile: *memProfile, TraceFile: *traceFile}.Start()
+	if err != nil {
+		fmt.Fprintf(stderr, "wdpteval: %v\n", err)
+		return 2
+	}
+	err = evalMain(stdout, o)
+	if serr := stop(); err == nil {
+		err = serr
+	}
+	if err != nil {
 		fmt.Fprintf(stderr, "wdpteval: %v\n", err)
 		return 2
 	}
 	return 0
 }
 
-func evalMain(out io.Writer, query, queryFile, dbFile, mode, mapping, engineName string, classify bool, optimize int) error {
-	p, err := loadQuery(query, queryFile)
+// report is the machine form of one run, emitted by -json as a single
+// document: the mode and engine, then whichever of answers / result / plans /
+// counters the flags and mode produced.
+type report struct {
+	Mode               string           `json:"mode"`
+	Engine             string           `json:"engine"`
+	Classification     string           `json:"classification,omitempty"`
+	AnswerCount        *int             `json:"answer_count,omitempty"`
+	Answers            []wdpt.Mapping   `json:"answers,omitempty"`
+	Result             *bool            `json:"result,omitempty"`
+	OptimizerTractable *bool            `json:"optimizer_tractable,omitempty"`
+	Plans              []wdpt.Plan      `json:"plans,omitempty"`
+	Counters           map[string]int64 `json:"counters,omitempty"`
+}
+
+func evalMain(out io.Writer, o options) error {
+	p, err := loadQuery(o.query, o.queryFile)
 	if err != nil {
 		return err
 	}
-	d, err := loadDatabase(dbFile)
+	d, err := loadDatabase(o.dbFile)
 	if err != nil {
 		return err
 	}
-	eng, err := pickEngine(engineName)
+	eng, err := pickEngine(o.engine)
 	if err != nil {
 		return err
 	}
-	if classify {
-		fmt.Fprintln(out, p.Classify())
-		fmt.Fprintln(out)
+	var st *wdpt.Stats
+	if o.stats || o.jsonOut {
+		st = wdpt.NewStats()
+		eng = wdpt.WithStats(eng, st)
 	}
-	switch mode {
+	rep := report{Mode: o.mode, Engine: o.engine}
+	if o.classify {
+		rep.Classification = p.Classify().String()
+		if !o.jsonOut {
+			fmt.Fprintln(out, rep.Classification)
+			fmt.Fprintln(out)
+		}
+	}
+	if o.explain {
+		// Explain before evaluating, so the plan cache the diagnostic pass
+		// leaves warm mirrors what evaluation will reuse; Explain itself
+		// records no counters.
+		rep.Plans = p.ExplainNodes(d, eng)
+		if !o.jsonOut {
+			fmt.Fprintf(out, "EXPLAIN (%d node(s)):\n", len(rep.Plans))
+			for _, plan := range rep.Plans {
+				fmt.Fprint(out, plan.Format())
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	switch o.mode {
 	case "enumerate":
 		answers := wdpt.SortSolutions(p.EvaluateWith(d, eng))
-		fmt.Fprintf(out, "p(D): %d answer(s)\n", len(answers))
-		for _, h := range answers {
-			fmt.Fprintln(out, "  "+h.String())
+		n := len(answers)
+		rep.AnswerCount, rep.Answers = &n, answers
+		if !o.jsonOut {
+			fmt.Fprintf(out, "p(D): %d answer(s)\n", n)
+			for _, h := range answers {
+				fmt.Fprintln(out, "  "+h.String())
+			}
 		}
 	case "maximal":
-		answers := wdpt.SortSolutions(p.EvaluateMaximal(d))
-		fmt.Fprintf(out, "p_m(D): %d answer(s)\n", len(answers))
-		for _, h := range answers {
-			fmt.Fprintln(out, "  "+h.String())
+		answers := wdpt.SortSolutions(p.EvaluateMaximalObs(d, st))
+		n := len(answers)
+		rep.AnswerCount, rep.Answers = &n, answers
+		if !o.jsonOut {
+			fmt.Fprintf(out, "p_m(D): %d answer(s)\n", n)
+			for _, h := range answers {
+				fmt.Fprintln(out, "  "+h.String())
+			}
 		}
 	case "exact", "partial", "max":
-		h, err := parseMapping(mapping)
+		h, err := parseMapping(o.mapping)
 		if err != nil {
 			return err
 		}
 		var opt *approx.Optimized
-		if optimize > 0 && mode != "exact" {
-			opt = wdpt.Optimize(p, wdpt.WB(optimize), wdpt.ApproxOptions{})
-			fmt.Fprintf(out, "(optimizer: tractable witness found: %v)\n", opt.Tractable())
+		if o.optimize > 0 && o.mode != "exact" {
+			opt = wdpt.Optimize(p, wdpt.WB(o.optimize), wdpt.ApproxOptions{})
+			tractable := opt.Tractable()
+			rep.OptimizerTractable = &tractable
+			if !o.jsonOut {
+				fmt.Fprintf(out, "(optimizer: tractable witness found: %v)\n", tractable)
+			}
 		}
 		var result bool
-		switch mode {
+		switch o.mode {
 		case "exact":
 			result = p.EvalInterface(d, h, eng)
 		case "partial":
@@ -112,9 +200,23 @@ func evalMain(out io.Writer, query, queryFile, dbFile, mode, mapping, engineName
 				result = p.MaxEval(d, h, eng)
 			}
 		}
-		fmt.Fprintln(out, result)
+		rep.Result = &result
+		if !o.jsonOut {
+			fmt.Fprintln(out, result)
+		}
 	default:
-		return fmt.Errorf("unknown mode %q", mode)
+		return fmt.Errorf("unknown mode %q", o.mode)
+	}
+	if o.stats {
+		rep.Counters = st.Snapshot()
+		if !o.jsonOut {
+			fmt.Fprintf(out, "\ncounters:\n%s", st.Format())
+		}
+	}
+	if o.jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
 	}
 	return nil
 }

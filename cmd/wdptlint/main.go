@@ -9,6 +9,8 @@
 //	R4  no fmt.Print* / os.Stdout outside cmd/ and examples/
 //	R5  exported identifiers in the root package, internal/core, and
 //	    internal/cq require doc comments
+//	R6  every counter registered in internal/obs (the counterNames literal)
+//	    must be documented in the docs/OBSERVABILITY.md glossary
 //
 // Findings print as "file:line: [rule] message" and make the tool exit 1.
 // A finding is suppressed by a directive on the same line or the line above:
@@ -73,7 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // allRules lists every implemented rule in report order.
-var allRules = []string{"R1", "R2", "R3", "R4", "R5"}
+var allRules = []string{"R1", "R2", "R3", "R4", "R5", "R6"}
 
 func parseRules(s string) (map[string]bool, error) {
 	enabled := make(map[string]bool, len(allRules))

@@ -5,7 +5,9 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 )
 
@@ -28,6 +30,12 @@ func docRequiredPkg(rel string) bool {
 	return rel == "." || rel == "internal/core" || rel == "internal/cq"
 }
 
+// counterRegistryPkg reports whether R6 applies: the observability package
+// holding the counter registry.
+func counterRegistryPkg(rel string) bool {
+	return rel == "internal/obs"
+}
+
 // lintPackage runs the enabled rules over one package and returns the
 // unsuppressed findings.
 func lintPackage(l *loader, p *lintPkg, enabled map[string]bool) []Finding {
@@ -48,6 +56,9 @@ func lintPackage(l *loader, p *lintPkg, enabled map[string]bool) []Finding {
 		}
 		if enabled["R5"] && docRequiredPkg(p.rel) {
 			fs = append(fs, lintDocComments(l, p, f)...)
+		}
+		if enabled["R6"] && counterRegistryPkg(p.rel) {
+			fs = append(fs, lintCounterGlossary(l, f)...)
 		}
 		out = append(out, applySuppressions(l, f, fs)...)
 	}
@@ -430,6 +441,72 @@ func exportedReceiver(d *ast.FuncDecl) bool {
 			return false
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// R6 — counter glossary completeness.
+//
+// internal/obs registers every engine counter name in its counterNames
+// literal, and docs/OBSERVABILITY.md is the glossary anyone interpreting
+// -stats output or a BENCH_*.json artifact reads. The rule pins the two
+// together: every name registered in the literal must appear in the
+// glossary, so a counter cannot be added (or renamed) without documenting
+// what it measures.
+
+const glossaryPath = "docs/OBSERVABILITY.md"
+
+func lintCounterGlossary(l *loader, f *ast.File) []Finding {
+	var out []Finding
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if name.Name != "counterNames" || i >= len(vs.Values) {
+					continue
+				}
+				if lit, ok := vs.Values[i].(*ast.CompositeLit); ok {
+					out = append(out, checkGlossary(l, lit)...)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func checkGlossary(l *loader, lit *ast.CompositeLit) []Finding {
+	data, err := os.ReadFile(filepath.Join(l.root, filepath.FromSlash(glossaryPath)))
+	if err != nil {
+		return []Finding{l.finding(lit.Pos(), "R6",
+			"counter registry has no readable glossary at %s: %v", glossaryPath, err)}
+	}
+	glossary := string(data)
+	var out []Finding
+	for _, elt := range lit.Elts {
+		val := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			val = kv.Value
+		}
+		bl, ok := val.(*ast.BasicLit)
+		if !ok || bl.Kind != token.STRING {
+			continue
+		}
+		name, err := strconv.Unquote(bl.Value)
+		if err != nil || name == "" {
+			continue
+		}
+		if !strings.Contains(glossary, name) {
+			out = append(out, l.finding(bl.Pos(), "R6",
+				"counter %q is not documented in %s", name, glossaryPath))
+		}
+	}
+	return out
 }
 
 // ---------------------------------------------------------------------------

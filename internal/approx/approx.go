@@ -28,6 +28,8 @@ import (
 
 	"wdpt/internal/core"
 	"wdpt/internal/cq"
+	"wdpt/internal/cqeval"
+	"wdpt/internal/obs"
 	"wdpt/internal/subsume"
 )
 
@@ -47,6 +49,15 @@ func (o Options) maxCandidates() int {
 		return 10000
 	}
 	return o.MaxCandidates
+}
+
+// stats resolves the observability sink from the subsumption options: the
+// explicit sink if set, else the one the engine carries.
+func (o Options) stats() *obs.Stats {
+	if o.Subsume.Stats != nil {
+		return o.Subsume.Stats
+	}
+	return cqeval.StatsOf(o.Subsume.Engine)
 }
 
 // WB returns the well-behaved class WB(k) with C(k) = TW(k) as a CQ class
@@ -74,11 +85,13 @@ func Candidates(p *core.PatternTree, opts Options, visit func(*core.PatternTree)
 		//lint:ignore R2 documented precondition: callers gate on HasConstants (Section 5.2)
 		panic("approx: approximations are only defined for constant-free pattern trees (Section 5.2)")
 	}
+	st := opts.stats()
 	stopped := false
 	emit := func(t *core.PatternTree) bool {
 		if stopped {
 			return false
 		}
+		st.Inc(obs.CtrApproxCandidates)
 		if !visit(t) {
 			stopped = true
 		}
@@ -184,9 +197,13 @@ func ApproximateAll(p *core.PatternTree, c cq.Class, opts Options) []*core.Patte
 	}
 	var members []*core.PatternTree
 	limit := opts.maxCandidates()
+	st := opts.stats()
 	Candidates(p, opts, func(t *core.PatternTree) bool {
-		if InWB(t, c) && subsume.Subsumes(t, p, opts.Subsume) {
-			members = append(members, t)
+		if InWB(t, c) {
+			st.Inc(obs.CtrApproxVerified)
+			if subsume.Subsumes(t, p, opts.Subsume) {
+				members = append(members, t)
+			}
 		}
 		return len(members) < limit
 	})
@@ -242,11 +259,15 @@ func MemberWB(p *core.PatternTree, c cq.Class, opts Options) (*core.PatternTree,
 	var witness *core.PatternTree
 	limit := opts.maxCandidates()
 	count := 0
+	st := opts.stats()
 	Candidates(p, opts, func(t *core.PatternTree) bool {
 		count++
-		if InWB(t, c) && subsume.Subsumes(p, t, opts.Subsume) && subsume.Subsumes(t, p, opts.Subsume) {
-			witness = t
-			return false
+		if InWB(t, c) {
+			st.Inc(obs.CtrApproxVerified)
+			if subsume.Subsumes(p, t, opts.Subsume) && subsume.Subsumes(t, p, opts.Subsume) {
+				witness = t
+				return false
+			}
 		}
 		return count < limit
 	})

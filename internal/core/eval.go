@@ -6,6 +6,7 @@ import (
 	"wdpt/internal/cq"
 	"wdpt/internal/cqeval"
 	"wdpt/internal/db"
+	"wdpt/internal/obs"
 )
 
 // This file implements the semantics of WDPTs (Definition 2) and the three
@@ -65,9 +66,11 @@ func (p *PatternTree) extensionUnits(s Subtree) []extUnit {
 // isMaximalHom reports whether the homomorphism h on subtree s (defined on
 // exactly the variables of s) is maximal: no extension unit of s can be
 // satisfied consistently with h.
-func (p *PatternTree) isMaximalHom(s Subtree, d *db.Database, h cq.Mapping) bool {
+func (p *PatternTree) isMaximalHom(s Subtree, d *db.Database, h cq.Mapping, st *obs.Stats) bool {
+	st.Inc(obs.CtrMaximalityChecks)
 	for _, u := range p.extensionUnits(s) {
-		if cq.Satisfiable(u.atoms, d, h) {
+		st.Inc(obs.CtrExtensionUnits)
+		if cq.SatisfiableObs(u.atoms, d, h, st) {
 			return false
 		}
 	}
@@ -80,6 +83,12 @@ func (p *PatternTree) isMaximalHom(s Subtree, d *db.Database, h cq.Mapping) bool
 // further extension is possible; it is exponential in |p| in the worst
 // case, as the Σ₂ᴾ-completeness of EVAL dictates.
 func (p *PatternTree) Evaluate(d *db.Database) []cq.Mapping {
+	return p.EvaluateObs(d, nil)
+}
+
+// EvaluateObs is Evaluate with work counts (extension units tested, tuples
+// scanned, homomorphisms found) recorded on st.
+func (p *PatternTree) EvaluateObs(d *db.Database, st *obs.Stats) []cq.Mapping {
 	answers := cq.NewMappingSet()
 	visited := make(map[string]bool)
 	var expand func(s Subtree, h cq.Mapping)
@@ -91,8 +100,9 @@ func (p *PatternTree) Evaluate(d *db.Database) []cq.Mapping {
 		visited[key] = true
 		extendable := false
 		for _, u := range p.extensionUnits(s) {
+			st.Inc(obs.CtrExtensionUnits)
 			var exts []cq.Mapping
-			cq.Homomorphisms(u.atoms, d, h, func(g cq.Mapping) bool {
+			cq.HomomorphismsObs(u.atoms, d, h, st, func(g cq.Mapping) bool {
 				exts = append(exts, g.Clone())
 				return true
 			})
@@ -112,7 +122,7 @@ func (p *PatternTree) Evaluate(d *db.Database) []cq.Mapping {
 			answers.Add(h.Restrict(p.free))
 		}
 	}
-	cq.Homomorphisms(p.root.atoms, d, nil, func(h cq.Mapping) bool {
+	cq.HomomorphismsObs(p.root.atoms, d, nil, st, func(h cq.Mapping) bool {
 		expand(p.RootSubtree(), h.Clone())
 		return true
 	})
@@ -122,8 +132,13 @@ func (p *PatternTree) Evaluate(d *db.Database) []cq.Mapping {
 // EvaluateMaximal computes p_m(D): the restriction of p(D) to mappings that
 // are maximal with respect to ⊑ (Section 3.4).
 func (p *PatternTree) EvaluateMaximal(d *db.Database) []cq.Mapping {
+	return p.EvaluateMaximalObs(d, nil)
+}
+
+// EvaluateMaximalObs is EvaluateMaximal with work counts recorded on st.
+func (p *PatternTree) EvaluateMaximalObs(d *db.Database, st *obs.Stats) []cq.Mapping {
 	set := cq.NewMappingSet()
-	for _, h := range p.Evaluate(d) {
+	for _, h := range p.EvaluateObs(d, st) {
 		set.Add(h)
 	}
 	return set.Maximal()
@@ -161,16 +176,23 @@ func (p *PatternTree) evalBand(h cq.Mapping) (tmin, tmax Subtree, ok bool) {
 // free variables, searches homomorphisms consistent with h, and checks
 // maximality. Correct for every WDPT; exponential in |p|.
 func (p *PatternTree) Eval(d *db.Database, h cq.Mapping) bool {
+	return p.EvalObs(d, h, nil)
+}
+
+// EvalObs is Eval with work counts (bands enumerated, maximality checks,
+// extension units tested) recorded on st.
+func (p *PatternTree) EvalObs(d *db.Database, h cq.Mapping, st *obs.Stats) bool {
 	tmin, tmax, ok := p.evalBand(h)
 	if !ok {
 		return false
 	}
 	found := false
 	p.enumerateBand(tmin, tmax, func(s Subtree) bool {
-		cq.Homomorphisms(p.SubtreeAtoms(s), d, h, func(g cq.Mapping) bool {
+		st.Inc(obs.CtrBandsEnumerated)
+		cq.HomomorphismsObs(p.SubtreeAtoms(s), d, h, st, func(g cq.Mapping) bool {
 			// g is defined on vars(s) ⊆ the allowed region, so its free
 			// projection is exactly h; it remains to check maximality.
-			if p.isMaximalHom(s, d, g) {
+			if p.isMaximalHom(s, d, g, st) {
 				found = true
 				return false
 			}
@@ -318,6 +340,7 @@ func (p *PatternTree) EvalInterface(d *db.Database, h cq.Mapping, eng cqeval.Eng
 		d:    d,
 		h:    h,
 		eng:  eng,
+		st:   cqeval.StatsOf(eng),
 		tmin: tmin,
 		tmax: tmax,
 		memo: make(map[string]bool),
@@ -330,6 +353,7 @@ type biEvaluator struct {
 	d          *db.Database
 	h          cq.Mapping
 	eng        cqeval.Engine
+	st         *obs.Stats // the engine's sink, shared for memo counters
 	tmin, tmax Subtree
 	memo       map[string]bool
 }
@@ -400,8 +424,10 @@ func (e *biEvaluator) fixedWith(iface cq.Mapping) cq.Mapping {
 func (e *biEvaluator) required(n *Node, iface cq.Mapping) bool {
 	key := fmt.Sprintf("R%d|%s", n.id, iface.Key())
 	if v, ok := e.memo[key]; ok {
+		e.st.Inc(obs.CtrInterfaceMemoHits)
 		return v
 	}
+	e.st.Inc(obs.CtrInterfaceMemoMisses)
 	result := false
 	rows := e.eng.Project(n.atoms, e.d, e.fixedWith(iface), e.interfaceVars(n))
 	for _, g := range rows {
@@ -421,8 +447,10 @@ func (e *biEvaluator) required(n *Node, iface cq.Mapping) bool {
 func (e *biEvaluator) safe(n *Node, iface cq.Mapping) bool {
 	key := fmt.Sprintf("S%d|%s", n.id, iface.Key())
 	if v, ok := e.memo[key]; ok {
+		e.st.Inc(obs.CtrInterfaceMemoHits)
 		return v
 	}
+	e.st.Inc(obs.CtrInterfaceMemoMisses)
 	rows := e.eng.Project(n.atoms, e.d, e.fixedWith(iface), e.interfaceVars(n))
 	result := false
 	if len(rows) == 0 {
@@ -444,8 +472,10 @@ func (e *biEvaluator) safe(n *Node, iface cq.Mapping) bool {
 func (e *biEvaluator) blocked(n *Node, iface cq.Mapping) bool {
 	key := fmt.Sprintf("B%d|%s", n.id, iface.Key())
 	if v, ok := e.memo[key]; ok {
+		e.st.Inc(obs.CtrInterfaceMemoHits)
 		return v
 	}
+	e.st.Inc(obs.CtrInterfaceMemoMisses)
 	result := !e.eng.Satisfiable(n.atoms, e.d, e.fixedWith(iface))
 	e.memo[key] = result
 	return result

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"fmt"
+
 	"wdpt/internal/cq"
 	"wdpt/internal/cqeval"
 	"wdpt/internal/db"
+	"wdpt/internal/obs"
 )
 
 // PruneNonProjecting returns the tree with every branch removed whose
@@ -65,6 +68,7 @@ func (p *PatternTree) PruneNonProjecting() *PatternTree {
 // query work to the given engine, so that enumeration also benefits from
 // decomposition-guided evaluation on globally tractable trees.
 func (p *PatternTree) EvaluateWith(d *db.Database, eng cqeval.Engine) []cq.Mapping {
+	st := cqeval.StatsOf(eng)
 	answers := cq.NewMappingSet()
 	visited := make(map[string]bool)
 	var expand func(s Subtree, h cq.Mapping)
@@ -76,6 +80,7 @@ func (p *PatternTree) EvaluateWith(d *db.Database, eng cqeval.Engine) []cq.Mappi
 		visited[key] = true
 		extendable := false
 		for _, u := range p.extensionUnits(s) {
+			st.Inc(obs.CtrExtensionUnits)
 			exts := eng.Project(u.atoms, d, h, cq.AtomsVars(u.atoms))
 			if len(exts) == 0 {
 				continue
@@ -98,6 +103,21 @@ func (p *PatternTree) EvaluateWith(d *db.Database, eng cqeval.Engine) []cq.Mappi
 		expand(p.RootSubtree(), h)
 	}
 	return answers.All()
+}
+
+// ExplainNodes returns the engine's plan for every node of the tree in
+// preorder, labeled "node <id>" — the structured form behind
+// wdpteval -explain. Each node's atoms form one conjunctive query, which is
+// exactly the granularity at which the Section 3 algorithms invoke the
+// engine.
+func (p *PatternTree) ExplainNodes(d *db.Database, eng cqeval.Engine) []obs.Plan {
+	plans := make([]obs.Plan, 0, len(p.nodes))
+	for _, n := range p.nodes {
+		pl := eng.Explain(n.atoms, d, nil)
+		pl.Label = fmt.Sprintf("node %d", n.id)
+		plans = append(plans, pl)
+	}
+	return plans
 }
 
 // EvaluateFunc streams p(D): visit receives each answer once; returning

@@ -2,6 +2,7 @@ package cq
 
 import (
 	"wdpt/internal/db"
+	"wdpt/internal/obs"
 )
 
 // Homomorphisms enumerates every homomorphism from the given atoms to D that
@@ -14,6 +15,14 @@ import (
 // atom with the fewest candidate tuples under the current partial assignment
 // is expanded next, using per-position hash indexes of the database.
 func Homomorphisms(atoms []Atom, d *db.Database, fixed Mapping, visit func(Mapping) bool) {
+	HomomorphismsObs(atoms, d, fixed, nil, visit)
+}
+
+// HomomorphismsObs is Homomorphisms with observability: tuples scanned and
+// homomorphisms found are recorded on st (nil st disables recording at the
+// cost of one branch per solved component — the hot loop itself only
+// touches plain solver-local accumulators).
+func HomomorphismsObs(atoms []Atom, d *db.Database, fixed Mapping, st *obs.Stats, visit func(Mapping) bool) {
 	// Decompose the atoms into components connected by unfixed variables:
 	// solutions of different components are independent, so each component
 	// is solved once and the results are combined, instead of re-solving a
@@ -24,7 +33,7 @@ func Homomorphisms(atoms []Atom, d *db.Database, fixed Mapping, visit func(Mappi
 		visit(Mapping{})
 		return
 	case 1:
-		solveComponent(comps[0], d, fixed, visit)
+		solveComponent(comps[0], d, fixed, st, visit)
 		return
 	}
 	// Materialize all components after the first; abort early if any is
@@ -32,7 +41,7 @@ func Homomorphisms(atoms []Atom, d *db.Database, fixed Mapping, visit func(Mappi
 	rest := make([][]Mapping, len(comps)-1)
 	for i, comp := range comps[1:] {
 		var sols []Mapping
-		solveComponent(comp, d, fixed, func(h Mapping) bool {
+		solveComponent(comp, d, fixed, st, func(h Mapping) bool {
 			sols = append(sols, h)
 			return true
 		})
@@ -42,7 +51,7 @@ func Homomorphisms(atoms []Atom, d *db.Database, fixed Mapping, visit func(Mappi
 		rest[i] = sols
 	}
 	stopped := false
-	solveComponent(comps[0], d, fixed, func(h0 Mapping) bool {
+	solveComponent(comps[0], d, fixed, st, func(h0 Mapping) bool {
 		var cross func(i int, acc Mapping) bool
 		cross = func(i int, acc Mapping) bool {
 			if i == len(rest) {
@@ -109,7 +118,10 @@ func atomComponents(atoms []Atom, fixed Mapping) [][]Atom {
 }
 
 // solveComponent runs the backtracking search on one connected component.
-func solveComponent(atoms []Atom, d *db.Database, fixed Mapping, visit func(Mapping) bool) {
+// Work counts accumulate in plain solver fields and flush to st once per
+// component, keeping the per-tuple cost of instrumentation to one integer
+// increment whether or not st is nil.
+func solveComponent(atoms []Atom, d *db.Database, fixed Mapping, st *obs.Stats, visit func(Mapping) bool) {
 	s := &homSolver{
 		d:      d,
 		atoms:  atoms,
@@ -128,13 +140,20 @@ func solveComponent(atoms []Atom, d *db.Database, fixed Mapping, visit func(Mapp
 		}
 	}
 	s.solve(0)
+	st.Add(obs.CtrTuplesScanned, s.scanned)
+	st.Add(obs.CtrHomomorphisms, s.found)
 }
 
 // Satisfiable reports whether some homomorphism from atoms to D consistent
 // with fixed exists.
 func Satisfiable(atoms []Atom, d *db.Database, fixed Mapping) bool {
+	return SatisfiableObs(atoms, d, fixed, nil)
+}
+
+// SatisfiableObs is Satisfiable with work counts recorded on st.
+func SatisfiableObs(atoms []Atom, d *db.Database, fixed Mapping, st *obs.Stats) bool {
 	found := false
-	Homomorphisms(atoms, d, fixed, func(Mapping) bool {
+	HomomorphismsObs(atoms, d, fixed, st, func(Mapping) bool {
 		found = true
 		return false
 	})
@@ -155,8 +174,13 @@ func ExtendToHom(atoms []Atom, d *db.Database, fixed Mapping) (Mapping, bool) {
 // Projections enumerates the distinct restrictions to proj of the
 // homomorphisms from atoms to D consistent with fixed.
 func Projections(atoms []Atom, d *db.Database, fixed Mapping, proj []string) []Mapping {
+	return ProjectionsObs(atoms, d, fixed, nil, proj)
+}
+
+// ProjectionsObs is Projections with work counts recorded on st.
+func ProjectionsObs(atoms []Atom, d *db.Database, fixed Mapping, st *obs.Stats, proj []string) []Mapping {
 	set := NewMappingSet()
-	Homomorphisms(atoms, d, fixed, func(h Mapping) bool {
+	HomomorphismsObs(atoms, d, fixed, st, func(h Mapping) bool {
 		set.Add(h.Restrict(proj))
 		return true
 	})
@@ -170,6 +194,8 @@ type homSolver struct {
 	assign  Mapping
 	visit   func(Mapping) bool
 	stopped bool
+	scanned int64 // tuples inspected; flushed to obs once per component
+	found   int64 // complete homomorphisms visited
 }
 
 func (s *homSolver) solve(nDone int) {
@@ -177,6 +203,7 @@ func (s *homSolver) solve(nDone int) {
 		return
 	}
 	if nDone == len(s.atoms) {
+		s.found++
 		if !s.visit(s.assign.Clone()) {
 			s.stopped = true
 		}
@@ -201,6 +228,7 @@ func (s *homSolver) solve(nDone int) {
 	n := rel.Len()
 	tuples := rel.Tuples()
 	iterate := func(i int) bool {
+		s.scanned++
 		t := tuples[i]
 		var bound []string
 		okT := true

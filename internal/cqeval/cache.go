@@ -1,0 +1,84 @@
+package cqeval
+
+import (
+	"strings"
+	"sync"
+
+	"wdpt/internal/cq"
+)
+
+// The structural part of a plan — join-tree parents, decomposition bags,
+// GHD covers — depends only on the *variable shape* of the instantiated
+// atom sequence: cq.AtomsHypergraph reads nothing but each atom's variable
+// set. WDPT evaluation re-plans the same handful of node CQs once per
+// candidate mapping, so caching these shapes turns the per-mapping planning
+// cost into a map lookup. Bag *contents* (rows) always rebuild: they depend
+// on the database and the pre-binding.
+
+// cachedShape is one memoized structural plan. ok=false records a negative
+// result (e.g. "this shape is not acyclic"). All slices are shared between
+// the cache and the plans served from it, and are treated as read-only.
+type cachedShape struct {
+	ok     bool
+	parent []int
+	order  []int
+	bags   [][]string // tree decompositions and GHDs
+	covers [][]int    // GHDs: covering atom indexes per bag
+	width  int        // GHDs: width at which the search succeeded
+}
+
+// planCache memoizes structural plans keyed on strategy + variable shape.
+// Safe for concurrent use; a nil *planCache disables caching (engines built
+// as bare struct literals still work, they just re-plan every call).
+type planCache struct {
+	mu sync.Mutex
+	m  map[string]*cachedShape
+}
+
+// maxCachedShapes bounds the cache; WDPT workloads reuse a handful of node
+// shapes, so the bound only matters for adversarial streams of distinct
+// queries. On overflow the cache resets rather than evicting — simpler, and
+// correct either way.
+const maxCachedShapes = 512
+
+func newPlanCache() *planCache {
+	return &planCache{m: make(map[string]*cachedShape)}
+}
+
+func (c *planCache) get(key string) (*cachedShape, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	s, ok := c.m[key]
+	c.mu.Unlock()
+	return s, ok
+}
+
+func (c *planCache) put(key string, s *cachedShape) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if len(c.m) >= maxCachedShapes {
+		c.m = make(map[string]*cachedShape)
+	}
+	c.m[key] = s
+	c.mu.Unlock()
+}
+
+// shapeKey builds the cache key for an instantiated, deduplicated atom
+// sequence: the strategy prefix plus each atom's variable list in sequence
+// order. Variable names cannot contain the separator bytes.
+func shapeKey(prefix string, atoms []cq.Atom) string {
+	var b strings.Builder
+	b.WriteString(prefix)
+	for _, a := range atoms {
+		b.WriteByte('|')
+		for _, v := range a.Vars() {
+			b.WriteString(v)
+			b.WriteByte('\x00')
+		}
+	}
+	return b.String()
+}

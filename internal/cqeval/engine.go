@@ -5,6 +5,7 @@ import (
 
 	"wdpt/internal/cq"
 	"wdpt/internal/db"
+	"wdpt/internal/obs"
 )
 
 // Engine evaluates sets of atoms (CQ bodies) over a database under a partial
@@ -20,6 +21,37 @@ type Engine interface {
 	// included in the output rows; projection variables occurring neither
 	// in the atoms nor in fixed are omitted from the rows.
 	Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, proj []string) []cq.Mapping
+	// Explain returns the plan the engine would use for this query as a
+	// structured value, without recording work counters: the strategy,
+	// fallbacks taken, structural width, and materialized bag sizes.
+	Explain(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) obs.Plan
+}
+
+// statsCarrier is the private interface every engine in this package
+// implements; WithStats and StatsOf dispatch through it.
+type statsCarrier interface {
+	withStats(st *obs.Stats) Engine
+	stats() *obs.Stats
+}
+
+// WithStats returns a copy of eng that records its work on st. A nil st
+// returns an engine with observability disabled (the default). Engines not
+// constructed by this package are returned unchanged.
+func WithStats(eng Engine, st *obs.Stats) Engine {
+	if c, ok := eng.(statsCarrier); ok {
+		return c.withStats(st)
+	}
+	return eng
+}
+
+// StatsOf returns the stats sink attached to eng by WithStats, or nil.
+// Layers above cqeval (internal/core and friends) use it to record their
+// own counters on the same sink the engine was given.
+func StatsOf(eng Engine) *obs.Stats {
+	if c, ok := eng.(statsCarrier); ok {
+		return c.stats()
+	}
+	return nil
 }
 
 // Naive returns the baseline backtracking engine (general CQs, exponential
@@ -28,30 +60,39 @@ func Naive() Engine { return naiveEngine{} }
 
 // Yannakakis returns the join-tree semijoin engine for acyclic CQs
 // (Theorem 3 substrate); on non-acyclic inputs it transparently falls back
-// to the decomposition engine.
-func Yannakakis() Engine { return yannakakisEngine{} }
+// to the decomposition engine. The returned engine caches the structural
+// part of its plans (join trees, decompositions) across calls, keyed on the
+// variable shape of the instantiated atoms.
+func Yannakakis() Engine { return yannakakisEngine{cache: newPlanCache()} }
 
 // Decomposition returns the tree-decomposition-guided engine: bags of a
 // min-fill decomposition become materialized relations processed by
 // Yannakakis over the bag tree (Theorem 2 substrate). It handles arbitrary
-// CQs; running time is |D|^(w+1) for decomposition width w.
-func Decomposition() Engine { return decompEngine{} }
+// CQs; running time is |D|^(w+1) for decomposition width w. Structural
+// plans are cached across calls.
+func Decomposition() Engine { return decompEngine{cache: newPlanCache()} }
 
 // Auto returns the selecting engine: Yannakakis when the instantiated query
-// is acyclic, the decomposition engine otherwise.
-func Auto() Engine { return autoEngine{} }
+// is acyclic, the decomposition engine otherwise. Structural plans are
+// cached across calls.
+func Auto() Engine { return autoEngine{cache: newPlanCache()} }
 
-type naiveEngine struct{}
+type naiveEngine struct{ st *obs.Stats }
 
 func (naiveEngine) Name() string { return "naive" }
 
-func (naiveEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
-	return cq.Satisfiable(atoms, d, fixed)
+func (e naiveEngine) withStats(st *obs.Stats) Engine { return naiveEngine{st: st} }
+func (e naiveEngine) stats() *obs.Stats              { return e.st }
+
+func (e naiveEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
+	e.st.Inc(obs.CtrSatisfiableCalls)
+	return cq.SatisfiableObs(atoms, d, fixed, e.st)
 }
 
-func (naiveEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, proj []string) []cq.Mapping {
+func (e naiveEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, proj []string) []cq.Mapping {
+	e.st.Inc(obs.CtrProjectCalls)
 	out := cq.NewMappingSet()
-	cq.Homomorphisms(atoms, d, fixed, func(h cq.Mapping) bool {
+	cq.HomomorphismsObs(atoms, d, fixed, e.st, func(h cq.Mapping) bool {
 		row := h.Restrict(proj)
 		for _, v := range proj {
 			if c, ok := fixed[v]; ok {
@@ -64,65 +105,185 @@ func (naiveEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, pr
 	return out.All()
 }
 
-type yannakakisEngine struct{}
+func (e naiveEngine) Explain(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) obs.Plan {
+	inst, _ := instantiate(atoms, d, fixed)
+	return obs.Plan{Engine: e.Name(), Strategy: "backtracking", Atoms: len(inst)}
+}
+
+type yannakakisEngine struct {
+	st    *obs.Stats
+	cache *planCache
+}
 
 func (yannakakisEngine) Name() string { return "yannakakis" }
 
-func (yannakakisEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
-	p, ok := prepareJoinTree(atoms, d, fixed)
+func (e yannakakisEngine) withStats(st *obs.Stats) Engine {
+	return yannakakisEngine{st: st, cache: e.cache}
+}
+func (e yannakakisEngine) stats() *obs.Stats { return e.st }
+
+// fallback is the decomposition engine sharing this engine's sink and cache.
+func (e yannakakisEngine) fallback() decompEngine {
+	return decompEngine{st: e.st, cache: e.cache}
+}
+
+func (e yannakakisEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
+	e.st.Inc(obs.CtrSatisfiableCalls)
+	p, ok := prepareJoinTree(atoms, d, fixed, e.st, e.cache)
 	if !ok {
-		return decompEngine{}.Satisfiable(atoms, d, fixed)
+		e.st.Inc(obs.CtrFallbacks)
+		return e.fallback().satisfiable(atoms, d, fixed)
 	}
 	return p.satisfiable()
 }
 
-func (yannakakisEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, proj []string) []cq.Mapping {
-	p, ok := prepareJoinTree(atoms, d, fixed)
+func (e yannakakisEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, proj []string) []cq.Mapping {
+	e.st.Inc(obs.CtrProjectCalls)
+	p, ok := prepareJoinTree(atoms, d, fixed, e.st, e.cache)
 	if !ok {
-		return decompEngine{}.Project(atoms, d, fixed, proj)
+		e.st.Inc(obs.CtrFallbacks)
+		return e.fallback().projectRows(atoms, d, fixed, proj)
 	}
 	return p.projectAnswers(proj, fixed)
 }
 
-type decompEngine struct{}
+func (e yannakakisEngine) Explain(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) obs.Plan {
+	p, ok := prepareJoinTree(atoms, d, fixed, nil, e.cache)
+	if !ok {
+		out := e.fallback().Explain(atoms, d, fixed)
+		out.Engine = e.Name()
+		out.Fallback = true
+		return out
+	}
+	return planToObs(p, e.Name(), "join-tree", 1)
+}
+
+type decompEngine struct {
+	st    *obs.Stats
+	cache *planCache
+}
 
 func (decompEngine) Name() string { return "decomposition" }
 
-func (decompEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
-	p, ok := prepareDecomposition(atoms, d, fixed)
+func (e decompEngine) withStats(st *obs.Stats) Engine {
+	return decompEngine{st: st, cache: e.cache}
+}
+func (e decompEngine) stats() *obs.Stats { return e.st }
+
+func (e decompEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
+	e.st.Inc(obs.CtrSatisfiableCalls)
+	return e.satisfiable(atoms, d, fixed)
+}
+
+// satisfiable is the call-counter-free body, shared with fallback paths so
+// one logical engine call counts once.
+func (e decompEngine) satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
+	p, ok := prepareDecomposition(atoms, d, fixed, e.st, e.cache)
 	if !ok {
 		return false
 	}
 	return p.satisfiable()
 }
 
-func (decompEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, proj []string) []cq.Mapping {
-	p, ok := prepareDecomposition(atoms, d, fixed)
+func (e decompEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, proj []string) []cq.Mapping {
+	e.st.Inc(obs.CtrProjectCalls)
+	return e.projectRows(atoms, d, fixed, proj)
+}
+
+// projectRows is the call-counter-free body behind Project.
+func (e decompEngine) projectRows(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, proj []string) []cq.Mapping {
+	p, ok := prepareDecomposition(atoms, d, fixed, e.st, e.cache)
 	if !ok {
 		return nil
 	}
 	return p.projectAnswers(proj, fixed)
 }
 
-type autoEngine struct{}
+func (e decompEngine) Explain(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) obs.Plan {
+	p, ok := prepareDecomposition(atoms, d, fixed, nil, e.cache)
+	if !ok {
+		// Provably unsatisfiable before planning (a ground atom failed).
+		inst, _ := instantiate(atoms, d, fixed)
+		return obs.Plan{Engine: e.Name(), Strategy: "tree-decomposition", Atoms: len(inst)}
+	}
+	width := 0
+	for _, r := range p.rels {
+		if w := len(r.vars) - 1; w > width {
+			width = w
+		}
+	}
+	return planToObs(p, e.Name(), "tree-decomposition", width)
+}
+
+type autoEngine struct {
+	st    *obs.Stats
+	cache *planCache
+}
 
 func (autoEngine) Name() string { return "auto" }
 
-func (autoEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
-	return yannakakisEngine{}.Satisfiable(atoms, d, fixed)
+func (e autoEngine) withStats(st *obs.Stats) Engine {
+	return autoEngine{st: st, cache: e.cache}
+}
+func (e autoEngine) stats() *obs.Stats { return e.st }
+
+func (e autoEngine) delegate() yannakakisEngine {
+	return yannakakisEngine{st: e.st, cache: e.cache}
 }
 
-func (autoEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, proj []string) []cq.Mapping {
-	return yannakakisEngine{}.Project(atoms, d, fixed, proj)
+func (e autoEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
+	return e.delegate().Satisfiable(atoms, d, fixed)
+}
+
+func (e autoEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, proj []string) []cq.Mapping {
+	return e.delegate().Project(atoms, d, fixed, proj)
+}
+
+func (e autoEngine) Explain(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) obs.Plan {
+	out := e.delegate().Explain(atoms, d, fixed)
+	out.Engine = e.Name()
+	return out
+}
+
+// planToObs converts a prepared plan into the structured EXPLAIN value.
+func planToObs(p *plan, engine, strategy string, width int) obs.Plan {
+	out := obs.Plan{Engine: engine, Strategy: strategy, Width: width, Atoms: p.nAtoms}
+	for i, r := range p.rels {
+		atoms := 0
+		if i < len(p.bagAtoms) {
+			atoms = p.bagAtoms[i]
+		}
+		out.Bags = append(out.Bags, obs.PlanBag{
+			Vars:   append([]string(nil), r.vars...),
+			Atoms:  atoms,
+			Rows:   len(r.rows),
+			Parent: p.parent[i],
+		})
+	}
+	return out
 }
 
 // plan is a tree of node relations (from a join tree or a tree
 // decomposition) ready for semijoin processing.
 type plan struct {
-	rels   []*varRel
-	parent []int
-	order  []int // bottom-up
-	failed bool  // a ground atom failed or a node relation is empty by construction
+	rels     []*varRel
+	parent   []int
+	order    []int // bottom-up
+	failed   bool  // a ground atom failed or a node relation is empty by construction
+	st       *obs.Stats
+	nAtoms   int   // instantiated atoms the plan covers
+	bagAtoms []int // atoms assigned per bag (diagnostics for Explain)
+}
+
+// trivialPlan is the plan for a query whose atoms were all ground and
+// passed: a single empty-row relation.
+func trivialPlan(st *obs.Stats) *plan {
+	return &plan{
+		rels:   []*varRel{{rows: []cq.Mapping{{}}}},
+		parent: []int{-1},
+		order:  []int{0},
+		st:     st,
+	}
 }
 
 // instantiate applies fixed to the atoms, checks ground atoms directly
@@ -150,30 +311,54 @@ func instantiate(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) ([]cq.Atom, 
 // prepareJoinTree builds a Yannakakis plan from the GYO join tree of the
 // instantiated atoms. ok=false means the instantiated query is not acyclic
 // (the caller should fall back); a plan with failed=true means provably
-// unsatisfiable.
-func prepareJoinTree(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) (*plan, bool) {
+// unsatisfiable. The join-tree shape is served from cache when the
+// variable shape of the instantiated atoms has been planned before.
+func prepareJoinTree(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st *obs.Stats, cache *planCache) (*plan, bool) {
 	inst, ok := instantiate(atoms, d, fixed)
 	if !ok {
-		return &plan{failed: true}, true
+		return &plan{failed: true, st: st}, true
 	}
 	if len(inst) == 0 {
-		return &plan{rels: []*varRel{{rows: []cq.Mapping{{}}}}, parent: []int{-1}, order: []int{0}}, true
+		return trivialPlan(st), true
 	}
-	hg := cq.AtomsHypergraph(inst)
-	acyclic, jt := hg.IsAcyclic()
-	if !acyclic {
-		return nil, false
+	var parent, order []int
+	key := shapeKey("jt", inst)
+	if c, hit := cache.get(key); hit {
+		st.Inc(obs.CtrPlanCacheHits)
+		if !c.ok {
+			return nil, false
+		}
+		parent, order = c.parent, c.order
+	} else {
+		if cache != nil {
+			st.Inc(obs.CtrPlanCacheMisses)
+		}
+		hg := cq.AtomsHypergraph(inst)
+		acyclic, jt := hg.IsAcyclic()
+		if !acyclic {
+			cache.put(key, &cachedShape{})
+			return nil, false
+		}
+		st.Inc(obs.CtrJoinTreesBuilt)
+		parent, order = jt.Parent, jt.Order
+		cache.put(key, &cachedShape{ok: true, parent: parent, order: order})
 	}
-	p := &plan{parent: jt.Parent, order: jt.Order}
+	p := &plan{parent: parent, order: order, st: st, nAtoms: len(inst)}
 	p.rels = make([]*varRel, len(inst))
+	p.bagAtoms = make([]int, len(inst))
 	for i, a := range inst {
 		r := newVarRel(a.Vars())
-		rows := cq.Projections([]cq.Atom{a}, d, nil, r.vars)
+		rows := cq.ProjectionsObs([]cq.Atom{a}, d, nil, st, r.vars)
 		if len(rows) == 0 {
 			p.failed = true
 		}
 		r.rows = rows
 		p.rels[i] = r
+		p.bagAtoms[i] = 1
+	}
+	st.Add(obs.CtrBagsBuilt, int64(len(p.rels)))
+	for _, r := range p.rels {
+		st.Add(obs.CtrBagRows, int64(len(r.rows)))
 	}
 	return p, true
 }
@@ -182,21 +367,37 @@ func prepareJoinTree(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) (*plan, 
 // each atom is assigned to a bag covering it; bag relations enumerate
 // satisfying assignments of the assigned atoms extended over per-variable
 // candidate domains for unconstrained bag variables. ok=false means
-// provably unsatisfiable before planning.
-func prepareDecomposition(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) (*plan, bool) {
+// provably unsatisfiable before planning. The decomposition shape is
+// served from cache when available.
+func prepareDecomposition(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st *obs.Stats, cache *planCache) (*plan, bool) {
 	inst, ok := instantiate(atoms, d, fixed)
 	if !ok {
 		return nil, false
 	}
 	if len(inst) == 0 {
-		return &plan{rels: []*varRel{{rows: []cq.Mapping{{}}}}, parent: []int{-1}, order: []int{0}}, true
+		return trivialPlan(st), true
 	}
-	hg := cq.AtomsHypergraph(inst)
-	dec := hg.TreeDecomposition()
-	nBags := len(dec.Bags)
+	var bags [][]string
+	var parent, order []int
+	key := shapeKey("td", inst)
+	if c, hit := cache.get(key); hit {
+		st.Inc(obs.CtrPlanCacheHits)
+		bags, parent, order = c.bags, c.parent, c.order
+	} else {
+		if cache != nil {
+			st.Inc(obs.CtrPlanCacheMisses)
+		}
+		hg := cq.AtomsHypergraph(inst)
+		dec := hg.TreeDecomposition()
+		st.Inc(obs.CtrDecompositionsBuilt)
+		bags, parent = dec.Bags, dec.Parent
+		order = bottomUpOrder(parent)
+		cache.put(key, &cachedShape{ok: true, bags: bags, parent: parent, order: order})
+	}
+	nBags := len(bags)
 
 	bagSets := make([]map[string]bool, nBags)
-	for i, b := range dec.Bags {
+	for i, b := range bags {
 		bagSets[i] = make(map[string]bool, len(b))
 		for _, v := range b {
 			bagSets[i][v] = true
@@ -219,10 +420,11 @@ func prepareDecomposition(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) (*p
 		}
 	}
 	cand := candidateDomains(inst, d)
-	p := &plan{parent: dec.Parent}
+	p := &plan{parent: parent, order: order, st: st, nAtoms: len(inst)}
 	p.rels = make([]*varRel, nBags)
-	for i := range dec.Bags {
-		r := newVarRel(dec.Bags[i])
+	p.bagAtoms = make([]int, nBags)
+	for i := range bags {
+		r := newVarRel(bags[i])
 		covered := make(map[string]bool)
 		for _, a := range assigned[i] {
 			for _, v := range a.Vars() {
@@ -235,15 +437,22 @@ func prepareDecomposition(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) (*p
 				uncovered = append(uncovered, v)
 			}
 		}
-		base := cq.Projections(assigned[i], d, nil, r.vars)
+		base := cq.ProjectionsObs(assigned[i], d, nil, st, r.vars)
 		rows := extendOverDomains(base, uncovered, cand)
+		if len(uncovered) > 0 {
+			st.Add(obs.CtrDomainProductRows, int64(len(rows)))
+		}
 		if len(rows) == 0 {
 			p.failed = true
 		}
 		r.rows = rows
 		p.rels[i] = r
+		p.bagAtoms[i] = len(assigned[i])
 	}
-	p.order = bottomUpOrder(dec.Parent)
+	st.Add(obs.CtrBagsBuilt, int64(nBags))
+	for _, r := range p.rels {
+		st.Add(obs.CtrBagRows, int64(len(r.rows)))
+	}
 	return p, true
 }
 
@@ -352,6 +561,7 @@ func (p *plan) satisfiable() bool {
 	for _, i := range p.order {
 		if pa := p.parent[i]; pa != -1 {
 			p.rels[pa].semijoin(p.rels[i])
+			p.st.Inc(obs.CtrSemijoinPasses)
 			if len(p.rels[pa].rows) == 0 {
 				return false
 			}
@@ -372,6 +582,7 @@ func (p *plan) projectAnswers(proj []string, fixed cq.Mapping) []cq.Mapping {
 	for _, i := range p.order {
 		if pa := p.parent[i]; pa != -1 {
 			p.rels[pa].semijoin(p.rels[i])
+			p.st.Inc(obs.CtrSemijoinPasses)
 			if len(p.rels[pa].rows) == 0 {
 				return nil
 			}
@@ -382,6 +593,7 @@ func (p *plan) projectAnswers(proj []string, fixed cq.Mapping) []cq.Mapping {
 		i := p.order[j]
 		if pa := p.parent[i]; pa != -1 {
 			p.rels[i].semijoin(p.rels[pa])
+			p.st.Inc(obs.CtrSemijoinPasses)
 		}
 	}
 	// Projecting join along the tree.
@@ -411,6 +623,7 @@ func (p *plan) projectAnswers(proj []string, fixed cq.Mapping) []cq.Mapping {
 		r := p.rels[v]
 		for _, c := range children[v] {
 			r = join(r, answers(c))
+			p.st.Inc(obs.CtrJoins)
 		}
 		keep := sharedVars(subtreeVars[v], proj)
 		if pa := p.parent[v]; pa != -1 {

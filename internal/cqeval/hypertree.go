@@ -1,9 +1,12 @@
 package cqeval
 
 import (
+	"fmt"
+
 	"wdpt/internal/cq"
 	"wdpt/internal/db"
 	"wdpt/internal/hypergraph"
+	"wdpt/internal/obs"
 )
 
 // Hypertree returns the GHD-guided engine: a generalized hypertree
@@ -14,64 +17,117 @@ import (
 // hypertree width — such as Example 5's θ_n family, whose treewidth is
 // unbounded — it evaluates in |D|^O(maxWidth) where variable-based
 // decompositions cannot help. Queries whose instantiated hypergraph
-// exceeds maxWidth fall back to the decomposition engine.
+// exceeds maxWidth fall back to the decomposition engine. Structural
+// decompositions are cached across calls.
 func Hypertree(maxWidth int) Engine {
 	if maxWidth < 1 {
 		maxWidth = 1
 	}
-	return hypertreeEngine{maxWidth: maxWidth}
+	return hypertreeEngine{maxWidth: maxWidth, cache: newPlanCache()}
 }
 
-type hypertreeEngine struct{ maxWidth int }
+type hypertreeEngine struct {
+	maxWidth int
+	st       *obs.Stats
+	cache    *planCache
+}
 
 func (e hypertreeEngine) Name() string { return "hypertree" }
 
+func (e hypertreeEngine) withStats(st *obs.Stats) Engine {
+	return hypertreeEngine{maxWidth: e.maxWidth, st: st, cache: e.cache}
+}
+func (e hypertreeEngine) stats() *obs.Stats { return e.st }
+
+// fallback is the decomposition engine sharing this engine's sink and cache.
+func (e hypertreeEngine) fallback() decompEngine {
+	return decompEngine{st: e.st, cache: e.cache}
+}
+
 func (e hypertreeEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
-	p, ok := e.prepare(atoms, d, fixed)
+	e.st.Inc(obs.CtrSatisfiableCalls)
+	p, _, ok := e.prepare(atoms, d, fixed, e.st)
 	if !ok {
-		return decompEngine{}.Satisfiable(atoms, d, fixed)
+		e.st.Inc(obs.CtrFallbacks)
+		return e.fallback().satisfiable(atoms, d, fixed)
 	}
 	return p.satisfiable()
 }
 
 func (e hypertreeEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, proj []string) []cq.Mapping {
-	p, ok := e.prepare(atoms, d, fixed)
+	e.st.Inc(obs.CtrProjectCalls)
+	p, _, ok := e.prepare(atoms, d, fixed, e.st)
 	if !ok {
-		return decompEngine{}.Project(atoms, d, fixed, proj)
+		e.st.Inc(obs.CtrFallbacks)
+		return e.fallback().projectRows(atoms, d, fixed, proj)
 	}
 	return p.projectAnswers(proj, fixed)
 }
 
+func (e hypertreeEngine) Explain(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) obs.Plan {
+	p, width, ok := e.prepare(atoms, d, fixed, nil)
+	if !ok {
+		out := e.fallback().Explain(atoms, d, fixed)
+		out.Engine = e.Name()
+		out.Fallback = true
+		return out
+	}
+	return planToObs(p, e.Name(), "ghd", width)
+}
+
 // prepare builds the plan; ok=false requests the fallback (width exceeded).
-func (e hypertreeEngine) prepare(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) (*plan, bool) {
+// The width return is the GHD width at which the search succeeded.
+func (e hypertreeEngine) prepare(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st *obs.Stats) (*plan, int, bool) {
 	inst, groundOK := instantiate(atoms, d, fixed)
 	if !groundOK {
-		return &plan{failed: true}, true
+		return &plan{failed: true, st: st}, 0, true
 	}
 	if len(inst) == 0 {
-		return &plan{rels: []*varRel{{rows: []cq.Mapping{{}}}}, parent: []int{-1}, order: []int{0}}, true
+		return trivialPlan(st), 0, true
 	}
-	hg := cq.AtomsHypergraph(inst)
-	var g *hypergraph.GHD
-	for k := 1; k <= e.maxWidth; k++ {
-		if gd, ok := hg.GeneralizedHypertreeDecomposition(k); ok {
-			g = gd
-			break
+	var bags [][]string
+	var parent, order []int
+	var covers [][]int
+	width := 0
+	key := shapeKey(fmt.Sprintf("ghd%d", e.maxWidth), inst)
+	if c, hit := e.cache.get(key); hit {
+		st.Inc(obs.CtrPlanCacheHits)
+		if !c.ok {
+			return nil, 0, false
 		}
-	}
-	if g == nil {
-		return nil, false
+		bags, parent, order, covers, width = c.bags, c.parent, c.order, c.covers, c.width
+	} else {
+		if e.cache != nil {
+			st.Inc(obs.CtrPlanCacheMisses)
+		}
+		hg := cq.AtomsHypergraph(inst)
+		var g *hypergraph.GHD
+		for k := 1; k <= e.maxWidth; k++ {
+			if gd, ok := hg.GeneralizedHypertreeDecomposition(k); ok {
+				g = gd
+				width = k
+				break
+			}
+		}
+		if g == nil {
+			e.cache.put(key, &cachedShape{})
+			return nil, 0, false
+		}
+		st.Inc(obs.CtrGHDsBuilt)
+		bags, parent, covers = g.Bags, g.Parent, g.Covers
+		order = bottomUpOrder(parent)
+		e.cache.put(key, &cachedShape{ok: true, bags: bags, parent: parent, order: order, covers: covers, width: width})
 	}
 	// Every atom must be enforced at some bag covering its variables, even
 	// when it is not part of that bag's edge cover.
-	bagSets := make([]map[string]bool, len(g.Bags))
-	for i, bag := range g.Bags {
+	bagSets := make([]map[string]bool, len(bags))
+	for i, bag := range bags {
 		bagSets[i] = make(map[string]bool, len(bag))
 		for _, v := range bag {
 			bagSets[i][v] = true
 		}
 	}
-	assigned := make([][]cq.Atom, len(g.Bags))
+	assigned := make([][]cq.Atom, len(bags))
 	for _, a := range inst {
 		placed := false
 		for i := range bagSets {
@@ -86,21 +142,26 @@ func (e hypertreeEngine) prepare(atoms []cq.Atom, d *db.Database, fixed cq.Mappi
 			panic("cqeval: atom not covered by any GHD bag")
 		}
 	}
-	p := &plan{parent: g.Parent}
-	p.rels = make([]*varRel, len(g.Bags))
-	for i, bag := range g.Bags {
+	p := &plan{parent: parent, order: order, st: st, nAtoms: len(inst)}
+	p.rels = make([]*varRel, len(bags))
+	p.bagAtoms = make([]int, len(bags))
+	for i, bag := range bags {
 		local := append([]cq.Atom(nil), assigned[i]...)
-		for _, ei := range g.Covers[i] {
+		for _, ei := range covers[i] {
 			local = append(local, inst[ei])
 		}
 		r := newVarRel(bag)
-		rows := cq.Projections(cq.DedupAtoms(local), d, nil, r.vars)
+		rows := cq.ProjectionsObs(cq.DedupAtoms(local), d, nil, st, r.vars)
 		if len(rows) == 0 {
 			p.failed = true
 		}
 		r.rows = rows
 		p.rels[i] = r
+		p.bagAtoms[i] = len(assigned[i])
 	}
-	p.order = bottomUpOrder(g.Parent)
-	return p, true
+	st.Add(obs.CtrBagsBuilt, int64(len(bags)))
+	for _, r := range p.rels {
+		st.Add(obs.CtrBagRows, int64(len(r.rows)))
+	}
+	return p, width, true
 }

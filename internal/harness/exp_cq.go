@@ -55,7 +55,10 @@ func runE9(cfg Config) *Table {
 		Paper:   "Theorem 3: acyclic CQs evaluate in LOGCFL; Example 5 separates HW(1) from TW(k)",
 		Columns: []string{"query", "|D|", "sat", "t(naive)", "t(yannakakis)", "t(decomposition)", "t(hypertree)"},
 	}
-	naive, yan, dec, ht := cqeval.Naive(), cqeval.Yannakakis(), cqeval.Decomposition(), cqeval.Hypertree(2)
+	naive := cqeval.WithStats(cqeval.Naive(), cfg.Stats)
+	yan := cqeval.WithStats(cqeval.Yannakakis(), cfg.Stats)
+	dec := cqeval.WithStats(cqeval.Decomposition(), cfg.Stats)
+	ht := cqeval.WithStats(cqeval.Hypertree(2), cfg.Stats)
 	lens := []int{4, 6, 8}
 	perLayer, outDeg := 50, 5
 	if cfg.Quick {
@@ -68,10 +71,10 @@ func runE9(cfg Config) *Table {
 		d := gen.LayeredDatabase(l, perLayer, outDeg, int64(l))
 		atoms := pathCQ(l)
 		var sNaive, sYan, sDec, sHT bool
-		tn := Measure(cfg.reps(), func() { sNaive = naive.Satisfiable(atoms, d, nil) })
-		ty := Measure(cfg.reps(), func() { sYan = yan.Satisfiable(atoms, d, nil) })
-		td := Measure(cfg.reps(), func() { sDec = dec.Satisfiable(atoms, d, nil) })
-		th := Measure(cfg.reps(), func() { sHT = ht.Satisfiable(atoms, d, nil) })
+		tn := cfg.Measure(func() { sNaive = naive.Satisfiable(atoms, d, nil) })
+		ty := cfg.Measure(func() { sYan = yan.Satisfiable(atoms, d, nil) })
+		td := cfg.Measure(func() { sDec = dec.Satisfiable(atoms, d, nil) })
+		th := cfg.Measure(func() { sHT = ht.Satisfiable(atoms, d, nil) })
 		if sNaive != sYan || sYan != sDec || sDec != sHT {
 			t.Notes = append(t.Notes, fmt.Sprintf("DISAGREEMENT on path length %d", l))
 		}
@@ -92,10 +95,10 @@ func runE9(cfg Config) *Table {
 		}, int64(n))
 		atoms := thetaCQ(n)
 		var sNaive, sYan, sHT bool
-		tn := Measure(cfg.reps(), func() { sNaive = naive.Satisfiable(atoms, d, nil) })
-		ty := Measure(cfg.reps(), func() { sYan = yan.Satisfiable(atoms, d, nil) })
-		td := Measure(cfg.reps(), func() { dec.Satisfiable(atoms, d, nil) })
-		th := Measure(cfg.reps(), func() { sHT = ht.Satisfiable(atoms, d, nil) })
+		tn := cfg.Measure(func() { sNaive = naive.Satisfiable(atoms, d, nil) })
+		ty := cfg.Measure(func() { sYan = yan.Satisfiable(atoms, d, nil) })
+		td := cfg.Measure(func() { dec.Satisfiable(atoms, d, nil) })
+		th := cfg.Measure(func() { sHT = ht.Satisfiable(atoms, d, nil) })
 		if sNaive != sYan || sNaive != sHT {
 			t.Notes = append(t.Notes, fmt.Sprintf("DISAGREEMENT on theta_%d", n))
 		}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"wdpt/internal/cq"
-	"wdpt/internal/cqeval"
 	"wdpt/internal/gen"
 )
 
@@ -53,14 +52,14 @@ func runE1(cfg Config) *Table {
 		depths = []int{2, 3}
 		perLayer = 10
 	}
-	eng := cqeval.Auto()
+	eng := cfg.Engine()
 	for _, depth := range depths {
 		d := gen.LayeredDatabase(depth+1, perLayer, outDeg, int64(depth))
 		p := gen.PathWDPT(depth)
 		h := cq.Mapping{"y0": gen.LayeredFirstVertex()}
 		var ansFast, ansNaive bool
-		tFast := Measure(cfg.reps(), func() { ansFast = p.EvalInterface(d, h, eng) })
-		tNaive := Measure(cfg.reps(), func() { ansNaive = p.Eval(d, h) })
+		tFast := cfg.Measure(func() { ansFast = p.EvalInterface(d, h, eng) })
+		tNaive := cfg.Measure(func() { ansNaive = p.Eval(d, h) })
 		if ansFast != ansNaive {
 			t.Notes = append(t.Notes, fmt.Sprintf("DISAGREEMENT at depth %d", depth))
 		}
@@ -82,7 +81,7 @@ func runE1(cfg Config) *Table {
 		d := gen.LayeredDatabase(depth+1, per, outDeg, 7)
 		p := gen.PathWDPT(depth)
 		h := cq.Mapping{"y0": gen.LayeredFirstVertex()}
-		tFast := Measure(cfg.reps(), func() { p.EvalInterface(d, h, eng) })
+		tFast := cfg.Measure(func() { p.EvalInterface(d, h, eng) })
 		t.AddRow(depth, d.Size(), "-", tFast, "-")
 	}
 	return t
@@ -99,12 +98,12 @@ func runE2(cfg Config) *Table {
 	if cfg.Quick {
 		ns = []int{4, 5}
 	}
-	eng := cqeval.Auto()
+	eng := cfg.Engine()
 	for _, n := range ns {
 		g := gen.CompleteGraph(n)
 		p, d, h := gen.ThreeColorInstance(g)
 		var ans bool
-		dur := Measure(cfg.reps(), func() { ans = p.EvalInterface(d, h, eng) })
+		dur := cfg.Measure(func() { ans = p.EvalInterface(d, h, eng) })
 		t.AddRow(n, len(g.Edges), ans, dur)
 	}
 	t.Notes = append(t.Notes, "expected shape: ~3x per added vertex (3^n colorings refuted)")
@@ -122,12 +121,12 @@ func runE3(cfg Config) *Table {
 	if cfg.Quick {
 		ns = []int{4, 5}
 	}
-	eng := cqeval.Auto()
+	eng := cfg.Engine()
 	for _, n := range ns {
 		g := gen.CompleteGraph(n)
 		p, d, h := gen.ThreeColorInstance(g)
 		var ans bool
-		dur := Measure(cfg.reps(), func() { ans = p.PartialEval(d, h, eng) })
+		dur := cfg.Measure(func() { ans = p.PartialEval(d, h, eng) })
 		t.AddRow(fmt.Sprintf("K%d", n), len(g.Edges), ans, dur, "-")
 	}
 	// The enumerate-all-subtrees ablation pays 2^(3|E|) subtrees on negative
@@ -143,7 +142,7 @@ func runE3(cfg Config) *Table {
 		p, d, _ := gen.ThreeColorInstance(g)
 		hNeg := cq.Mapping{"x": "0"}
 		var ans bool
-		dur := Measure(cfg.reps(), func() { ans = p.PartialEval(d, hNeg, eng) })
+		dur := cfg.Measure(func() { ans = p.PartialEval(d, hNeg, eng) })
 		durEnum := Measure(1, func() { p.PartialEvalEnumerate(d, hNeg) })
 		t.AddRow(fmt.Sprintf("C%d (neg)", n), len(g.Edges), ans, dur, durEnum)
 	}
@@ -163,12 +162,12 @@ func runE4(cfg Config) *Table {
 	if cfg.Quick {
 		ns = []int{4, 5}
 	}
-	eng := cqeval.Auto()
+	eng := cfg.Engine()
 	for _, n := range ns {
 		g := gen.CompleteGraph(n)
 		p, d, h := gen.ThreeColorInstance(g)
 		var ans bool
-		dur := Measure(cfg.reps(), func() { ans = p.MaxEval(d, h, eng) })
+		dur := cfg.Measure(func() { ans = p.MaxEval(d, h, eng) })
 		t.AddRow(n, len(g.Edges), ans, dur)
 	}
 	t.Notes = append(t.Notes, "expected shape: polynomial in n, like E3")

@@ -3,7 +3,6 @@ package harness
 import (
 	"wdpt/internal/approx"
 	"wdpt/internal/cq"
-	"wdpt/internal/cqeval"
 	"wdpt/internal/gen"
 )
 
@@ -41,7 +40,7 @@ func runE13(cfg Config) *Table {
 		t.Notes = append(t.Notes, "ERROR: even symmetric cycle should be in M(WB(1))")
 		return t
 	}
-	eng := cqeval.Auto()
+	eng := cfg.Engine()
 	sizes := []int{200, 800, 3200}
 	if cfg.Quick {
 		sizes = []int{40, 80}
@@ -54,10 +53,10 @@ func runE13(cfg Config) *Table {
 		}, int64(n))
 		h := cq.Mapping{}
 		var a1, a2, b1, b2 bool
-		tOrigP := Measure(cfg.reps(), func() { a1 = p.PartialEval(d, h, eng) })
-		tWitP := Measure(cfg.reps(), func() { a2 = opt.PartialEval(d, h, eng) })
-		tOrigM := Measure(cfg.reps(), func() { b1 = p.MaxEval(d, h, eng) })
-		tWitM := Measure(cfg.reps(), func() { b2 = opt.MaxEval(d, h, eng) })
+		tOrigP := cfg.Measure(func() { a1 = p.PartialEval(d, h, eng) })
+		tWitP := cfg.Measure(func() { a2 = opt.PartialEval(d, h, eng) })
+		tOrigM := cfg.Measure(func() { b1 = p.MaxEval(d, h, eng) })
+		tWitM := cfg.Measure(func() { b2 = opt.MaxEval(d, h, eng) })
 		if a1 != a2 || b1 != b2 {
 			t.Notes = append(t.Notes, "ERROR: witness answers differ from the original tree")
 		}

@@ -6,7 +6,6 @@ import (
 	"wdpt/internal/approx"
 	"wdpt/internal/core"
 	"wdpt/internal/cq"
-	"wdpt/internal/cqeval"
 	"wdpt/internal/gen"
 	"wdpt/internal/subsume"
 	"wdpt/internal/uwdpt"
@@ -80,7 +79,7 @@ func runE11(cfg Config) *Table {
 		Paper:   "Theorem 16 (⋃-evaluation), Theorem 18 (UWB(k)-approximation)",
 		Columns: []string{"instance", "members", "result", "time"},
 	}
-	eng := cqeval.Auto()
+	eng := cfg.Engine()
 	counts := []int{1, 2, 4, 8}
 	if cfg.Quick {
 		counts = []int{1, 2}
@@ -94,9 +93,9 @@ func runE11(cfg Config) *Table {
 	for _, m := range counts {
 		union := buildPathUnion(m)
 		var ans bool
-		durPos := Measure(cfg.reps(), func() { ans = union.Eval(d, hPos, eng) })
+		durPos := cfg.Measure(func() { ans = union.Eval(d, hPos, eng) })
 		t.AddRow("⋃-EVAL paths (positive)", m, ans, durPos)
-		durNeg := Measure(cfg.reps(), func() { ans = union.Eval(d, hNeg, eng) })
+		durNeg := cfg.Measure(func() { ans = union.Eval(d, hNeg, eng) })
 		t.AddRow("⋃-EVAL paths (negative)", m, ans, durNeg)
 	}
 	// UWB(1)-approximation of a union containing a cyclic member.

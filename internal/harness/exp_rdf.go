@@ -3,7 +3,6 @@ package harness
 import (
 	"fmt"
 
-	"wdpt/internal/cqeval"
 	"wdpt/internal/gen"
 	"wdpt/internal/rdf"
 )
@@ -40,8 +39,8 @@ func runE12(cfg Config) *Table {
 		d := gen.MusicDatabaseLarge(sz[0], sz[1], int64(sz[0]))
 		encD := rdf.EncodeDatabase(d)
 		var relAnswers, rdfAnswers int
-		tRel := Measure(cfg.reps(), func() { relAnswers = len(p.Evaluate(d)) })
-		tRDF := Measure(cfg.reps(), func() { rdfAnswers = len(enc.Evaluate(encD)) })
+		tRel := cfg.Measure(func() { relAnswers = len(p.Evaluate(d)) })
+		tRDF := cfg.Measure(func() { rdfAnswers = len(enc.Evaluate(encD)) })
 		if relAnswers != rdfAnswers {
 			t.Notes = append(t.Notes,
 				fmt.Sprintf("ERROR: answer counts differ at %d bands: %d vs %d", sz[0], relAnswers, rdfAnswers))
@@ -55,7 +54,7 @@ func runE12(cfg Config) *Table {
 	// Decision problems through the encoding, on the Example 2 database.
 	d := gen.MusicDatabase()
 	encD := rdf.EncodeDatabase(d)
-	eng := cqeval.Auto()
+	eng := cfg.Engine()
 	h := map[string]string{"x": "Swim", "y": "Caribou", "z": "2"}
 	relAns := p.EvalInterface(d, h, eng)
 	rdfAns := enc.EvalInterface(encD, h, eng)

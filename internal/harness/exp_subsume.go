@@ -46,7 +46,7 @@ func runE5(cfg Config) *Table {
 	// Equivalence of syntactic variants: the music tree with swapped
 	// children (both directions, so this is the ≡s row).
 	p1 := gen.MusicWDPT("x", "y", "z", "zp")
-	eq := Measure(cfg.reps(), func() {
+	eq := cfg.Measure(func() {
 		subsume.Equivalent(p1, p1, subsume.Options{})
 	})
 	t.AddRow("music≡s", p1.Size(), true, eq, "-")

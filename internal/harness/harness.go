@@ -10,6 +10,9 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"wdpt/internal/cqeval"
+	"wdpt/internal/obs"
 )
 
 // Config tunes how heavy an experiment run is.
@@ -18,6 +21,14 @@ type Config struct {
 	Quick bool
 	// Repetitions per measured point (default 3; the minimum is reported).
 	Repetitions int
+	// Warmup is the number of unmeasured runs before each measured point
+	// (default 1), so caches and allocator pools reach steady state and the
+	// reported shapes are not jitter artifacts. Negative disables warm-up.
+	Warmup int
+	// Stats, when non-nil, receives the work counters of every engine the
+	// experiments obtain through Engine() — the per-experiment metrics
+	// wdptbench emits into BENCH_*.json.
+	Stats *obs.Stats
 }
 
 func (c Config) reps() int {
@@ -25,6 +36,29 @@ func (c Config) reps() int {
 		return 3
 	}
 	return c.Repetitions
+}
+
+func (c Config) warmup() int {
+	if c.Warmup < 0 {
+		return 0
+	}
+	if c.Warmup == 0 {
+		return 1
+	}
+	return c.Warmup
+}
+
+// Measure times fn at one measured point: Warmup unmeasured runs, then the
+// minimum of Repetitions measured runs, via obs.Timer.
+func (c Config) Measure(fn func()) time.Duration {
+	return obs.Timer{Warmup: c.warmup(), Reps: c.reps()}.Measure(fn)
+}
+
+// Engine returns the auto-selecting engine wired to the config's stats
+// sink — the engine every experiment should use unless it is explicitly
+// comparing engines.
+func (c Config) Engine() cqeval.Engine {
+	return cqeval.WithStats(cqeval.Auto(), c.Stats)
 }
 
 // Table is a rendered experiment result: a titled grid of rows.
@@ -160,17 +194,11 @@ func expOrder(id string) int {
 
 // Measure runs fn reps times and returns the minimum wall-clock duration —
 // the standard way to suppress scheduling noise in micro-measurements.
+// Prefer Config.Measure, which adds warm-up; this remains for one-shot
+// measurements whose *cold* cost is the artifact (e.g. approximation
+// construction time in E10).
 func Measure(reps int, fn func()) time.Duration {
-	best := time.Duration(-1)
-	for i := 0; i < reps; i++ {
-		start := time.Now()
-		fn()
-		d := time.Since(start)
-		if best < 0 || d < best {
-			best = d
-		}
-	}
-	return best
+	return obs.Timer{Reps: reps}.Measure(fn)
 }
 
 // CSV renders the table as comma-separated values (header + rows), for

@@ -1,0 +1,235 @@
+// Package obs is the engine-level observability layer: atomic counters,
+// span-style tracing, a benchmark timer, and the EXPLAIN plan value shared
+// by every evaluation engine.
+//
+// The paper's complexity claims are *shape* claims — LOGCFL vs. Σ₂ᴾ shows
+// up as how many homomorphisms, semijoins, and band enumerations an
+// evaluation performs — so every evaluation layer (internal/cq,
+// internal/cqeval, internal/core, internal/subsume, internal/approx,
+// internal/uwdpt) reports its intermediate work through this package. The
+// counters let any run be read as a work profile instead of an opaque
+// wall-clock number; see docs/OBSERVABILITY.md for the full glossary.
+//
+// Design constraints:
+//
+//   - stdlib only, no globals writing to stdout: all sinks are injected, so
+//     library packages stay clean under wdptlint R4;
+//   - near-zero overhead when disabled: a nil *Stats is the disabled state,
+//     every method is safe on the nil receiver, and the fast path is a
+//     single predictable branch (verified by BenchmarkObsDisabled).
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Counter identifies one engine-level counter. The numeric values are an
+// internal detail; names (see String) are the stable identifiers used in
+// -stats output, BENCH_*.json artifacts, and the glossary.
+type Counter int
+
+// The registered counters. Every counter listed here is incremented by some
+// evaluation path and documented in docs/OBSERVABILITY.md (enforced by
+// wdptlint rule R6).
+const (
+	// CtrTuplesScanned counts database tuples inspected by the backtracking
+	// homomorphism solver (internal/cq).
+	CtrTuplesScanned Counter = iota
+	// CtrHomomorphisms counts complete homomorphisms enumerated.
+	CtrHomomorphisms
+	// CtrSatisfiableCalls counts Engine.Satisfiable invocations.
+	CtrSatisfiableCalls
+	// CtrProjectCalls counts Engine.Project invocations.
+	CtrProjectCalls
+	// CtrSemijoinPasses counts semijoin operations over plan relations.
+	CtrSemijoinPasses
+	// CtrJoins counts natural joins in the projecting Yannakakis pass.
+	CtrJoins
+	// CtrJoinTreesBuilt counts GYO join trees computed (cache misses).
+	CtrJoinTreesBuilt
+	// CtrDecompositionsBuilt counts min-fill tree decompositions computed.
+	CtrDecompositionsBuilt
+	// CtrGHDsBuilt counts generalized hypertree decompositions computed.
+	CtrGHDsBuilt
+	// CtrBagsBuilt counts plan bag relations constructed.
+	CtrBagsBuilt
+	// CtrBagRows counts rows materialized into plan bag relations.
+	CtrBagRows
+	// CtrDomainProductRows counts rows produced by candidate-domain products
+	// for unconstrained bag variables (decomposition engine).
+	CtrDomainProductRows
+	// CtrPlanCacheHits counts structural plans served from the engine's
+	// plan cache.
+	CtrPlanCacheHits
+	// CtrPlanCacheMisses counts structural plans computed from scratch.
+	CtrPlanCacheMisses
+	// CtrFallbacks counts engine fallback decisions (e.g. Yannakakis or the
+	// GHD engine degrading to the tree-decomposition engine).
+	CtrFallbacks
+	// CtrBandsEnumerated counts subtrees visited by band enumeration
+	// (the naive EVAL baseline and the PARTIAL-EVAL ablation).
+	CtrBandsEnumerated
+	// CtrExtensionUnits counts extension units tested for satisfiability.
+	CtrExtensionUnits
+	// CtrMaximalityChecks counts maximality checks of candidate
+	// homomorphisms.
+	CtrMaximalityChecks
+	// CtrInterfaceMemoHits counts memoized interface-mapping lookups served
+	// from cache in the Theorem 6 interface algorithm.
+	CtrInterfaceMemoHits
+	// CtrInterfaceMemoMisses counts interface-mapping subproblems solved.
+	CtrInterfaceMemoMisses
+	// CtrQuotientDBs counts candidate quotient databases enumerated by the
+	// subsumption small-model search.
+	CtrQuotientDBs
+	// CtrInnerChecks counts inner PARTIAL-EVAL (or enumeration) subsumption
+	// checks.
+	CtrInnerChecks
+	// CtrApproxCandidates counts approximation candidates generated.
+	CtrApproxCandidates
+	// CtrApproxVerified counts candidates verified by subsumption tests.
+	CtrApproxVerified
+	// CtrUnionMemberEvals counts per-member evaluations in union problems.
+	CtrUnionMemberEvals
+	// CtrUnionCQs counts CQs produced by the φ_cq union translation.
+	CtrUnionCQs
+
+	numCounters // sentinel; keep last
+)
+
+// counterNames maps counters to their stable names. wdptlint rule R6 checks
+// that every name listed here is documented in docs/OBSERVABILITY.md.
+var counterNames = [numCounters]string{
+	CtrTuplesScanned:       "cq.tuples_scanned",
+	CtrHomomorphisms:       "cq.homomorphisms_found",
+	CtrSatisfiableCalls:    "cqeval.satisfiable_calls",
+	CtrProjectCalls:        "cqeval.project_calls",
+	CtrSemijoinPasses:      "cqeval.semijoin_passes",
+	CtrJoins:               "cqeval.joins",
+	CtrJoinTreesBuilt:      "cqeval.join_trees_built",
+	CtrDecompositionsBuilt: "cqeval.decompositions_built",
+	CtrGHDsBuilt:           "cqeval.ghds_built",
+	CtrBagsBuilt:           "cqeval.bags_built",
+	CtrBagRows:             "cqeval.bag_rows",
+	CtrDomainProductRows:   "cqeval.domain_product_rows",
+	CtrPlanCacheHits:       "cqeval.plan_cache_hits",
+	CtrPlanCacheMisses:     "cqeval.plan_cache_misses",
+	CtrFallbacks:           "cqeval.fallbacks",
+	CtrBandsEnumerated:     "core.bands_enumerated",
+	CtrExtensionUnits:      "core.extension_units_tested",
+	CtrMaximalityChecks:    "core.maximality_checks",
+	CtrInterfaceMemoHits:   "core.interface_memo_hits",
+	CtrInterfaceMemoMisses: "core.interface_memo_misses",
+	CtrQuotientDBs:         "subsume.quotient_databases",
+	CtrInnerChecks:         "subsume.inner_checks",
+	CtrApproxCandidates:    "approx.candidates_generated",
+	CtrApproxVerified:      "approx.candidates_verified",
+	CtrUnionMemberEvals:    "uwdpt.member_evals",
+	CtrUnionCQs:            "uwdpt.translation_cqs",
+}
+
+// String returns the counter's stable name.
+func (c Counter) String() string {
+	if c < 0 || c >= numCounters {
+		return fmt.Sprintf("obs.unknown_counter_%d", int(c))
+	}
+	return counterNames[c]
+}
+
+// Counters returns all registered counters in declaration order.
+func Counters() []Counter {
+	out := make([]Counter, numCounters)
+	for i := range out {
+		out[i] = Counter(i)
+	}
+	return out
+}
+
+// Stats is a set of engine-level counters plus an optional trace sink. All
+// methods are safe for concurrent use and safe on the nil receiver: a nil
+// *Stats is the disabled state, and every operation on it is a single
+// branch. Evaluation layers receive a *Stats by injection (engine
+// construction, Options fields, or *Obs function variants) and never write
+// to process streams themselves.
+type Stats struct {
+	counts [numCounters]atomic.Int64
+	sink   TraceSink
+}
+
+// NewStats returns an empty, enabled counter set.
+func NewStats() *Stats { return &Stats{} }
+
+// Inc increments the counter by one. No-op on nil.
+func (s *Stats) Inc(c Counter) {
+	if s == nil {
+		return
+	}
+	s.counts[c].Add(1)
+}
+
+// Add increments the counter by n. No-op on nil.
+func (s *Stats) Add(c Counter, n int64) {
+	if s == nil || n == 0 {
+		return
+	}
+	s.counts[c].Add(n)
+}
+
+// Get returns the current value of the counter; 0 on nil.
+func (s *Stats) Get(c Counter) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.counts[c].Load()
+}
+
+// Reset zeroes every counter. No-op on nil.
+func (s *Stats) Reset() {
+	if s == nil {
+		return
+	}
+	for i := range s.counts {
+		s.counts[i].Store(0)
+	}
+}
+
+// Snapshot returns the nonzero counters by name. The map is a copy; nil
+// Stats yields an empty map.
+func (s *Stats) Snapshot() map[string]int64 {
+	out := make(map[string]int64)
+	if s == nil {
+		return out
+	}
+	for i := range s.counts {
+		if v := s.counts[i].Load(); v != 0 {
+			out[Counter(i).String()] = v
+		}
+	}
+	return out
+}
+
+// Format renders the nonzero counters as aligned "name  value" lines in
+// name order — the human form behind wdpteval -stats.
+func (s *Stats) Format() string {
+	snap := s.Snapshot()
+	if len(snap) == 0 {
+		return "(no counters recorded)\n"
+	}
+	names := make([]string, 0, len(snap))
+	width := 0
+	for name := range snap {
+		names = append(names, name)
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-*s  %d\n", width, name, snap[name])
+	}
+	return b.String()
+}

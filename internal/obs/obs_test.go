@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterNamesComplete(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, c := range Counters() {
+		name := c.String()
+		if name == "" || strings.HasPrefix(name, "obs.unknown_counter_") {
+			t.Errorf("counter %d has no registered name", int(c))
+		}
+		if seen[name] {
+			t.Errorf("duplicate counter name %q", name)
+		}
+		seen[name] = true
+		if !strings.Contains(name, ".") {
+			t.Errorf("counter name %q is not package-qualified", name)
+		}
+	}
+	if Counter(-1).String() != "obs.unknown_counter_-1" {
+		t.Errorf("out-of-range String() = %q", Counter(-1).String())
+	}
+}
+
+func TestStatsBasics(t *testing.T) {
+	s := NewStats()
+	s.Inc(CtrSemijoinPasses)
+	s.Add(CtrSemijoinPasses, 4)
+	s.Add(CtrJoins, 0) // zero delta must not surface the counter
+	if got := s.Get(CtrSemijoinPasses); got != 5 {
+		t.Fatalf("Get = %d, want 5", got)
+	}
+	snap := s.Snapshot()
+	if len(snap) != 1 || snap["cqeval.semijoin_passes"] != 5 {
+		t.Fatalf("Snapshot = %v", snap)
+	}
+	s.Reset()
+	if got := s.Get(CtrSemijoinPasses); got != 0 {
+		t.Fatalf("after Reset, Get = %d", got)
+	}
+	if len(s.Snapshot()) != 0 {
+		t.Fatalf("after Reset, Snapshot = %v", s.Snapshot())
+	}
+}
+
+func TestNilStatsSafe(t *testing.T) {
+	var s *Stats
+	s.Inc(CtrJoins)
+	s.Add(CtrJoins, 10)
+	s.Reset()
+	if got := s.Get(CtrJoins); got != 0 {
+		t.Fatalf("nil Get = %d", got)
+	}
+	if snap := s.Snapshot(); len(snap) != 0 {
+		t.Fatalf("nil Snapshot = %v", snap)
+	}
+	if s.WithTrace(&Collector{}) != nil {
+		t.Fatal("nil WithTrace should return nil")
+	}
+	sp := s.StartSpan("x")
+	sp.Child("y").End()
+	sp.End() // must not panic
+}
+
+func TestStatsConcurrent(t *testing.T) {
+	s := NewStats()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Inc(CtrTuplesScanned)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Get(CtrTuplesScanned); got != 8000 {
+		t.Fatalf("concurrent Inc total = %d, want 8000", got)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	var nilStats *Stats
+	if got := nilStats.Format(); got != "(no counters recorded)\n" {
+		t.Fatalf("nil Format = %q", got)
+	}
+	s := NewStats()
+	s.Add(CtrJoins, 2)
+	s.Inc(CtrBagsBuilt)
+	got := s.Format()
+	lines := strings.Split(strings.TrimSuffix(got, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("Format lines = %v", lines)
+	}
+	// Name order: cqeval.bags_built < cqeval.joins.
+	if !strings.HasPrefix(lines[0], "cqeval.bags_built") || !strings.HasPrefix(lines[1], "cqeval.joins") {
+		t.Fatalf("Format order wrong:\n%s", got)
+	}
+}
+
+func TestSpansCollected(t *testing.T) {
+	col := &Collector{}
+	s := NewStats().WithTrace(col)
+	sp := s.StartSpan("outer")
+	inner := sp.Child("inner")
+	inner.End()
+	sp.End()
+	spans := col.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("collected %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "inner" || spans[0].Depth != 1 {
+		t.Errorf("first span = %+v", spans[0])
+	}
+	if spans[1].Name != "outer" || spans[1].Depth != 0 {
+		t.Errorf("second span = %+v", spans[1])
+	}
+}
+
+func TestWriterSink(t *testing.T) {
+	var b strings.Builder
+	w := &WriterSink{W: &b}
+	s := NewStats().WithTrace(w)
+	sp := s.StartSpan("eval")
+	sp.Child("semijoin").End()
+	sp.End()
+	out := b.String()
+	if !strings.Contains(out, "  semijoin ") || !strings.Contains(out, "eval ") {
+		t.Fatalf("WriterSink output = %q", out)
+	}
+}
+
+func TestTimerMinOfN(t *testing.T) {
+	calls := 0
+	tm := Timer{Warmup: 2, Reps: 3}
+	d := tm.Measure(func() {
+		calls++
+		if calls == 3 { // first measured rep: make it slow
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+	if calls != 5 {
+		t.Fatalf("fn called %d times, want 5 (2 warm-up + 3 reps)", calls)
+	}
+	if d >= 5*time.Millisecond {
+		t.Fatalf("min-of-N returned the slow rep: %v", d)
+	}
+	var zero Timer
+	calls = 0
+	zero.Measure(func() { calls++ })
+	if calls != 1 {
+		t.Fatalf("zero Timer called fn %d times, want 1", calls)
+	}
+}
+
+func TestPlanFormat(t *testing.T) {
+	p := Plan{
+		Engine:   "yannakakis",
+		Strategy: "join-tree",
+		Width:    1,
+		Atoms:    3,
+		Bags: []PlanBag{
+			{Vars: []string{"x", "y"}, Atoms: 2, Rows: 4, Parent: -1},
+			{Vars: []string{"y", "z"}, Atoms: 1, Rows: 2, Parent: 0},
+		},
+	}
+	got := p.Format()
+	want := "yannakakis strategy=join-tree width=1 atoms=3\n" +
+		"  bag 0 [x y] atoms=2 rows=4\n" +
+		"    bag 1 [y z] atoms=1 rows=2\n"
+	if got != want {
+		t.Fatalf("Plan.Format:\n got %q\nwant %q", got, want)
+	}
+	fb := Plan{Engine: "yannakakis", Strategy: "tree-decomposition", Fallback: true, Width: 2, Atoms: 3, Label: "node 1"}
+	if s := fb.Format(); !strings.Contains(s, "(fallback)") || !strings.HasPrefix(s, "node 1: yannakakis") {
+		t.Fatalf("fallback Format = %q", s)
+	}
+}
+
+// BenchmarkObsDisabled proves the disabled path costs within noise of a
+// no-op baseline: a nil *Stats increment is one predictable branch, and a
+// span on a nil/sink-less Stats never reads the clock.
+func BenchmarkObsDisabled(b *testing.B) {
+	b.Run("baseline", func(b *testing.B) {
+		var x int64
+		for i := 0; i < b.N; i++ {
+			x++
+		}
+		_ = x
+	})
+	b.Run("nil-inc", func(b *testing.B) {
+		var s *Stats
+		for i := 0; i < b.N; i++ {
+			s.Inc(CtrTuplesScanned)
+		}
+	})
+	b.Run("nil-add", func(b *testing.B) {
+		var s *Stats
+		for i := 0; i < b.N; i++ {
+			s.Add(CtrTuplesScanned, int64(i))
+		}
+	})
+	b.Run("nil-span", func(b *testing.B) {
+		var s *Stats
+		for i := 0; i < b.N; i++ {
+			s.StartSpan("x").End()
+		}
+	})
+	b.Run("enabled-inc", func(b *testing.B) {
+		s := NewStats()
+		for i := 0; i < b.N; i++ {
+			s.Inc(CtrTuplesScanned)
+		}
+	})
+}

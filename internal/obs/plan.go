@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Plan is the structured EXPLAIN value: the evaluation strategy an engine
+// chose for one conjunctive query, as reported by Engine.Explain. It is a
+// plain value — safe to marshal to JSON (wdpteval -explain -json) or render
+// with Format.
+type Plan struct {
+	// Engine is the name of the engine that produced the plan.
+	Engine string `json:"engine"`
+	// Strategy identifies the plan shape: "backtracking", "join-tree",
+	// "tree-decomposition", or "ghd".
+	Strategy string `json:"strategy"`
+	// Fallback is set when the named engine could not apply its preferred
+	// strategy and degraded (e.g. Yannakakis on a cyclic query falling back
+	// to a tree decomposition).
+	Fallback bool `json:"fallback,omitempty"`
+	// Width is the structural width of the plan: 1 for a join tree, the
+	// decomposition width for tree decompositions, the GHD width for
+	// hypertree plans, and 0 for backtracking (no decomposition).
+	Width int `json:"width,omitempty"`
+	// Atoms is the number of (instantiated, deduplicated) query atoms.
+	Atoms int `json:"atoms"`
+	// Bags lists the plan's bag relations in plan order; empty for
+	// backtracking plans.
+	Bags []PlanBag `json:"bags,omitempty"`
+	// Label optionally names the query fragment the plan is for (e.g. the
+	// pattern-tree node), set by callers that explain several fragments.
+	Label string `json:"label,omitempty"`
+}
+
+// PlanBag is one node of a join-tree / decomposition plan.
+type PlanBag struct {
+	// Vars is the bag's variable set in sorted order.
+	Vars []string `json:"vars"`
+	// Atoms is the number of query atoms this bag covers.
+	Atoms int `json:"atoms"`
+	// Rows is the number of rows materialized for the bag's relation.
+	Rows int `json:"rows"`
+	// Parent is the index of the bag's parent in the plan, -1 at the root.
+	Parent int `json:"parent"`
+}
+
+// Format renders the plan as an indented tree, one bag per line, children
+// under their parents. The output is deterministic.
+func (p Plan) Format() string {
+	var b strings.Builder
+	name := p.Engine
+	if p.Label != "" {
+		name = p.Label + ": " + name
+	}
+	fmt.Fprintf(&b, "%s strategy=%s", name, p.Strategy)
+	if p.Fallback {
+		b.WriteString(" (fallback)")
+	}
+	if p.Width > 0 {
+		fmt.Fprintf(&b, " width=%d", p.Width)
+	}
+	fmt.Fprintf(&b, " atoms=%d\n", p.Atoms)
+	children := make(map[int][]int)
+	roots := []int{}
+	for i, bag := range p.Bags {
+		if bag.Parent < 0 {
+			roots = append(roots, i)
+		} else {
+			children[bag.Parent] = append(children[bag.Parent], i)
+		}
+	}
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		bag := p.Bags[i]
+		fmt.Fprintf(&b, "%*sbag %d [%s] atoms=%d rows=%d\n",
+			2+2*depth, "", i, strings.Join(bag.Vars, " "), bag.Atoms, bag.Rows)
+		for _, c := range children[i] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return b.String()
+}

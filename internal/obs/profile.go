@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Profiles configures the standard Go profiling artifacts of a CLI run —
+// the targets of the -cpuprofile, -memprofile, and -trace flags on wdpteval
+// and wdptbench. Empty fields disable the corresponding artifact.
+type Profiles struct {
+	// CPUFile receives a runtime/pprof CPU profile spanning Start..stop.
+	CPUFile string
+	// MemFile receives a heap profile written at stop (after a GC, so the
+	// profile reflects live objects rather than garbage).
+	MemFile string
+	// TraceFile receives a runtime/trace execution trace.
+	TraceFile string
+}
+
+// Start begins the configured profiles and returns a stop function that
+// finalizes them: it stops the CPU profile and the execution trace, then
+// writes the heap profile. The stop function must be called exactly once,
+// after the measured work; it returns the first error encountered. If Start
+// itself fails, any profiles already begun are stopped before it returns.
+func (p Profiles) Start() (func() error, error) {
+	var stops []func() error
+	stopAll := func() error {
+		var first error
+		for i := len(stops) - 1; i >= 0; i-- {
+			if err := stops[i](); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	if p.CPUFile != "" {
+		f, err := os.Create(p.CPUFile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close()
+			return nil, err
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+	if p.TraceFile != "" {
+		f, err := os.Create(p.TraceFile)
+		if err != nil {
+			_ = stopAll()
+			return nil, err
+		}
+		if err := trace.Start(f); err != nil {
+			_ = f.Close()
+			_ = stopAll()
+			return nil, err
+		}
+		stops = append(stops, func() error {
+			trace.Stop()
+			return f.Close()
+		})
+	}
+	if p.MemFile != "" {
+		mem := p.MemFile
+		stops = append(stops, func() error {
+			f, err := os.Create(mem)
+			if err != nil {
+				return err
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				_ = f.Close()
+				return err
+			}
+			return f.Close()
+		})
+	}
+	return stopAll, nil
+}

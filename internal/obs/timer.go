@@ -1,0 +1,40 @@
+package obs
+
+import "time"
+
+// Timer measures a function's wall-clock time with warm-up iterations and
+// min-of-N repetition, so harness experiment shapes are not jitter
+// artifacts. The zero Timer means no warm-up and a single measured run.
+type Timer struct {
+	// Warmup is the number of unmeasured runs before timing starts. Warm-up
+	// runs populate caches (plan caches, database indexes, allocator pools)
+	// so the measured repetitions see steady state.
+	Warmup int
+	// Reps is the number of measured runs; the minimum is reported. Values
+	// below 1 are treated as 1.
+	Reps int
+}
+
+// Measure runs fn Warmup times unmeasured, then Reps times measured, and
+// returns the minimum measured duration. Minimum-of-N is the standard
+// robust estimator for microbenchmarks: external interference (scheduler
+// preemption, GC pauses) only ever adds time, so the minimum is the best
+// estimate of the true cost.
+func (t Timer) Measure(fn func()) time.Duration {
+	for i := 0; i < t.Warmup; i++ {
+		fn()
+	}
+	reps := t.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	best := time.Duration(-1)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -22,6 +22,7 @@ import (
 	"wdpt/internal/cq"
 	"wdpt/internal/cqeval"
 	"wdpt/internal/db"
+	"wdpt/internal/obs"
 )
 
 // Options configures the subsumption test.
@@ -34,6 +35,10 @@ type Options struct {
 	// p2(D) — the ablation baseline corresponding to the generic Π₂ᴾ
 	// procedure.
 	InnerEnumerate bool
+	// Stats receives work counters (quotient databases enumerated, inner
+	// checks performed). When nil but Engine carries a sink attached with
+	// cqeval.WithStats, that sink is used.
+	Stats *obs.Stats
 }
 
 func (o Options) engine() cqeval.Engine {
@@ -41,6 +46,14 @@ func (o Options) engine() cqeval.Engine {
 		return o.Engine
 	}
 	return cqeval.Auto()
+}
+
+// stats resolves the sink: the explicit one, else the engine's.
+func (o Options) stats() *obs.Stats {
+	if o.Stats != nil {
+		return o.Stats
+	}
+	return cqeval.StatsOf(o.Engine)
 }
 
 // Subsumes decides p1 ⊑ p2: over every database, every answer of p1 is
@@ -60,17 +73,19 @@ func CounterExample(p1, p2 *core.PatternTree, opts Options) (*db.Database, cq.Ma
 
 func findCounterexample(p1, p2 *core.PatternTree, opts Options) (*db.Database, cq.Mapping, bool) {
 	eng := opts.engine()
+	st := opts.stats()
 	consts := collectConstants(p1, p2)
 	var witnessD *db.Database
 	var witnessH cq.Mapping
 	found := false
 	p1.EnumerateSubtrees(func(s core.Subtree) bool {
 		atoms := p1.SubtreeAtoms(s)
-		QuotientDatabases(atoms, consts, func(d *db.Database) bool {
-			for _, h := range p1.Evaluate(d) {
+		QuotientDatabasesObs(atoms, consts, st, func(d *db.Database) bool {
+			for _, h := range p1.EvaluateObs(d, st) {
 				subsumed := false
+				st.Inc(obs.CtrInnerChecks)
 				if opts.InnerEnumerate {
-					for _, g := range p2.Evaluate(d) {
+					for _, g := range p2.EvaluateObs(d, st) {
 						if h.SubsumedBy(g) {
 							subsumed = true
 							break
@@ -127,6 +142,12 @@ func collectConstants(trees ...*core.PatternTree) []string {
 // small-model space on which subsumption of (unions of) WDPTs can be
 // refuted.
 func QuotientDatabases(atoms []cq.Atom, consts []string, visit func(*db.Database) bool) {
+	QuotientDatabasesObs(atoms, consts, nil, visit)
+}
+
+// QuotientDatabasesObs is QuotientDatabases with each enumerated candidate
+// database counted on st.
+func QuotientDatabasesObs(atoms []cq.Atom, consts []string, st *obs.Stats, visit func(*db.Database) bool) {
 	vars := cq.AtomsVars(atoms)
 	assign := make(cq.Mapping, len(vars))
 	// reps tracks current block representatives among variables.
@@ -138,6 +159,7 @@ func QuotientDatabases(atoms []cq.Atom, consts []string, visit func(*db.Database
 			return
 		}
 		if i == len(vars) {
+			st.Inc(obs.CtrQuotientDBs)
 			d := db.New()
 			for _, a := range atoms {
 				ground := assign.ApplyAtom(a)

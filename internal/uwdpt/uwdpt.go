@@ -13,6 +13,7 @@ import (
 	"wdpt/internal/cq"
 	"wdpt/internal/cqeval"
 	"wdpt/internal/db"
+	"wdpt/internal/obs"
 	"wdpt/internal/subsume"
 )
 
@@ -76,7 +77,9 @@ func (u *Union) EvaluateMaximal(d *db.Database) []cq.Mapping {
 // member test uses the interface algorithm, so the union problem stays in
 // LOGCFL for unions of ℓ-C(k) ∩ BI(c) trees (Theorem 16.1).
 func (u *Union) Eval(d *db.Database, h cq.Mapping, eng cqeval.Engine) bool {
+	st := cqeval.StatsOf(eng)
 	for _, p := range u.trees {
+		st.Inc(obs.CtrUnionMemberEvals)
 		if p.EvalInterface(d, h, eng) {
 			return true
 		}
@@ -87,7 +90,9 @@ func (u *Union) Eval(d *db.Database, h cq.Mapping, eng cqeval.Engine) bool {
 // PartialEval decides ⋃-PARTIAL-EVAL: some answer of some member extends h
 // (Theorem 16.2).
 func (u *Union) PartialEval(d *db.Database, h cq.Mapping, eng cqeval.Engine) bool {
+	st := cqeval.StatsOf(eng)
 	for _, p := range u.trees {
+		st.Inc(obs.CtrUnionMemberEvals)
 		if p.PartialEval(d, h, eng) {
 			return true
 		}
@@ -116,6 +121,11 @@ func (u *Union) MaxEval(d *db.Database, h cq.Mapping, eng cqeval.Engine) bool {
 // subtrees can be exponential; maxCQs caps the output (0 = no cap).
 // Duplicate CQs (same atoms and free variables) are merged.
 func (u *Union) CQTranslation(maxCQs int) []*cq.CQ {
+	return u.CQTranslationObs(maxCQs, nil)
+}
+
+// CQTranslationObs is CQTranslation with each emitted CQ counted on st.
+func (u *Union) CQTranslationObs(maxCQs int, st *obs.Stats) []*cq.CQ {
 	var out []*cq.CQ
 	seen := make(map[string]bool)
 	for _, p := range u.trees {
@@ -125,6 +135,7 @@ func (u *Union) CQTranslation(maxCQs int) []*cq.CQ {
 			if !seen[key] {
 				seen[key] = true
 				out = append(out, q)
+				st.Inc(obs.CtrUnionCQs)
 			}
 			return maxCQs == 0 || len(out) < maxCQs
 		})

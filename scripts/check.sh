@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Repository gate: formatting, vet, wdptlint, build, tests under the race
-# detector, a -short benchmark smoke, and a bounded parser fuzz smoke.
-# CI (.github/workflows/ci.yml) runs exactly this script.
+# detector, a -short benchmark smoke, a wdptbench metrics-artifact smoke
+# (writes BENCH_<date>.json, which CI uploads), and a bounded parser fuzz
+# smoke. CI (.github/workflows/ci.yml) runs exactly this script.
 #
 #   ./scripts/check.sh
 #
@@ -34,6 +35,9 @@ go test -race ./...
 
 echo "== benchmark smoke (-race -short -benchtime=1x)"
 go test -race -short -run='^$' -bench=. -benchtime=1x .
+
+echo "== wdptbench metrics artifact (-short -json)"
+go run ./cmd/wdptbench -short -json -out . >/dev/null
 
 if [[ "${WDPT_SKIP_FUZZ:-0}" != "1" ]]; then
   fuzztime="${FUZZTIME:-10s}"

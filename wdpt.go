@@ -33,6 +33,7 @@ import (
 	"wdpt/internal/cq"
 	"wdpt/internal/cqeval"
 	"wdpt/internal/db"
+	"wdpt/internal/obs"
 	"wdpt/internal/rdf"
 	"wdpt/internal/sparql"
 	"wdpt/internal/subsume"
@@ -168,6 +169,39 @@ var (
 	HypertreeEngine = cqeval.Hypertree
 	// AutoEngine picks Yannakakis when acyclic, decompositions otherwise.
 	AutoEngine = cqeval.Auto
+)
+
+// Observability: engine-level counters, spans, and EXPLAIN plans (see
+// docs/OBSERVABILITY.md for the counter glossary and output formats).
+type (
+	// Stats is a set of atomic work counters shared by every evaluation
+	// layer; attach one to an engine with WithStats and read it back with
+	// Snapshot. A nil *Stats disables recording at near-zero cost.
+	Stats = obs.Stats
+	// Counter identifies one registered counter.
+	Counter = obs.Counter
+	// Plan is the structured EXPLAIN value returned by Engine.Explain.
+	Plan = obs.Plan
+	// PlanBag is one bag of a join-tree / decomposition plan.
+	PlanBag = obs.PlanBag
+	// Timer measures functions with warm-up and min-of-N repetition.
+	Timer = obs.Timer
+	// TraceSink receives span events from a Stats with tracing attached.
+	TraceSink = obs.TraceSink
+)
+
+// Observability constructors.
+var (
+	// NewStats returns an empty, enabled counter set.
+	NewStats = obs.NewStats
+	// WithStats returns a copy of an engine that records its work on the
+	// given Stats; the WDPT algorithms above the engine report their own
+	// counters (bands, memo hits, ...) to the same sink.
+	WithStats = cqeval.WithStats
+	// StatsOf returns the Stats attached to an engine, or nil.
+	StatsOf = cqeval.StatsOf
+	// AllCounters returns every registered counter in declaration order.
+	AllCounters = obs.Counters
 )
 
 // RDF scenario (Section 2): answer-preserving encodings into the single
