@@ -8,12 +8,21 @@
 //	wdptbench -run E2,E8      # run selected experiments
 //	wdptbench -quick          # smoke-test sizes (-short is an alias)
 //	wdptbench -json           # also write the BENCH_<date>.json artifact
+//	wdptbench -parallelism 0  # Solve worker pool sized to NumCPU
 //
-// With -json, the run additionally writes a BENCH_<date>.json metrics
-// artifact into -out (default "."): per-experiment wall-clock time, the
-// engine work counters of docs/OBSERVABILITY.md, and the rendered rows —
-// the machine-readable companion to EXPERIMENTS.md. The -cpuprofile,
-// -memprofile, and -trace flags capture pprof artifacts of the whole run.
+// With -json, the run additionally writes a BENCH_<date><suffix>.json
+// metrics artifact into -out (default "."): per-experiment wall-clock time,
+// the engine work counters of docs/OBSERVABILITY.md, and the rendered
+// rows — the machine-readable companion to EXPERIMENTS.md. The -suffix flag
+// distinguishes artifacts of the same day (CI writes one per parallelism
+// level). The -cpuprofile, -memprofile, and -trace flags capture pprof
+// artifacts of the whole run.
+//
+// -parallelism sets the Solve worker pool the experiments run under:
+// 1 (the default) is the exact sequential engine, 0 means runtime.NumCPU,
+// and any other value is the worker bound. Tables and non-par.* counters
+// are byte-identical at every level — compare elapsed_ns across artifacts
+// to read the scaling.
 //
 // The command exits non-zero when any experiment's built-in cross-checks
 // report an ERROR or a DISAGREEMENT, so a clean run doubles as an
@@ -27,6 +36,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -51,11 +61,12 @@ type benchExperiment struct {
 	Notes     []string         `json:"notes,omitempty"`
 }
 
-// benchArtifact is the top-level BENCH_<date>.json document.
+// benchArtifact is the top-level BENCH_<date><suffix>.json document.
 type benchArtifact struct {
 	Date        string            `json:"date"`
 	Quick       bool              `json:"quick"`
 	Repetitions int               `json:"repetitions"`
+	Parallelism int               `json:"parallelism"`
 	Experiments []benchExperiment `json:"experiments"`
 }
 
@@ -68,8 +79,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	short := fs.Bool("short", false, "alias of -quick")
 	reps := fs.Int("reps", 0, "repetitions per measured point (default 3)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
-	jsonOut := fs.Bool("json", false, "write the BENCH_<date>.json metrics artifact")
-	outDir := fs.String("out", ".", "directory for the BENCH_<date>.json artifact")
+	jsonOut := fs.Bool("json", false, "write the BENCH_<date><suffix>.json metrics artifact")
+	outDir := fs.String("out", ".", "directory for the BENCH_<date><suffix>.json artifact")
+	parallelism := fs.Int("parallelism", 1, "Solve worker pool size (1 = sequential, 0 = NumCPU)")
+	suffix := fs.String("suffix", "", "artifact filename suffix, e.g. -p8 -> BENCH_<date>-p8.json")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	traceFile := fs.String("trace", "", "write a runtime execution trace to this file")
@@ -100,11 +113,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "wdptbench: %v\n", err)
 		return 2
 	}
-	cfg := harness.Config{Quick: *quick || *short, Repetitions: *reps}
+	par := *parallelism
+	if par == 0 {
+		par = runtime.NumCPU()
+	}
+	cfg := harness.Config{Quick: *quick || *short, Repetitions: *reps, Parallelism: par}
 	artifact := benchArtifact{
 		Date:        time.Now().Format("2006-01-02"),
 		Quick:       cfg.Quick,
 		Repetitions: *reps,
+		Parallelism: par,
 	}
 	failed := false
 	for _, e := range selected {
@@ -141,7 +159,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if *jsonOut {
-		path := filepath.Join(*outDir, "BENCH_"+artifact.Date+".json")
+		path := filepath.Join(*outDir, "BENCH_"+artifact.Date+*suffix+".json")
 		data, err := json.MarshalIndent(artifact, "", "  ")
 		if err != nil {
 			fmt.Fprintf(stderr, "wdptbench: %v\n", err)

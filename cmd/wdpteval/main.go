@@ -11,6 +11,13 @@
 //	partial    decide whether h extends to an answer
 //	max        decide h ∈ p_m(D)
 //
+// Every mode routes through the consolidated Solve API, so concurrency and
+// cancellation are uniform:
+//
+//	-parallelism n  Solve worker pool (1 = sequential, 0 = NumCPU); answers
+//	                are byte-identical at every value
+//	-timeout d      cancel the evaluation after d (e.g. 30s); exits non-zero
+//
 // Observability (see docs/OBSERVABILITY.md):
 //
 //	-explain       print the plan the engine chose for each tree node
@@ -28,12 +35,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"wdpt"
 	"wdpt/internal/approx"
@@ -55,6 +65,8 @@ type options struct {
 	stats                    bool
 	jsonOut                  bool
 	optimize                 int
+	parallelism              int
+	timeout                  time.Duration
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -72,6 +84,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&o.stats, "stats", false, "print the engine work counters after evaluating")
 	fs.BoolVar(&o.jsonOut, "json", false, "emit one JSON document instead of text")
 	fs.IntVar(&o.optimize, "optimize", 0, "k > 0: route partial/max modes through the Corollary 2 M(WB(k)) witness when one exists")
+	fs.IntVar(&o.parallelism, "parallelism", 1, "Solve worker pool size (1 = sequential, 0 = NumCPU)")
+	fs.DurationVar(&o.timeout, "timeout", 0, "cancel the evaluation after this duration (0 = none)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	traceFile := fs.String("trace", "", "write a runtime execution trace to this file")
@@ -100,6 +114,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 type report struct {
 	Mode               string           `json:"mode"`
 	Engine             string           `json:"engine"`
+	Parallelism        int              `json:"parallelism,omitempty"`
 	Classification     string           `json:"classification,omitempty"`
 	AnswerCount        *int             `json:"answer_count,omitempty"`
 	Answers            []wdpt.Mapping   `json:"answers,omitempty"`
@@ -127,7 +142,17 @@ func evalMain(out io.Writer, o options) error {
 		st = wdpt.NewStats()
 		eng = wdpt.WithStats(eng, st)
 	}
-	rep := report{Mode: o.mode, Engine: o.engine}
+	par := o.parallelism
+	if par == 0 {
+		par = runtime.NumCPU()
+	}
+	ctx := context.Background()
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
+	}
+	rep := report{Mode: o.mode, Engine: o.engine, Parallelism: par}
 	if o.classify {
 		rep.Classification = p.Classify().String()
 		if !o.jsonOut {
@@ -150,7 +175,13 @@ func evalMain(out io.Writer, o options) error {
 	}
 	switch o.mode {
 	case "enumerate":
-		answers := wdpt.SortSolutions(p.EvaluateWith(d, eng))
+		res, err := p.Solve(ctx, d, wdpt.SolveOptions{
+			Mode: wdpt.ModeEnumerate, Engine: eng, Parallelism: par,
+		})
+		if err != nil {
+			return err
+		}
+		answers := wdpt.SortSolutions(res.Answers)
 		n := len(answers)
 		rep.AnswerCount, rep.Answers = &n, answers
 		if !o.jsonOut {
@@ -160,7 +191,15 @@ func evalMain(out io.Writer, o options) error {
 			}
 		}
 	case "maximal":
-		answers := wdpt.SortSolutions(p.EvaluateMaximalObs(d, st))
+		// The historical maximal path drives the backtracking solver, not
+		// the engine, so Engine stays nil and the counters land on Stats.
+		res, err := p.Solve(ctx, d, wdpt.SolveOptions{
+			Mode: wdpt.ModeMaximal, Stats: st, Parallelism: par,
+		})
+		if err != nil {
+			return err
+		}
+		answers := wdpt.SortSolutions(res.Answers)
 		n := len(answers)
 		rep.AnswerCount, rep.Answers = &n, answers
 		if !o.jsonOut {
@@ -176,7 +215,7 @@ func evalMain(out io.Writer, o options) error {
 		}
 		var opt *approx.Optimized
 		if o.optimize > 0 && o.mode != "exact" {
-			opt = wdpt.Optimize(p, wdpt.WB(o.optimize), wdpt.ApproxOptions{})
+			opt = wdpt.Optimize(p, wdpt.WB(o.optimize), wdpt.ApproxOptions{Parallelism: par})
 			tractable := opt.Tractable()
 			rep.OptimizerTractable = &tractable
 			if !o.jsonOut {
@@ -184,21 +223,32 @@ func evalMain(out io.Writer, o options) error {
 			}
 		}
 		var result bool
-		switch o.mode {
-		case "exact":
-			result = p.EvalInterface(d, h, eng)
-		case "partial":
-			if opt != nil {
+		if opt != nil {
+			// The Corollary 2 witness has its own tractable evaluators.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			switch o.mode {
+			case "partial":
 				result = opt.PartialEval(d, h, eng)
-			} else {
-				result = p.PartialEval(d, h, eng)
-			}
-		case "max":
-			if opt != nil {
+			case "max":
 				result = opt.MaxEval(d, h, eng)
-			} else {
-				result = p.MaxEval(d, h, eng)
 			}
+		} else {
+			mode := wdpt.ModeExact
+			switch o.mode {
+			case "partial":
+				mode = wdpt.ModePartial
+			case "max":
+				mode = wdpt.ModeMax
+			}
+			res, err := p.Solve(ctx, d, wdpt.SolveOptions{
+				Mode: mode, Mapping: h, Engine: eng, Parallelism: par,
+			})
+			if err != nil {
+				return err
+			}
+			result = res.Holds
 		}
 		rep.Result = &result
 		if !o.jsonOut {

@@ -11,6 +11,9 @@
 //	    internal/cq require doc comments
 //	R6  every counter registered in internal/obs (the counterNames literal)
 //	    must be documented in the docs/OBSERVABILITY.md glossary
+//	R7  consolidated evaluation surface: exported Eval*/Evaluate*/
+//	    PartialEval*/MaxEval* functions in internal/core and internal/uwdpt
+//	    must delegate to Solve or carry a "Deprecated:" doc comment
 //
 // Findings print as "file:line: [rule] message" and make the tool exit 1.
 // A finding is suppressed by a directive on the same line or the line above:
@@ -75,7 +78,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // allRules lists every implemented rule in report order.
-var allRules = []string{"R1", "R2", "R3", "R4", "R5", "R6"}
+var allRules = []string{"R1", "R2", "R3", "R4", "R5", "R6", "R7"}
 
 func parseRules(s string) (map[string]bool, error) {
 	enabled := make(map[string]bool, len(allRules))

@@ -1,0 +1,42 @@
+// Package uwdpt exercises the R7 consolidated-evaluation-surface rule.
+package uwdpt
+
+// Tree stands in for a pattern tree.
+type Tree struct{}
+
+// Solve is the consolidated entry point; exempt by name.
+func (t *Tree) Solve() bool { return true }
+
+// EvalRogue is a fresh evaluation surface: not deprecated, no Solve.
+func (t *Tree) EvalRogue() bool { return false } // want R7
+
+// Evaluate delegates to Solve; exempt.
+func (t *Tree) Evaluate() bool { return t.Solve() }
+
+// EvalLegacy survives as a frozen wrapper.
+//
+// Deprecated: use Solve.
+func (t *Tree) EvalLegacy() bool { return false }
+
+// PartialEvalRogue is flagged like any other prefix match.
+func PartialEvalRogue() bool { return false } // want R7
+
+// MaxEvalHelper routes through a helper that itself names Solve; exempt.
+func MaxEvalHelper(t *Tree) bool {
+	solve := t.Solve
+	return solve()
+}
+
+// EvaluateTolerated keeps a deliberate second surface.
+//
+//lint:ignore R7 fixture: streaming variant with no Solve equivalent
+func EvaluateTolerated() {}
+
+// Evaluator is not a function; only func decls are policed.
+var Evaluator = 1
+
+// evalPrivate is unexported; exempt.
+func evalPrivate() {} //lint:ignore U1000 fixture
+
+// Extend does not match any evaluation prefix; exempt.
+func Extend() {}

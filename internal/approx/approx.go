@@ -30,6 +30,7 @@ import (
 	"wdpt/internal/cq"
 	"wdpt/internal/cqeval"
 	"wdpt/internal/obs"
+	"wdpt/internal/par"
 	"wdpt/internal/subsume"
 )
 
@@ -42,6 +43,13 @@ type Options struct {
 	Prune bool
 	// Subsume configures the underlying subsumption tests.
 	Subsume subsume.Options
+	// Parallelism bounds worker goroutines for candidate verification in
+	// ApproximateAll and MemberWB; values ≤ 1 run the exact sequential
+	// search. Results are byte-identical at every level (candidates verify
+	// in enumeration order); the approx.* work counters can exceed the
+	// sequential totals, because a batch in flight when the search would
+	// have stopped still completes.
+	Parallelism int
 }
 
 func (o Options) maxCandidates() int {
@@ -195,9 +203,19 @@ func ApproximateAll(p *core.PatternTree, c cq.Class, opts Options) []*core.Patte
 	if InWB(p, c) {
 		return []*core.PatternTree{p}
 	}
-	var members []*core.PatternTree
 	limit := opts.maxCandidates()
 	st := opts.stats()
+	if pool := par.New(opts.Parallelism, st); pool.Parallel() {
+		members := collectParallel(p, opts, pool, limit, func(t *core.PatternTree) bool {
+			if !InWB(t, c) {
+				return false
+			}
+			st.Inc(obs.CtrApproxVerified)
+			return subsume.Subsumes(t, p, opts.Subsume)
+		})
+		return maximalUnderSubsumption(members, opts.Subsume)
+	}
+	var members []*core.PatternTree
 	Candidates(p, opts, func(t *core.PatternTree) bool {
 		if InWB(t, c) {
 			st.Inc(obs.CtrApproxVerified)
@@ -208,6 +226,67 @@ func ApproximateAll(p *core.PatternTree, c cq.Class, opts Options) []*core.Patte
 		return len(members) < limit
 	})
 	return maximalUnderSubsumption(members, opts.Subsume)
+}
+
+// candidateStream runs the Candidates enumeration on its own goroutine,
+// delivering candidates over a channel. Closing quit stops the enumeration
+// promptly (the generator's pending send aborts), after which the output
+// channel closes — no goroutine outlives the consumer.
+func candidateStream(p *core.PatternTree, opts Options) (<-chan *core.PatternTree, chan struct{}) {
+	out := make(chan *core.PatternTree)
+	quit := make(chan struct{})
+	go func() {
+		defer close(out)
+		Candidates(p, opts, func(t *core.PatternTree) bool {
+			select {
+			case out <- t:
+				return true
+			case <-quit:
+				return false
+			}
+		})
+	}()
+	return out, quit
+}
+
+// collectParallel returns the first accepted candidates — at most limit, in
+// enumeration order, so the result matches the sequential search byte for
+// byte — verifying accept over the pool in batches. accept must be safe for
+// concurrent use.
+func collectParallel(p *core.PatternTree, opts Options, pool *par.Pool, limit int, accept func(*core.PatternTree) bool) []*core.PatternTree {
+	if p.HasConstants() {
+		//lint:ignore R2 documented precondition: callers gate on HasConstants (Section 5.2)
+		panic("approx: approximations are only defined for constant-free pattern trees (Section 5.2)")
+	}
+	stream, quit := candidateStream(p, opts)
+	defer close(quit)
+	chunk := 4 * pool.Workers()
+	var members []*core.PatternTree
+	batch := make([]*core.PatternTree, 0, chunk)
+	for {
+		batch = batch[:0]
+		for t := range stream {
+			batch = append(batch, t)
+			if len(batch) == chunk {
+				break
+			}
+		}
+		if len(batch) == 0 {
+			return members
+		}
+		accepted := par.Map(pool, len(batch), func(i int) bool { return accept(batch[i]) })
+		for i, ok := range accepted {
+			if ok {
+				members = append(members, batch[i])
+				if len(members) >= limit {
+					return members
+				}
+			}
+		}
+		if len(batch) < chunk {
+			return members
+		}
+	}
 }
 
 // Approximate returns one WB(k)-approximation candidate for p (the first
@@ -256,22 +335,72 @@ func MemberWB(p *core.PatternTree, c cq.Class, opts Options) (*core.PatternTree,
 	if InWB(p, c) {
 		return p, true
 	}
-	var witness *core.PatternTree
 	limit := opts.maxCandidates()
-	count := 0
 	st := opts.stats()
+	isWitness := func(t *core.PatternTree) bool {
+		if !InWB(t, c) {
+			return false
+		}
+		st.Inc(obs.CtrApproxVerified)
+		return subsume.Subsumes(p, t, opts.Subsume) && subsume.Subsumes(t, p, opts.Subsume)
+	}
+	if pool := par.New(opts.Parallelism, st); pool.Parallel() {
+		return memberWBParallel(p, opts, pool, limit, isWitness)
+	}
+	var witness *core.PatternTree
+	count := 0
 	Candidates(p, opts, func(t *core.PatternTree) bool {
 		count++
-		if InWB(t, c) {
-			st.Inc(obs.CtrApproxVerified)
-			if subsume.Subsumes(p, t, opts.Subsume) && subsume.Subsumes(t, p, opts.Subsume) {
-				witness = t
-				return false
-			}
+		if isWitness(t) {
+			witness = t
+			return false
 		}
 		return count < limit
 	})
 	return witness, witness != nil
+}
+
+// memberWBParallel examines up to limit candidates — the same cap the
+// sequential search applies — in enumeration-order batches and returns the
+// first witness, so the reported witness is identical at every parallelism
+// level.
+func memberWBParallel(p *core.PatternTree, opts Options, pool *par.Pool, limit int, isWitness func(*core.PatternTree) bool) (*core.PatternTree, bool) {
+	if p.HasConstants() {
+		//lint:ignore R2 documented precondition: callers gate on HasConstants (Section 5.2)
+		panic("approx: approximations are only defined for constant-free pattern trees (Section 5.2)")
+	}
+	stream, quit := candidateStream(p, opts)
+	defer close(quit)
+	count := 0
+	chunk := 4 * pool.Workers()
+	batch := make([]*core.PatternTree, 0, chunk)
+	for count < limit {
+		n := chunk
+		if rest := limit - count; rest < n {
+			n = rest
+		}
+		batch = batch[:0]
+		for t := range stream {
+			batch = append(batch, t)
+			if len(batch) == n {
+				break
+			}
+		}
+		if len(batch) == 0 {
+			break
+		}
+		witnesses := par.Map(pool, len(batch), func(i int) bool { return isWitness(batch[i]) })
+		for i, ok := range witnesses {
+			if ok {
+				return batch[i], true
+			}
+		}
+		count += len(batch)
+		if len(batch) < n {
+			break
+		}
+	}
+	return nil, false
 }
 
 // IsApproximation checks whether cand is a WB(k)-approximation of p

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"wdpt/internal/cq"
@@ -78,70 +79,37 @@ func (p *PatternTree) isMaximalHom(s Subtree, d *db.Database, h cq.Mapping, st *
 }
 
 // Evaluate computes p(D): the projections to x̄ of all maximal
-// homomorphisms from p to D (Definition 2). The computation expands
-// homomorphisms of the root node downward along extension units until no
-// further extension is possible; it is exponential in |p| in the worst
-// case, as the Σ₂ᴾ-completeness of EVAL dictates.
+// homomorphisms from p to D (Definition 2).
+//
+// Deprecated: use Solve with ModeEnumerate.
 func (p *PatternTree) Evaluate(d *db.Database) []cq.Mapping {
-	return p.EvaluateObs(d, nil)
+	res, _ := p.Solve(context.Background(), d, SolveOptions{Mode: ModeEnumerate})
+	return res.Answers
 }
 
-// EvaluateObs is Evaluate with work counts (extension units tested, tuples
-// scanned, homomorphisms found) recorded on st.
+// EvaluateObs is Evaluate with work counts recorded on st.
+//
+// Deprecated: use Solve with ModeEnumerate and SolveOptions.Stats.
 func (p *PatternTree) EvaluateObs(d *db.Database, st *obs.Stats) []cq.Mapping {
-	answers := cq.NewMappingSet()
-	visited := make(map[string]bool)
-	var expand func(s Subtree, h cq.Mapping)
-	expand = func(s Subtree, h cq.Mapping) {
-		key := s.Key() + "|" + h.Key()
-		if visited[key] {
-			return
-		}
-		visited[key] = true
-		extendable := false
-		for _, u := range p.extensionUnits(s) {
-			st.Inc(obs.CtrExtensionUnits)
-			var exts []cq.Mapping
-			cq.HomomorphismsObs(u.atoms, d, h, st, func(g cq.Mapping) bool {
-				exts = append(exts, g.Clone())
-				return true
-			})
-			if len(exts) == 0 {
-				continue
-			}
-			extendable = true
-			next := s.Clone()
-			for _, n := range u.nodes {
-				next[n.id] = true
-			}
-			for _, g := range exts {
-				expand(next, h.Union(g))
-			}
-		}
-		if !extendable {
-			answers.Add(h.Restrict(p.free))
-		}
-	}
-	cq.HomomorphismsObs(p.root.atoms, d, nil, st, func(h cq.Mapping) bool {
-		expand(p.RootSubtree(), h.Clone())
-		return true
-	})
-	return answers.All()
+	res, _ := p.Solve(context.Background(), d, SolveOptions{Mode: ModeEnumerate, Stats: st})
+	return res.Answers
 }
 
 // EvaluateMaximal computes p_m(D): the restriction of p(D) to mappings that
 // are maximal with respect to ⊑ (Section 3.4).
+//
+// Deprecated: use Solve with ModeMaximal.
 func (p *PatternTree) EvaluateMaximal(d *db.Database) []cq.Mapping {
-	return p.EvaluateMaximalObs(d, nil)
+	res, _ := p.Solve(context.Background(), d, SolveOptions{Mode: ModeMaximal})
+	return res.Answers
 }
 
 // EvaluateMaximalObs is EvaluateMaximal with work counts recorded on st.
+//
+// Deprecated: use Solve with ModeMaximal and SolveOptions.Stats.
 func (p *PatternTree) EvaluateMaximalObs(d *db.Database, st *obs.Stats) []cq.Mapping {
-	set := cq.NewMappingSet()
-	for _, h := range p.EvaluateObs(d, st) {
-		set.Add(h)
-	}
-	return set.Maximal()
+	res, _ := p.Solve(context.Background(), d, SolveOptions{Mode: ModeMaximal, Stats: st})
+	return res.Answers
 }
 
 // evalBand prepares the subtree band [T', T”] for an exact-evaluation
@@ -175,13 +143,23 @@ func (p *PatternTree) evalBand(h cq.Mapping) (tmin, tmax Subtree, ok bool) {
 // between the minimal subtree of dom(h) and the maximal subtree without new
 // free variables, searches homomorphisms consistent with h, and checks
 // maximality. Correct for every WDPT; exponential in |p|.
+//
+// Deprecated: use Solve with ModeExactNaive.
 func (p *PatternTree) Eval(d *db.Database, h cq.Mapping) bool {
-	return p.EvalObs(d, h, nil)
+	res, _ := p.Solve(context.Background(), d, SolveOptions{Mode: ModeExactNaive, Mapping: h})
+	return res.Holds
 }
 
-// EvalObs is Eval with work counts (bands enumerated, maximality checks,
-// extension units tested) recorded on st.
+// EvalObs is Eval with work counts recorded on st.
+//
+// Deprecated: use Solve with ModeExactNaive and SolveOptions.Stats.
 func (p *PatternTree) EvalObs(d *db.Database, h cq.Mapping, st *obs.Stats) bool {
+	res, _ := p.Solve(context.Background(), d, SolveOptions{Mode: ModeExactNaive, Mapping: h, Stats: st})
+	return res.Holds
+}
+
+// evalNaive is the band-enumeration baseline behind ModeExactNaive.
+func (p *PatternTree) evalNaive(d *db.Database, h cq.Mapping, st *obs.Stats) bool {
 	tmin, tmax, ok := p.evalBand(h)
 	if !ok {
 		return false
@@ -243,12 +221,20 @@ func (p *PatternTree) enumerateBand(base, within Subtree, visit func(Subtree) bo
 }
 
 // PartialEval decides PARTIAL-EVAL (Section 3.3): is there h' ∈ p(D) with
-// h ⊑ h'? Following the proof of Theorem 8, it suffices to find any
-// homomorphism on the minimal subtree containing dom(h) consistent with h;
-// the CQ test is delegated to the engine, so the whole check runs in
-// polynomial time when the WDPT is globally tractable and the engine is
-// decomposition-guided.
+// h ⊑ h'?
+//
+// Deprecated: use Solve with ModePartial.
 func (p *PatternTree) PartialEval(d *db.Database, h cq.Mapping, eng cqeval.Engine) bool {
+	res, _ := p.Solve(context.Background(), d, SolveOptions{Mode: ModePartial, Mapping: h, Engine: eng})
+	return res.Holds
+}
+
+// partialEval is the minimal-subtree PARTIAL-EVAL check behind ModePartial.
+// Following the proof of Theorem 8, it suffices to find any homomorphism on
+// the minimal subtree containing dom(h) consistent with h; the CQ test is
+// delegated to the engine, so the whole check runs in polynomial time when
+// the WDPT is globally tractable and the engine is decomposition-guided.
+func (p *PatternTree) partialEval(d *db.Database, h cq.Mapping, eng cqeval.Engine) bool {
 	free := p.FreeSet()
 	for v := range h {
 		if !free[v] {
@@ -265,6 +251,8 @@ func (p *PatternTree) PartialEval(d *db.Database, h cq.Mapping, eng cqeval.Engin
 // PartialEvalEnumerate is the ablation baseline for PARTIAL-EVAL: it
 // enumerates all rooted subtrees containing dom(h) instead of using the
 // minimal-subtree characterization.
+//
+//lint:ignore R7 ablation baseline measured by E3; deliberately not part of the Solve surface
 func (p *PatternTree) PartialEvalEnumerate(d *db.Database, h cq.Mapping) bool {
 	free := p.FreeSet()
 	for v := range h {
@@ -292,8 +280,11 @@ func (p *PatternTree) PartialEvalEnumerate(d *db.Database, h cq.Mapping) bool {
 // proper extension of h by any further free variable is a partial answer.
 // Tractable when the WDPT is globally tractable and the engine is
 // decomposition-guided.
+//
+// Deprecated: use Solve with ModeMax.
 func (p *PatternTree) MaxEval(d *db.Database, h cq.Mapping, eng cqeval.Engine) bool {
-	return p.PartialEval(d, h, eng) && !p.ProperExtensionExists(d, h, eng)
+	res, _ := p.Solve(context.Background(), d, SolveOptions{Mode: ModeMax, Mapping: h, Engine: eng})
+	return res.Holds
 }
 
 // ProperExtensionExists reports whether some answer h' ∈ p(D) properly
@@ -323,14 +314,25 @@ func (p *PatternTree) ProperExtensionExists(d *db.Database, h cq.Mapping, eng cq
 }
 
 // EvalInterface decides h ∈ p(D) with the interface-relation algorithm of
-// Theorem 6: node-local homomorphisms are projected to their (bounded)
+// Theorem 6.
+//
+// Deprecated: use Solve with ModeExact.
+func (p *PatternTree) EvalInterface(d *db.Database, h cq.Mapping, eng cqeval.Engine) bool {
+	res, _ := p.Solve(context.Background(), d, SolveOptions{Mode: ModeExact, Mapping: h, Engine: eng})
+	return res.Holds
+}
+
+// evalInterface is the interface-relation algorithm behind ModeExact
+// (Theorem 6): node-local homomorphisms are projected to their (bounded)
 // interfaces, optional nodes below the answer region are classified as
 // safely terminating or necessarily extending by a memoized bottom-up
 // analysis, and nodes outside the region must be blocked. The algorithm is
 // correct for every WDPT; its running time is polynomial when p is locally
 // tractable with c-bounded interface and eng is decomposition-guided
-// (Theorems 6 and 7).
-func (p *PatternTree) EvalInterface(d *db.Database, h cq.Mapping, eng cqeval.Engine) bool {
+// (Theorems 6 and 7). The evaluator is internally sequential — its row
+// loops short-circuit and share the memo table — so parallelism reaches it
+// only through the engine's plan phases.
+func (p *PatternTree) evalInterface(d *db.Database, h cq.Mapping, eng cqeval.Engine) bool {
 	tmin, tmax, ok := p.evalBand(h)
 	if !ok {
 		return false

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"wdpt/internal/cq"
@@ -67,42 +68,11 @@ func (p *PatternTree) PruneNonProjecting() *PatternTree {
 // EvaluateWith computes p(D) like Evaluate but delegates all conjunctive-
 // query work to the given engine, so that enumeration also benefits from
 // decomposition-guided evaluation on globally tractable trees.
+//
+// Deprecated: use Solve with ModeEnumerate and SolveOptions.Engine.
 func (p *PatternTree) EvaluateWith(d *db.Database, eng cqeval.Engine) []cq.Mapping {
-	st := cqeval.StatsOf(eng)
-	answers := cq.NewMappingSet()
-	visited := make(map[string]bool)
-	var expand func(s Subtree, h cq.Mapping)
-	expand = func(s Subtree, h cq.Mapping) {
-		key := s.Key() + "|" + h.Key()
-		if visited[key] {
-			return
-		}
-		visited[key] = true
-		extendable := false
-		for _, u := range p.extensionUnits(s) {
-			st.Inc(obs.CtrExtensionUnits)
-			exts := eng.Project(u.atoms, d, h, cq.AtomsVars(u.atoms))
-			if len(exts) == 0 {
-				continue
-			}
-			extendable = true
-			next := s.Clone()
-			for _, n := range u.nodes {
-				next[n.id] = true
-			}
-			for _, g := range exts {
-				expand(next, h.Union(g))
-			}
-		}
-		if !extendable {
-			answers.Add(h.Restrict(p.free))
-		}
-	}
-	rootVars := cq.AtomsVars(p.root.atoms)
-	for _, h := range eng.Project(p.root.atoms, d, nil, rootVars) {
-		expand(p.RootSubtree(), h)
-	}
-	return answers.All()
+	res, _ := p.Solve(context.Background(), d, SolveOptions{Mode: ModeEnumerate, Engine: eng})
+	return res.Answers
 }
 
 // ExplainNodes returns the engine's plan for every node of the tree in
@@ -123,6 +93,8 @@ func (p *PatternTree) ExplainNodes(d *db.Database, eng cqeval.Engine) []obs.Plan
 // EvaluateFunc streams p(D): visit receives each answer once; returning
 // false stops the enumeration early. Equivalent to Evaluate but without
 // materializing the answer set — answers still arrive deduplicated.
+//
+//lint:ignore R7 streaming variant: Solve materializes its Result, so there is no Solve equivalent to delegate to
 func (p *PatternTree) EvaluateFunc(d *db.Database, visit func(cq.Mapping) bool) {
 	emitted := cq.NewMappingSet()
 	visited := make(map[string]bool)

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"wdpt/internal/cq"
+	"wdpt/internal/cqeval"
+	"wdpt/internal/db"
+	"wdpt/internal/obs"
+	"wdpt/internal/par"
+)
+
+// This file is the consolidated entry point for every WDPT evaluation
+// problem of Section 3. Solve subsumes the historical per-problem functions
+// (Evaluate, EvaluateMaximal, Eval, EvalInterface, PartialEval, MaxEval,
+// EvaluateWith), which survive as thin deprecated wrappers; new callers and
+// new evaluation variants go through Solve so that context cancellation,
+// engine selection, observability, and parallelism are configured in one
+// place (wdptlint rule R7 enforces this for future exported functions).
+//
+// Determinism contract: for every mode and every Parallelism level the
+// returned answers are byte-identical, and at Parallelism ≤ 1 the counter
+// totals on SolveOptions.Stats equal the historical sequential totals
+// exactly. Parallel fan-outs only cover work whose operation set is
+// order-independent, so all non-par.* counters stay level-independent too.
+
+// Mode selects which evaluation problem Solve decides or computes.
+type Mode int
+
+const (
+	// ModeEnumerate computes p(D), the set of maximal-homomorphism
+	// projections of Definition 2.
+	ModeEnumerate Mode = iota
+	// ModeMaximal computes p_m(D): p(D) restricted to ⊑-maximal mappings
+	// (Section 3.4).
+	ModeMaximal
+	// ModeExact decides h ∈ p(D) with the interface-relation algorithm of
+	// Theorem 6 (polynomial on locally tractable trees of bounded
+	// interface).
+	ModeExact
+	// ModeExactNaive decides h ∈ p(D) with the band-enumeration baseline
+	// (correct everywhere, exponential in |p|). It uses the backtracking
+	// homomorphism solver directly and ignores SolveOptions.Engine.
+	ModeExactNaive
+	// ModePartial decides PARTIAL-EVAL: h ⊑ h' for some h' ∈ p(D)
+	// (Theorem 8).
+	ModePartial
+	// ModeMax decides MAX-EVAL: h ∈ p_m(D) (Theorem 9).
+	ModeMax
+)
+
+// String returns the mode's stable name (the wdpteval -mode vocabulary).
+func (m Mode) String() string {
+	switch m {
+	case ModeEnumerate:
+		return "enumerate"
+	case ModeMaximal:
+		return "maximal"
+	case ModeExact:
+		return "exact"
+	case ModeExactNaive:
+		return "exact-naive"
+	case ModePartial:
+		return "partial"
+	case ModeMax:
+		return "max"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// SolveOptions configures one Solve call. The zero value enumerates p(D)
+// sequentially with the naive homomorphism solver and no observability.
+type SolveOptions struct {
+	// Mode selects the problem; see the Mode constants.
+	Mode Mode
+	// Mapping is the candidate mapping h for the decision modes (ModeExact,
+	// ModeExactNaive, ModePartial, ModeMax); ignored by the enumeration
+	// modes.
+	Mapping cq.Mapping
+	// Engine evaluates the node-level conjunctive queries. nil selects the
+	// historical default for the mode: the backtracking solver for the
+	// enumeration modes and ModeExactNaive, cqeval.Auto() for the other
+	// decision modes.
+	Engine cqeval.Engine
+	// Stats receives work counters. nil falls back to the sink carried by
+	// Engine (cqeval.WithStats); if both are set and differ, Stats wins and
+	// the engine is rewired onto it.
+	Stats *obs.Stats
+	// Parallelism bounds the worker goroutines; values ≤ 1 run the exact
+	// sequential legacy code paths and record no par.* counters.
+	Parallelism int
+}
+
+// Result is the outcome of a Solve call: Answers for the enumeration modes,
+// Holds for the decision modes.
+type Result struct {
+	Answers []cq.Mapping
+	Holds   bool
+}
+
+// Solve runs the selected evaluation problem over d. It returns an error
+// only when ctx is cancelled (checked between root-candidate expansions;
+// decision modes run to completion once started) or when opts.Mode is
+// unknown. A nil ctx is treated as context.Background().
+func (p *PatternTree) Solve(ctx context.Context, d *db.Database, opts SolveOptions) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	st := opts.Stats
+	if st == nil {
+		st = cqeval.StatsOf(opts.Engine)
+	}
+	pool := par.New(opts.Parallelism, st)
+	eng := opts.Engine
+	if eng != nil {
+		if opts.Stats != nil && cqeval.StatsOf(eng) != opts.Stats {
+			eng = cqeval.WithStats(eng, opts.Stats)
+		}
+		eng = cqeval.WithPool(eng, pool)
+	}
+	switch opts.Mode {
+	case ModeEnumerate, ModeMaximal:
+		answers, err := p.enumerateSolve(ctx, d, eng, st, pool)
+		if err != nil {
+			return Result{}, err
+		}
+		if opts.Mode == ModeMaximal {
+			return Result{Answers: answers.Maximal()}, nil
+		}
+		return Result{Answers: answers.All()}, nil
+	case ModeExactNaive:
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		return Result{Holds: p.evalNaive(d, opts.Mapping, st)}, nil
+	case ModeExact, ModePartial, ModeMax:
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		if eng == nil {
+			eng = cqeval.WithPool(cqeval.WithStats(cqeval.Auto(), st), pool)
+		}
+		switch opts.Mode {
+		case ModeExact:
+			return Result{Holds: p.evalInterface(d, opts.Mapping, eng)}, nil
+		case ModePartial:
+			return Result{Holds: p.partialEval(d, opts.Mapping, eng)}, nil
+		default:
+			return Result{Holds: p.partialEval(d, opts.Mapping, eng) && !p.ProperExtensionExists(d, opts.Mapping, eng)}, nil
+		}
+	}
+	return Result{}, fmt.Errorf("core: unknown solve mode %v", opts.Mode)
+}
+
+// enumerateSolve computes the full answer set of Definition 2. Root-node
+// homomorphisms are materialized first and then expanded downward along
+// extension units; with a parallel pool each root candidate expands on its
+// own worker with private visited/answer state, and the per-candidate sets
+// merge in candidate order. Subtree/mapping keys of distinct root
+// candidates never collide (every key embeds the root bindings), so the
+// per-candidate dedup maps partition the shared sequential map exactly:
+// the expansion work — and its counters — are identical at every
+// parallelism level.
+func (p *PatternTree) enumerateSolve(ctx context.Context, d *db.Database, eng cqeval.Engine, st *obs.Stats, pool *par.Pool) (*cq.MappingSet, error) {
+	var roots []cq.Mapping
+	if eng == nil {
+		cq.HomomorphismsObs(p.root.atoms, d, nil, st, func(h cq.Mapping) bool {
+			roots = append(roots, h.Clone())
+			return true
+		})
+	} else {
+		roots = eng.Project(p.root.atoms, d, nil, cq.AtomsVars(p.root.atoms))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if !pool.Parallel() || len(roots) <= 1 {
+		answers := cq.NewMappingSet()
+		visited := make(map[string]bool)
+		for _, h := range roots {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			p.expandSolve(d, eng, st, visited, answers, p.RootSubtree(), h)
+		}
+		return answers, nil
+	}
+	sets := par.Map(pool, len(roots), func(i int) *cq.MappingSet {
+		answers := cq.NewMappingSet()
+		p.expandSolve(d, eng, st, make(map[string]bool), answers, p.RootSubtree(), roots[i])
+		return answers
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	merged := cq.NewMappingSet()
+	for _, set := range sets {
+		for _, h := range set.All() {
+			merged.Add(h)
+		}
+	}
+	return merged, nil
+}
+
+// expandSolve grows the subtree/homomorphism pair (s, h) along extension
+// units until no extension is possible, collecting the free projections of
+// the maximal homomorphisms. With eng == nil the node CQs go to the
+// backtracking solver (the historical Evaluate path); otherwise to the
+// engine (the historical EvaluateWith path).
+func (p *PatternTree) expandSolve(d *db.Database, eng cqeval.Engine, st *obs.Stats, visited map[string]bool, answers *cq.MappingSet, s Subtree, h cq.Mapping) {
+	key := s.Key() + "|" + h.Key()
+	if visited[key] {
+		return
+	}
+	visited[key] = true
+	extendable := false
+	for _, u := range p.extensionUnits(s) {
+		st.Inc(obs.CtrExtensionUnits)
+		var exts []cq.Mapping
+		if eng == nil {
+			cq.HomomorphismsObs(u.atoms, d, h, st, func(g cq.Mapping) bool {
+				exts = append(exts, g.Clone())
+				return true
+			})
+		} else {
+			exts = eng.Project(u.atoms, d, h, cq.AtomsVars(u.atoms))
+		}
+		if len(exts) == 0 {
+			continue
+		}
+		extendable = true
+		next := s.Clone()
+		for _, n := range u.nodes {
+			next[n.id] = true
+		}
+		for _, g := range exts {
+			p.expandSolve(d, eng, st, visited, answers, next, h.Union(g))
+		}
+	}
+	if !extendable {
+		answers.Add(h.Restrict(p.free))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"wdpt/internal/cq"
+	"wdpt/internal/obs"
 )
 
 // The structural part of a plan — join-tree parents, decomposition bags,
@@ -27,12 +28,23 @@ type cachedShape struct {
 	width  int        // GHDs: width at which the search succeeded
 }
 
+// cacheEntry pairs a shape with a ready channel so that concurrent requests
+// for the same key coalesce (single-flight): the first requester builds the
+// shape, later requesters wait on ready and are served from the cache. This
+// keeps the plan-cache counters deterministic under parallel evaluation — k
+// requests for one shape always record exactly one miss and k-1 hits, the
+// same totals a sequential run records.
+type cacheEntry struct {
+	ready chan struct{}
+	shape *cachedShape
+}
+
 // planCache memoizes structural plans keyed on strategy + variable shape.
 // Safe for concurrent use; a nil *planCache disables caching (engines built
 // as bare struct literals still work, they just re-plan every call).
 type planCache struct {
 	mu sync.Mutex
-	m  map[string]*cachedShape
+	m  map[string]*cacheEntry
 }
 
 // maxCachedShapes bounds the cache; WDPT workloads reuse a handful of node
@@ -42,29 +54,35 @@ type planCache struct {
 const maxCachedShapes = 512
 
 func newPlanCache() *planCache {
-	return &planCache{m: make(map[string]*cachedShape)}
+	return &planCache{m: make(map[string]*cacheEntry)}
 }
 
-func (c *planCache) get(key string) (*cachedShape, bool) {
+// do returns the shape for key, invoking build on the first request and
+// coalescing concurrent requests onto that single build. The builder counts
+// one cache miss (plus whatever build itself records); every other
+// requester counts one cache hit. A nil cache invokes build on every call
+// and records neither hits nor misses — the legacy uncached behavior.
+func (c *planCache) do(key string, st *obs.Stats, build func() *cachedShape) *cachedShape {
 	if c == nil {
-		return nil, false
+		return build()
 	}
 	c.mu.Lock()
-	s, ok := c.m[key]
-	c.mu.Unlock()
-	return s, ok
-}
-
-func (c *planCache) put(key string, s *cachedShape) {
-	if c == nil {
-		return
+	if e, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		st.Inc(obs.CtrPlanCacheHits)
+		return e.shape
 	}
-	c.mu.Lock()
 	if len(c.m) >= maxCachedShapes {
-		c.m = make(map[string]*cachedShape)
+		c.m = make(map[string]*cacheEntry)
 	}
-	c.m[key] = s
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.m[key] = e
 	c.mu.Unlock()
+	st.Inc(obs.CtrPlanCacheMisses)
+	e.shape = build()
+	close(e.ready)
+	return e.shape
 }
 
 // shapeKey builds the cache key for an instantiated, deduplicated atom

@@ -6,6 +6,7 @@ import (
 	"wdpt/internal/cq"
 	"wdpt/internal/db"
 	"wdpt/internal/obs"
+	"wdpt/internal/par"
 )
 
 // Engine evaluates sets of atoms (CQ bodies) over a database under a partial
@@ -50,6 +51,36 @@ func WithStats(eng Engine, st *obs.Stats) Engine {
 func StatsOf(eng Engine) *obs.Stats {
 	if c, ok := eng.(statsCarrier); ok {
 		return c.stats()
+	}
+	return nil
+}
+
+// poolCarrier is the private interface the plan-based engines implement;
+// WithPool and PoolOf dispatch through it.
+type poolCarrier interface {
+	withPool(pl *par.Pool) Engine
+	pool() *par.Pool
+}
+
+// WithPool returns a copy of eng whose count-exact plan phases — bag
+// materialization, the top-down reduction, and the projecting join — fan
+// out over pl. Every parallelized phase produces byte-identical results and
+// identical non-par.* counter totals at any worker count; the bottom-up
+// semijoin pass stays sequential because its early exit makes its work set
+// order-dependent. A nil pl restores sequential evaluation. Engines not
+// constructed by this package, and engines with nothing to parallelize
+// (the naive engine), are returned unchanged.
+func WithPool(eng Engine, pl *par.Pool) Engine {
+	if c, ok := eng.(poolCarrier); ok {
+		return c.withPool(pl)
+	}
+	return eng
+}
+
+// PoolOf returns the worker pool attached to eng by WithPool, or nil.
+func PoolOf(eng Engine) *par.Pool {
+	if c, ok := eng.(poolCarrier); ok {
+		return c.pool()
 	}
 	return nil
 }
@@ -113,23 +144,30 @@ func (e naiveEngine) Explain(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) 
 type yannakakisEngine struct {
 	st    *obs.Stats
 	cache *planCache
+	pl    *par.Pool
 }
 
 func (yannakakisEngine) Name() string { return "yannakakis" }
 
 func (e yannakakisEngine) withStats(st *obs.Stats) Engine {
-	return yannakakisEngine{st: st, cache: e.cache}
+	return yannakakisEngine{st: st, cache: e.cache, pl: e.pl}
 }
 func (e yannakakisEngine) stats() *obs.Stats { return e.st }
 
-// fallback is the decomposition engine sharing this engine's sink and cache.
+func (e yannakakisEngine) withPool(pl *par.Pool) Engine {
+	return yannakakisEngine{st: e.st, cache: e.cache, pl: pl}
+}
+func (e yannakakisEngine) pool() *par.Pool { return e.pl }
+
+// fallback is the decomposition engine sharing this engine's sink, cache,
+// and pool.
 func (e yannakakisEngine) fallback() decompEngine {
-	return decompEngine{st: e.st, cache: e.cache}
+	return decompEngine{st: e.st, cache: e.cache, pl: e.pl}
 }
 
 func (e yannakakisEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
 	e.st.Inc(obs.CtrSatisfiableCalls)
-	p, ok := prepareJoinTree(atoms, d, fixed, e.st, e.cache)
+	p, ok := prepareJoinTree(atoms, d, fixed, e.st, e.cache, e.pl)
 	if !ok {
 		e.st.Inc(obs.CtrFallbacks)
 		return e.fallback().satisfiable(atoms, d, fixed)
@@ -139,7 +177,7 @@ func (e yannakakisEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.
 
 func (e yannakakisEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, proj []string) []cq.Mapping {
 	e.st.Inc(obs.CtrProjectCalls)
-	p, ok := prepareJoinTree(atoms, d, fixed, e.st, e.cache)
+	p, ok := prepareJoinTree(atoms, d, fixed, e.st, e.cache, e.pl)
 	if !ok {
 		e.st.Inc(obs.CtrFallbacks)
 		return e.fallback().projectRows(atoms, d, fixed, proj)
@@ -148,7 +186,7 @@ func (e yannakakisEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapp
 }
 
 func (e yannakakisEngine) Explain(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) obs.Plan {
-	p, ok := prepareJoinTree(atoms, d, fixed, nil, e.cache)
+	p, ok := prepareJoinTree(atoms, d, fixed, nil, e.cache, nil)
 	if !ok {
 		out := e.fallback().Explain(atoms, d, fixed)
 		out.Engine = e.Name()
@@ -161,14 +199,20 @@ func (e yannakakisEngine) Explain(atoms []cq.Atom, d *db.Database, fixed cq.Mapp
 type decompEngine struct {
 	st    *obs.Stats
 	cache *planCache
+	pl    *par.Pool
 }
 
 func (decompEngine) Name() string { return "decomposition" }
 
 func (e decompEngine) withStats(st *obs.Stats) Engine {
-	return decompEngine{st: st, cache: e.cache}
+	return decompEngine{st: st, cache: e.cache, pl: e.pl}
 }
 func (e decompEngine) stats() *obs.Stats { return e.st }
+
+func (e decompEngine) withPool(pl *par.Pool) Engine {
+	return decompEngine{st: e.st, cache: e.cache, pl: pl}
+}
+func (e decompEngine) pool() *par.Pool { return e.pl }
 
 func (e decompEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
 	e.st.Inc(obs.CtrSatisfiableCalls)
@@ -178,7 +222,7 @@ func (e decompEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapp
 // satisfiable is the call-counter-free body, shared with fallback paths so
 // one logical engine call counts once.
 func (e decompEngine) satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
-	p, ok := prepareDecomposition(atoms, d, fixed, e.st, e.cache)
+	p, ok := prepareDecomposition(atoms, d, fixed, e.st, e.cache, e.pl)
 	if !ok {
 		return false
 	}
@@ -192,7 +236,7 @@ func (e decompEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapping,
 
 // projectRows is the call-counter-free body behind Project.
 func (e decompEngine) projectRows(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, proj []string) []cq.Mapping {
-	p, ok := prepareDecomposition(atoms, d, fixed, e.st, e.cache)
+	p, ok := prepareDecomposition(atoms, d, fixed, e.st, e.cache, e.pl)
 	if !ok {
 		return nil
 	}
@@ -200,7 +244,7 @@ func (e decompEngine) projectRows(atoms []cq.Atom, d *db.Database, fixed cq.Mapp
 }
 
 func (e decompEngine) Explain(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) obs.Plan {
-	p, ok := prepareDecomposition(atoms, d, fixed, nil, e.cache)
+	p, ok := prepareDecomposition(atoms, d, fixed, nil, e.cache, nil)
 	if !ok {
 		// Provably unsatisfiable before planning (a ground atom failed).
 		inst, _ := instantiate(atoms, d, fixed)
@@ -218,17 +262,23 @@ func (e decompEngine) Explain(atoms []cq.Atom, d *db.Database, fixed cq.Mapping)
 type autoEngine struct {
 	st    *obs.Stats
 	cache *planCache
+	pl    *par.Pool
 }
 
 func (autoEngine) Name() string { return "auto" }
 
 func (e autoEngine) withStats(st *obs.Stats) Engine {
-	return autoEngine{st: st, cache: e.cache}
+	return autoEngine{st: st, cache: e.cache, pl: e.pl}
 }
 func (e autoEngine) stats() *obs.Stats { return e.st }
 
+func (e autoEngine) withPool(pl *par.Pool) Engine {
+	return autoEngine{st: e.st, cache: e.cache, pl: pl}
+}
+func (e autoEngine) pool() *par.Pool { return e.pl }
+
 func (e autoEngine) delegate() yannakakisEngine {
-	return yannakakisEngine{st: e.st, cache: e.cache}
+	return yannakakisEngine{st: e.st, cache: e.cache, pl: e.pl}
 }
 
 func (e autoEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
@@ -271,6 +321,7 @@ type plan struct {
 	order    []int // bottom-up
 	failed   bool  // a ground atom failed or a node relation is empty by construction
 	st       *obs.Stats
+	pl       *par.Pool
 	nAtoms   int   // instantiated atoms the plan covers
 	bagAtoms []int // atoms assigned per bag (diagnostics for Explain)
 }
@@ -312,8 +363,10 @@ func instantiate(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) ([]cq.Atom, 
 // instantiated atoms. ok=false means the instantiated query is not acyclic
 // (the caller should fall back); a plan with failed=true means provably
 // unsatisfiable. The join-tree shape is served from cache when the
-// variable shape of the instantiated atoms has been planned before.
-func prepareJoinTree(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st *obs.Stats, cache *planCache) (*plan, bool) {
+// variable shape of the instantiated atoms has been planned before; bag
+// relations materialize in parallel over pl (one independent backtracking
+// search per atom, so row sets and counters match the sequential pass).
+func prepareJoinTree(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st *obs.Stats, cache *planCache, pl *par.Pool) (*plan, bool) {
 	inst, ok := instantiate(atoms, d, fixed)
 	if !ok {
 		return &plan{failed: true, st: st}, true
@@ -321,39 +374,30 @@ func prepareJoinTree(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st *obs.
 	if len(inst) == 0 {
 		return trivialPlan(st), true
 	}
-	var parent, order []int
 	key := shapeKey("jt", inst)
-	if c, hit := cache.get(key); hit {
-		st.Inc(obs.CtrPlanCacheHits)
-		if !c.ok {
-			return nil, false
-		}
-		parent, order = c.parent, c.order
-	} else {
-		if cache != nil {
-			st.Inc(obs.CtrPlanCacheMisses)
-		}
+	shape := cache.do(key, st, func() *cachedShape {
 		hg := cq.AtomsHypergraph(inst)
 		acyclic, jt := hg.IsAcyclic()
 		if !acyclic {
-			cache.put(key, &cachedShape{})
-			return nil, false
+			return &cachedShape{}
 		}
 		st.Inc(obs.CtrJoinTreesBuilt)
-		parent, order = jt.Parent, jt.Order
-		cache.put(key, &cachedShape{ok: true, parent: parent, order: order})
+		return &cachedShape{ok: true, parent: jt.Parent, order: jt.Order}
+	})
+	if !shape.ok {
+		return nil, false
 	}
-	p := &plan{parent: parent, order: order, st: st, nAtoms: len(inst)}
-	p.rels = make([]*varRel, len(inst))
+	p := &plan{parent: shape.parent, order: shape.order, st: st, pl: pl, nAtoms: len(inst)}
+	p.rels = par.Map(pl, len(inst), func(i int) *varRel {
+		r := newVarRel(inst[i].Vars())
+		r.rows = cq.ProjectionsObs([]cq.Atom{inst[i]}, d, nil, st, r.vars)
+		return r
+	})
 	p.bagAtoms = make([]int, len(inst))
-	for i, a := range inst {
-		r := newVarRel(a.Vars())
-		rows := cq.ProjectionsObs([]cq.Atom{a}, d, nil, st, r.vars)
-		if len(rows) == 0 {
+	for i, r := range p.rels {
+		if len(r.rows) == 0 {
 			p.failed = true
 		}
-		r.rows = rows
-		p.rels[i] = r
 		p.bagAtoms[i] = 1
 	}
 	st.Add(obs.CtrBagsBuilt, int64(len(p.rels)))
@@ -368,8 +412,9 @@ func prepareJoinTree(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st *obs.
 // satisfying assignments of the assigned atoms extended over per-variable
 // candidate domains for unconstrained bag variables. ok=false means
 // provably unsatisfiable before planning. The decomposition shape is
-// served from cache when available.
-func prepareDecomposition(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st *obs.Stats, cache *planCache) (*plan, bool) {
+// served from cache when available; bag relations materialize in parallel
+// over pl.
+func prepareDecomposition(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st *obs.Stats, cache *planCache, pl *par.Pool) (*plan, bool) {
 	inst, ok := instantiate(atoms, d, fixed)
 	if !ok {
 		return nil, false
@@ -377,23 +422,14 @@ func prepareDecomposition(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st 
 	if len(inst) == 0 {
 		return trivialPlan(st), true
 	}
-	var bags [][]string
-	var parent, order []int
 	key := shapeKey("td", inst)
-	if c, hit := cache.get(key); hit {
-		st.Inc(obs.CtrPlanCacheHits)
-		bags, parent, order = c.bags, c.parent, c.order
-	} else {
-		if cache != nil {
-			st.Inc(obs.CtrPlanCacheMisses)
-		}
+	shape := cache.do(key, st, func() *cachedShape {
 		hg := cq.AtomsHypergraph(inst)
 		dec := hg.TreeDecomposition()
 		st.Inc(obs.CtrDecompositionsBuilt)
-		bags, parent = dec.Bags, dec.Parent
-		order = bottomUpOrder(parent)
-		cache.put(key, &cachedShape{ok: true, bags: bags, parent: parent, order: order})
-	}
+		return &cachedShape{ok: true, bags: dec.Bags, parent: dec.Parent, order: bottomUpOrder(dec.Parent)}
+	})
+	bags, parent, order := shape.bags, shape.parent, shape.order
 	nBags := len(bags)
 
 	bagSets := make([]map[string]bool, nBags)
@@ -420,10 +456,8 @@ func prepareDecomposition(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st 
 		}
 	}
 	cand := candidateDomains(inst, d)
-	p := &plan{parent: parent, order: order, st: st, nAtoms: len(inst)}
-	p.rels = make([]*varRel, nBags)
-	p.bagAtoms = make([]int, nBags)
-	for i := range bags {
+	p := &plan{parent: parent, order: order, st: st, pl: pl, nAtoms: len(inst)}
+	p.rels = par.Map(pl, nBags, func(i int) *varRel {
 		r := newVarRel(bags[i])
 		covered := make(map[string]bool)
 		for _, a := range assigned[i] {
@@ -442,11 +476,14 @@ func prepareDecomposition(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st 
 		if len(uncovered) > 0 {
 			st.Add(obs.CtrDomainProductRows, int64(len(rows)))
 		}
-		if len(rows) == 0 {
+		r.rows = rows
+		return r
+	})
+	p.bagAtoms = make([]int, nBags)
+	for i, r := range p.rels {
+		if len(r.rows) == 0 {
 			p.failed = true
 		}
-		r.rows = rows
-		p.rels[i] = r
 		p.bagAtoms[i] = len(assigned[i])
 	}
 	st.Add(obs.CtrBagsBuilt, int64(nBags))
@@ -553,7 +590,9 @@ func bottomUpOrder(parent []int) []int {
 }
 
 // satisfiable runs the bottom-up semijoin pass and reports whether the root
-// relation stays nonempty.
+// relation stays nonempty. Always sequential: the early exit on an emptied
+// parent makes the pass's work set order-dependent, so parallelizing it
+// would change counter totals run to run.
 func (p *plan) satisfiable() bool {
 	if p.failed {
 		return false
@@ -578,7 +617,7 @@ func (p *plan) projectAnswers(proj []string, fixed cq.Mapping) []cq.Mapping {
 	if p.failed {
 		return nil
 	}
-	// Bottom-up full reduction.
+	// Bottom-up full reduction (sequential; see satisfiable).
 	for _, i := range p.order {
 		if pa := p.parent[i]; pa != -1 {
 			p.rels[pa].semijoin(p.rels[i])
@@ -588,14 +627,7 @@ func (p *plan) projectAnswers(proj []string, fixed cq.Mapping) []cq.Mapping {
 			}
 		}
 	}
-	// Top-down reduction.
-	for j := len(p.order) - 1; j >= 0; j-- {
-		i := p.order[j]
-		if pa := p.parent[i]; pa != -1 {
-			p.rels[i].semijoin(p.rels[pa])
-			p.st.Inc(obs.CtrSemijoinPasses)
-		}
-	}
+	p.topDownReduce()
 	// Projecting join along the tree.
 	n := len(p.rels)
 	children := make([][]int, n)
@@ -618,12 +650,19 @@ func (p *plan) projectAnswers(proj []string, fixed cq.Mapping) []cq.Mapping {
 		return vars
 	}
 	collect(root)
+	// Sibling subtrees are independent, so their recursive answer relations
+	// compute in parallel; the fold into the parent stays in child order, so
+	// the join sequence — and the join counter — match the sequential pass.
 	var answers func(int) *varRel
 	answers = func(v int) *varRel {
 		r := p.rels[v]
-		for _, c := range children[v] {
-			r = join(r, answers(c))
-			p.st.Inc(obs.CtrJoins)
+		if kids := children[v]; len(kids) > 0 {
+			for _, cr := range par.Map(p.pl, len(kids), func(k int) *varRel {
+				return answers(kids[k])
+			}) {
+				r = join(r, cr)
+				p.st.Inc(obs.CtrJoins)
+			}
 		}
 		keep := sharedVars(subtreeVars[v], proj)
 		if pa := p.parent[v]; pa != -1 {
@@ -647,4 +686,49 @@ func (p *plan) projectAnswers(proj []string, fixed cq.Mapping) []cq.Mapping {
 		out.Add(merged)
 	}
 	return out.All()
+}
+
+// topDownReduce semijoins every node with its (already reduced) parent. At
+// Parallelism 1 children reduce in reverse bottom-up order; in parallel
+// they reduce in waves by depth: a node's parent is final after the
+// previous wave and each task writes only its own relation, so the reduced
+// relations — and the semijoin count, one per tree edge — are identical to
+// the sequential pass.
+func (p *plan) topDownReduce() {
+	if !p.pl.Parallel() {
+		for j := len(p.order) - 1; j >= 0; j-- {
+			i := p.order[j]
+			if pa := p.parent[i]; pa != -1 {
+				p.rels[i].semijoin(p.rels[pa])
+				p.st.Inc(obs.CtrSemijoinPasses)
+			}
+		}
+		return
+	}
+	depth := make([]int, len(p.rels))
+	maxDepth := 0
+	for j := len(p.order) - 1; j >= 0; j-- { // reverse bottom-up = parents first
+		i := p.order[j]
+		if pa := p.parent[i]; pa != -1 {
+			depth[i] = depth[pa] + 1
+			if depth[i] > maxDepth {
+				maxDepth = depth[i]
+			}
+		}
+	}
+	waves := make([][]int, maxDepth+1)
+	for j := len(p.order) - 1; j >= 0; j-- {
+		i := p.order[j]
+		if p.parent[i] != -1 {
+			waves[depth[i]] = append(waves[depth[i]], i)
+		}
+	}
+	for _, wave := range waves {
+		wave := wave
+		p.pl.Run(len(wave), func(k int) {
+			i := wave[k]
+			p.rels[i].semijoin(p.rels[p.parent[i]])
+			p.st.Inc(obs.CtrSemijoinPasses)
+		})
+	}
 }

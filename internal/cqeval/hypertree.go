@@ -7,6 +7,7 @@ import (
 	"wdpt/internal/db"
 	"wdpt/internal/hypergraph"
 	"wdpt/internal/obs"
+	"wdpt/internal/par"
 )
 
 // Hypertree returns the GHD-guided engine: a generalized hypertree
@@ -30,23 +31,30 @@ type hypertreeEngine struct {
 	maxWidth int
 	st       *obs.Stats
 	cache    *planCache
+	pl       *par.Pool
 }
 
 func (e hypertreeEngine) Name() string { return "hypertree" }
 
 func (e hypertreeEngine) withStats(st *obs.Stats) Engine {
-	return hypertreeEngine{maxWidth: e.maxWidth, st: st, cache: e.cache}
+	return hypertreeEngine{maxWidth: e.maxWidth, st: st, cache: e.cache, pl: e.pl}
 }
 func (e hypertreeEngine) stats() *obs.Stats { return e.st }
 
-// fallback is the decomposition engine sharing this engine's sink and cache.
+func (e hypertreeEngine) withPool(pl *par.Pool) Engine {
+	return hypertreeEngine{maxWidth: e.maxWidth, st: e.st, cache: e.cache, pl: pl}
+}
+func (e hypertreeEngine) pool() *par.Pool { return e.pl }
+
+// fallback is the decomposition engine sharing this engine's sink, cache,
+// and pool.
 func (e hypertreeEngine) fallback() decompEngine {
-	return decompEngine{st: e.st, cache: e.cache}
+	return decompEngine{st: e.st, cache: e.cache, pl: e.pl}
 }
 
 func (e hypertreeEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
 	e.st.Inc(obs.CtrSatisfiableCalls)
-	p, _, ok := e.prepare(atoms, d, fixed, e.st)
+	p, _, ok := e.prepare(atoms, d, fixed, e.st, e.pl)
 	if !ok {
 		e.st.Inc(obs.CtrFallbacks)
 		return e.fallback().satisfiable(atoms, d, fixed)
@@ -56,7 +64,7 @@ func (e hypertreeEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.M
 
 func (e hypertreeEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, proj []string) []cq.Mapping {
 	e.st.Inc(obs.CtrProjectCalls)
-	p, _, ok := e.prepare(atoms, d, fixed, e.st)
+	p, _, ok := e.prepare(atoms, d, fixed, e.st, e.pl)
 	if !ok {
 		e.st.Inc(obs.CtrFallbacks)
 		return e.fallback().projectRows(atoms, d, fixed, proj)
@@ -65,7 +73,7 @@ func (e hypertreeEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mappi
 }
 
 func (e hypertreeEngine) Explain(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) obs.Plan {
-	p, width, ok := e.prepare(atoms, d, fixed, nil)
+	p, width, ok := e.prepare(atoms, d, fixed, nil, nil)
 	if !ok {
 		out := e.fallback().Explain(atoms, d, fixed)
 		out.Engine = e.Name()
@@ -76,8 +84,9 @@ func (e hypertreeEngine) Explain(atoms []cq.Atom, d *db.Database, fixed cq.Mappi
 }
 
 // prepare builds the plan; ok=false requests the fallback (width exceeded).
-// The width return is the GHD width at which the search succeeded.
-func (e hypertreeEngine) prepare(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st *obs.Stats) (*plan, int, bool) {
+// The width return is the GHD width at which the search succeeded. Bag
+// relations materialize in parallel over pl.
+func (e hypertreeEngine) prepare(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st *obs.Stats, pl *par.Pool) (*plan, int, bool) {
 	inst, groundOK := instantiate(atoms, d, fixed)
 	if !groundOK {
 		return &plan{failed: true, st: st}, 0, true
@@ -85,23 +94,11 @@ func (e hypertreeEngine) prepare(atoms []cq.Atom, d *db.Database, fixed cq.Mappi
 	if len(inst) == 0 {
 		return trivialPlan(st), 0, true
 	}
-	var bags [][]string
-	var parent, order []int
-	var covers [][]int
-	width := 0
 	key := shapeKey(fmt.Sprintf("ghd%d", e.maxWidth), inst)
-	if c, hit := e.cache.get(key); hit {
-		st.Inc(obs.CtrPlanCacheHits)
-		if !c.ok {
-			return nil, 0, false
-		}
-		bags, parent, order, covers, width = c.bags, c.parent, c.order, c.covers, c.width
-	} else {
-		if e.cache != nil {
-			st.Inc(obs.CtrPlanCacheMisses)
-		}
+	shape := e.cache.do(key, st, func() *cachedShape {
 		hg := cq.AtomsHypergraph(inst)
 		var g *hypergraph.GHD
+		width := 0
 		for k := 1; k <= e.maxWidth; k++ {
 			if gd, ok := hg.GeneralizedHypertreeDecomposition(k); ok {
 				g = gd
@@ -110,14 +107,15 @@ func (e hypertreeEngine) prepare(atoms []cq.Atom, d *db.Database, fixed cq.Mappi
 			}
 		}
 		if g == nil {
-			e.cache.put(key, &cachedShape{})
-			return nil, 0, false
+			return &cachedShape{}
 		}
 		st.Inc(obs.CtrGHDsBuilt)
-		bags, parent, covers = g.Bags, g.Parent, g.Covers
-		order = bottomUpOrder(parent)
-		e.cache.put(key, &cachedShape{ok: true, bags: bags, parent: parent, order: order, covers: covers, width: width})
+		return &cachedShape{ok: true, bags: g.Bags, parent: g.Parent, order: bottomUpOrder(g.Parent), covers: g.Covers, width: width}
+	})
+	if !shape.ok {
+		return nil, 0, false
 	}
+	bags, parent, order, covers, width := shape.bags, shape.parent, shape.order, shape.covers, shape.width
 	// Every atom must be enforced at some bag covering its variables, even
 	// when it is not part of that bag's edge cover.
 	bagSets := make([]map[string]bool, len(bags))
@@ -142,21 +140,21 @@ func (e hypertreeEngine) prepare(atoms []cq.Atom, d *db.Database, fixed cq.Mappi
 			panic("cqeval: atom not covered by any GHD bag")
 		}
 	}
-	p := &plan{parent: parent, order: order, st: st, nAtoms: len(inst)}
-	p.rels = make([]*varRel, len(bags))
-	p.bagAtoms = make([]int, len(bags))
-	for i, bag := range bags {
+	p := &plan{parent: parent, order: order, st: st, pl: pl, nAtoms: len(inst)}
+	p.rels = par.Map(pl, len(bags), func(i int) *varRel {
 		local := append([]cq.Atom(nil), assigned[i]...)
 		for _, ei := range covers[i] {
 			local = append(local, inst[ei])
 		}
-		r := newVarRel(bag)
-		rows := cq.ProjectionsObs(cq.DedupAtoms(local), d, nil, st, r.vars)
-		if len(rows) == 0 {
+		r := newVarRel(bags[i])
+		r.rows = cq.ProjectionsObs(cq.DedupAtoms(local), d, nil, st, r.vars)
+		return r
+	})
+	p.bagAtoms = make([]int, len(bags))
+	for i, r := range p.rels {
+		if len(r.rows) == 0 {
 			p.failed = true
 		}
-		r.rows = rows
-		p.rels[i] = r
 		p.bagAtoms[i] = len(assigned[i])
 	}
 	st.Add(obs.CtrBagsBuilt, int64(len(bags)))

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Tuple is a single database row: a sequence of constants.
@@ -41,14 +42,30 @@ func (t Tuple) String() string {
 }
 
 // Relation is a named relation instance: a set of tuples of fixed arity.
+//
+// Concurrency: read operations (Contains, Matching, Tuples, Len) are safe
+// to call concurrently with each other — the lazy index is published
+// through an atomic pointer, so concurrent readers either share one built
+// index or build equivalent private copies and race benignly to publish
+// one. Insert is NOT safe to call concurrently with reads or other
+// inserts; loading and evaluation are distinct phases.
 type Relation struct {
 	name   string
 	arity  int
 	tuples []Tuple
 	seen   map[string]bool
-	// index[pos][value] lists the offsets into tuples whose component at
-	// position pos equals value. Built lazily by ensureIndex.
-	index []map[string][]int
+	// index holds the lazily built per-position value index, published
+	// atomically so concurrent readers can share it (copy-on-read: Insert
+	// drops the whole index and the next reader rebuilds it from the
+	// then-current tuples).
+	index atomic.Pointer[relIndex]
+}
+
+// relIndex is an immutable snapshot index over a relation's tuples:
+// byPos[pos][value] lists the offsets into tuples whose component at
+// position pos equals value. Once published it is never mutated.
+type relIndex struct {
+	byPos []map[string][]int
 }
 
 // NewRelation creates an empty relation with the given name and arity.
@@ -92,7 +109,7 @@ func (r *Relation) Insert(t Tuple) bool {
 	cp := make(Tuple, len(t))
 	copy(cp, t)
 	r.tuples = append(r.tuples, cp)
-	r.index = nil
+	r.index.Store(nil)
 	return true
 }
 
@@ -104,33 +121,49 @@ func (r *Relation) Contains(t Tuple) bool {
 	return r.seen[t.key()]
 }
 
-func (r *Relation) ensureIndex() {
-	if r.index != nil {
-		return
+// ensureIndex returns the current index, building and publishing it on
+// first use. Concurrent readers may build duplicate indexes; the
+// CompareAndSwap makes one canonical and the losers use their private
+// (equivalent) copy, so the result is correct either way.
+func (r *Relation) ensureIndex() *relIndex {
+	if ix := r.index.Load(); ix != nil {
+		return ix
 	}
-	r.index = make([]map[string][]int, r.arity)
+	ix := &relIndex{byPos: make([]map[string][]int, r.arity)}
 	for pos := 0; pos < r.arity; pos++ {
 		m := make(map[string][]int)
 		for i, t := range r.tuples {
 			m[t[pos]] = append(m[t[pos]], i)
 		}
-		r.index[pos] = m
+		ix.byPos[pos] = m
 	}
+	if r.index.CompareAndSwap(nil, ix) {
+		return ix
+	}
+	if cur := r.index.Load(); cur != nil {
+		return cur
+	}
+	return ix
 }
 
 // Matching returns the offsets of tuples whose component at position pos
-// equals value. The returned slice must not be modified.
+// equals value. The returned slice must not be modified. Safe for
+// concurrent use with other read operations.
 func (r *Relation) Matching(pos int, value string) []int {
-	r.ensureIndex()
-	return r.index[pos][value]
+	return r.ensureIndex().byPos[pos][value]
 }
 
 // Database is a finite set of ground relational atoms grouped by relation
 // symbol. The zero value is not usable; construct with New.
+//
+// Concurrency: like Relation, read operations (Contains, Relation,
+// ActiveDomain, ...) are safe to call concurrently with each other; Insert
+// and Merge are not safe concurrently with anything.
 type Database struct {
 	rels map[string]*Relation
-	// adom caches the sorted active domain; nil when stale.
-	adom []string
+	// adom caches the sorted active domain, published atomically so
+	// concurrent readers can share it; Insert invalidates it.
+	adom atomic.Pointer[[]string]
 }
 
 // New creates an empty database.
@@ -167,7 +200,7 @@ func (d *Database) Insert(rel string, t ...string) bool {
 		r = NewRelation(rel, len(t))
 		d.rels[rel] = r
 	}
-	d.adom = nil
+	d.adom.Store(nil)
 	return r.Insert(Tuple(t))
 }
 
@@ -190,9 +223,11 @@ func (d *Database) Size() int {
 }
 
 // ActiveDomain returns the sorted set of constants occurring in some tuple.
+// The returned slice must not be modified. Safe for concurrent use with
+// other read operations.
 func (d *Database) ActiveDomain() []string {
-	if d.adom != nil {
-		return d.adom
+	if cached := d.adom.Load(); cached != nil {
+		return *cached
 	}
 	set := make(map[string]bool)
 	for _, r := range d.rels {
@@ -207,7 +242,10 @@ func (d *Database) ActiveDomain() []string {
 		out = append(out, c)
 	}
 	sort.Strings(out)
-	d.adom = out
+	d.adom.CompareAndSwap(nil, &out)
+	if cached := d.adom.Load(); cached != nil {
+		return *cached
+	}
 	return out
 }
 

@@ -2,6 +2,8 @@ package db
 
 import (
 	"math/rand"
+	"strconv"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -187,3 +189,48 @@ func TestIndexMatchesScan(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestConcurrentReaders is the -race regression test for the lazy caches:
+// before the atomic-pointer publication, concurrent readers raced on
+// building Relation.index and Database.adom (Insert set them nil; every
+// reader rebuilt in place). Under `go test -race` this test fails on the
+// old representation and passes on the copy-on-read one.
+func TestConcurrentReaders(t *testing.T) {
+	d := New()
+	for i := 0; i < 200; i++ {
+		d.Insert("E", tupleConst(i), tupleConst((i*7+1)%200))
+		d.Insert("L", tupleConst(i))
+	}
+	r := d.Relation("E")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				v := tupleConst((g*13 + i) % 200)
+				if len(r.Matching(0, v)) == 0 {
+					t.Errorf("Matching(0, %s) empty", v)
+				}
+				if !d.Contains("L", v) {
+					t.Errorf("Contains(L, %s) false", v)
+				}
+				if len(d.ActiveDomain()) != 200 {
+					t.Errorf("ActiveDomain size changed")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Insert still invalidates: new tuples are visible to the next reader.
+	d.Insert("E", "fresh", "fresh")
+	if len(r.Matching(0, "fresh")) != 1 {
+		t.Fatal("index not invalidated by Insert")
+	}
+	if got := len(d.ActiveDomain()); got != 201 {
+		t.Fatalf("ActiveDomain = %d constants, want 201", got)
+	}
+}
+
+func tupleConst(i int) string { return "c" + strconv.Itoa(i) }

@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"wdpt/internal/obs"
+)
+
+// The determinism-under-parallelism suite: every experiment that routes
+// through Solve must produce byte-identical tables (timings aside) and
+// identical non-par.* counter totals at any worker count. This is the
+// load-bearing guarantee of the parallel engine — parallelism buys
+// wall-clock only, never a different answer and never different work.
+
+var determinismIDs = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E14"}
+
+// volatileColumn reports whether a column legitimately varies across
+// parallelism levels: wall-clock columns (headers "t(...)") and the echoed
+// parallelism setting itself.
+func volatileColumn(header string) bool {
+	return strings.HasPrefix(header, "t(") || header == "parallelism"
+}
+
+// runAt executes the determinism experiments at one parallelism level with
+// exactly one un-warmed repetition per point, so counter totals are
+// single-run and comparable.
+func runAt(t *testing.T, parallelism int) (map[string]*Table, map[string]int64) {
+	t.Helper()
+	st := obs.NewStats()
+	cfg := Config{Quick: true, Repetitions: 1, Warmup: -1, Stats: st, Parallelism: parallelism}
+	tables := make(map[string]*Table, len(determinismIDs))
+	for _, id := range determinismIDs {
+		e, ok := Get(id)
+		if !ok {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		tables[id] = e.Run(cfg)
+	}
+	snap := st.Snapshot()
+	for name := range snap {
+		if strings.HasPrefix(name, "par.") {
+			delete(snap, name)
+		}
+	}
+	return tables, snap
+}
+
+// stableRender renders a table with every volatile cell blanked, giving the
+// byte string that must not move with the worker count.
+func stableRender(tbl *Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s | %s\n", tbl.ID, tbl.Title)
+	fmt.Fprintln(&b, strings.Join(tbl.Columns, " | "))
+	for _, row := range tbl.Rows {
+		cells := make([]string, len(row))
+		for i, cell := range row {
+			if i < len(tbl.Columns) && volatileColumn(tbl.Columns[i]) {
+				cells[i] = "_"
+			} else {
+				cells[i] = cell
+			}
+		}
+		fmt.Fprintln(&b, strings.Join(cells, " | "))
+	}
+	for _, n := range tbl.Notes {
+		fmt.Fprintln(&b, "note:", n)
+	}
+	return b.String()
+}
+
+func formatSnapshot(snap map[string]int64) string {
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s=%d\n", n, snap[n])
+	}
+	return b.String()
+}
+
+func TestDeterminismUnderParallelism(t *testing.T) {
+	baseTables, baseSnap := runAt(t, 1)
+	for _, par := range []int{2, 8} {
+		par := par
+		t.Run(fmt.Sprintf("parallelism=%d", par), func(t *testing.T) {
+			tables, snap := runAt(t, par)
+			for _, id := range determinismIDs {
+				want, got := stableRender(baseTables[id]), stableRender(tables[id])
+				if want != got {
+					t.Errorf("%s table differs between parallelism 1 and %d:\n--- parallelism 1\n%s\n--- parallelism %d\n%s",
+						id, par, want, par, got)
+				}
+			}
+			if want, got := formatSnapshot(baseSnap), formatSnapshot(snap); want != got {
+				t.Errorf("non-par.* counters differ between parallelism 1 and %d:\n--- parallelism 1\n%s\n--- parallelism %d\n%s",
+					par, want, par, got)
+			}
+		})
+	}
+}

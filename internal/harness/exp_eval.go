@@ -1,13 +1,30 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
+	"wdpt/internal/core"
 	"wdpt/internal/cq"
+	"wdpt/internal/cqeval"
+	"wdpt/internal/db"
 	"wdpt/internal/gen"
 )
 
 // Experiments E1-E4: the evaluation rows of Table 1.
+
+// solveHolds runs one decision-mode Solve call under the config's
+// parallelism — the single entry point all evaluation experiments now go
+// through, exercising the same code path wdpteval serves.
+func solveHolds(cfg Config, p *core.PatternTree, d *db.Database, mode core.Mode, h cq.Mapping, eng cqeval.Engine) bool {
+	res, _ := p.Solve(context.Background(), d, core.SolveOptions{
+		Mode:        mode,
+		Mapping:     h,
+		Engine:      eng,
+		Parallelism: cfg.Parallelism,
+	})
+	return res.Holds
+}
 
 func init() {
 	Register(Experiment{
@@ -58,8 +75,8 @@ func runE1(cfg Config) *Table {
 		p := gen.PathWDPT(depth)
 		h := cq.Mapping{"y0": gen.LayeredFirstVertex()}
 		var ansFast, ansNaive bool
-		tFast := cfg.Measure(func() { ansFast = p.EvalInterface(d, h, eng) })
-		tNaive := cfg.Measure(func() { ansNaive = p.Eval(d, h) })
+		tFast := cfg.Measure(func() { ansFast = solveHolds(cfg, p, d, core.ModeExact, h, eng) })
+		tNaive := cfg.Measure(func() { ansNaive = solveHolds(cfg, p, d, core.ModeExactNaive, h, nil) })
 		if ansFast != ansNaive {
 			t.Notes = append(t.Notes, fmt.Sprintf("DISAGREEMENT at depth %d", depth))
 		}
@@ -81,7 +98,7 @@ func runE1(cfg Config) *Table {
 		d := gen.LayeredDatabase(depth+1, per, outDeg, 7)
 		p := gen.PathWDPT(depth)
 		h := cq.Mapping{"y0": gen.LayeredFirstVertex()}
-		tFast := cfg.Measure(func() { p.EvalInterface(d, h, eng) })
+		tFast := cfg.Measure(func() { solveHolds(cfg, p, d, core.ModeExact, h, eng) })
 		t.AddRow(depth, d.Size(), "-", tFast, "-")
 	}
 	return t
@@ -103,7 +120,7 @@ func runE2(cfg Config) *Table {
 		g := gen.CompleteGraph(n)
 		p, d, h := gen.ThreeColorInstance(g)
 		var ans bool
-		dur := cfg.Measure(func() { ans = p.EvalInterface(d, h, eng) })
+		dur := cfg.Measure(func() { ans = solveHolds(cfg, p, d, core.ModeExact, h, eng) })
 		t.AddRow(n, len(g.Edges), ans, dur)
 	}
 	t.Notes = append(t.Notes, "expected shape: ~3x per added vertex (3^n colorings refuted)")
@@ -126,7 +143,7 @@ func runE3(cfg Config) *Table {
 		g := gen.CompleteGraph(n)
 		p, d, h := gen.ThreeColorInstance(g)
 		var ans bool
-		dur := cfg.Measure(func() { ans = p.PartialEval(d, h, eng) })
+		dur := cfg.Measure(func() { ans = solveHolds(cfg, p, d, core.ModePartial, h, eng) })
 		t.AddRow(fmt.Sprintf("K%d", n), len(g.Edges), ans, dur, "-")
 	}
 	// The enumerate-all-subtrees ablation pays 2^(3|E|) subtrees on negative
@@ -142,7 +159,7 @@ func runE3(cfg Config) *Table {
 		p, d, _ := gen.ThreeColorInstance(g)
 		hNeg := cq.Mapping{"x": "0"}
 		var ans bool
-		dur := cfg.Measure(func() { ans = p.PartialEval(d, hNeg, eng) })
+		dur := cfg.Measure(func() { ans = solveHolds(cfg, p, d, core.ModePartial, hNeg, eng) })
 		durEnum := Measure(1, func() { p.PartialEvalEnumerate(d, hNeg) })
 		t.AddRow(fmt.Sprintf("C%d (neg)", n), len(g.Edges), ans, dur, durEnum)
 	}
@@ -167,7 +184,7 @@ func runE4(cfg Config) *Table {
 		g := gen.CompleteGraph(n)
 		p, d, h := gen.ThreeColorInstance(g)
 		var ans bool
-		dur := cfg.Measure(func() { ans = p.MaxEval(d, h, eng) })
+		dur := cfg.Measure(func() { ans = solveHolds(cfg, p, d, core.ModeMax, h, eng) })
 		t.AddRow(n, len(g.Edges), ans, dur)
 	}
 	t.Notes = append(t.Notes, "expected shape: polynomial in n, like E3")

@@ -47,7 +47,7 @@ func runE6(cfg Config) *Table {
 		p := gen.SymmetricCycleTree(m)
 		var member bool
 		dur := Measure(1, func() {
-			_, member = approx.MemberWB(p, approx.WB(1), approx.Options{})
+			_, member = approx.MemberWB(p, approx.WB(1), approx.Options{Parallelism: cfg.Parallelism})
 		})
 		wantMember := m%2 == 0
 		if member != wantMember {
@@ -76,7 +76,7 @@ func runE7(cfg Config) *Table {
 		p := gen.TriangleWithPath(l)
 		var size int
 		dur := Measure(1, func() {
-			ap, err := approx.Approximate(p, approx.WB(1), approx.Options{})
+			ap, err := approx.Approximate(p, approx.WB(1), approx.Options{Parallelism: cfg.Parallelism})
 			if err != nil {
 				t.Notes = append(t.Notes, "ERROR: "+err.Error())
 				return

@@ -29,6 +29,11 @@ type Config struct {
 	// experiments obtain through Engine() — the per-experiment metrics
 	// wdptbench emits into BENCH_*.json.
 	Stats *obs.Stats
+	// Parallelism bounds the worker goroutines the experiments pass to
+	// Solve (and approx.Options). ≤ 1 keeps every run sequential; results
+	// are byte-identical at any value (only timings and par.* counters
+	// move), which the determinism suite pins.
+	Parallelism int
 }
 
 func (c Config) reps() int {

@@ -8,8 +8,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
-		t.Fatalf("registered experiments = %d, want 13 (E1..E13)", len(all))
+	if len(all) != 14 {
+		t.Fatalf("registered experiments = %d, want 14 (E1..E14)", len(all))
 	}
 	// Numeric-aware ordering: E2 before E10.
 	for i := 1; i < len(all); i++ {

@@ -96,6 +96,17 @@ const (
 	CtrUnionMemberEvals
 	// CtrUnionCQs counts CQs produced by the φ_cq union translation.
 	CtrUnionCQs
+	// CtrParFanouts counts parallel fan-outs dispatched by internal/par
+	// (batches that actually ran on more than one goroutine).
+	CtrParFanouts
+	// CtrParTasks counts tasks executed through internal/par fan-outs.
+	CtrParTasks
+	// CtrParInline counts fan-out batches that ran inline on the calling
+	// goroutine because no worker token was free (the pool was saturated).
+	CtrParInline
+	// CtrParMaxInFlight is a high-water mark: the largest number of
+	// goroutines a single fan-out put to work at once.
+	CtrParMaxInFlight
 
 	numCounters // sentinel; keep last
 )
@@ -129,6 +140,10 @@ var counterNames = [numCounters]string{
 	CtrApproxVerified:      "approx.candidates_verified",
 	CtrUnionMemberEvals:    "uwdpt.member_evals",
 	CtrUnionCQs:            "uwdpt.translation_cqs",
+	CtrParFanouts:          "par.fanouts",
+	CtrParTasks:            "par.tasks",
+	CtrParInline:           "par.inline_batches",
+	CtrParMaxInFlight:      "par.max_in_flight",
 }
 
 // String returns the counter's stable name.
@@ -176,6 +191,21 @@ func (s *Stats) Add(c Counter, n int64) {
 		return
 	}
 	s.counts[c].Add(n)
+}
+
+// Max raises the counter to v if v exceeds its current value — the
+// high-water-mark update used by gauges like par.max_in_flight. No-op on
+// nil.
+func (s *Stats) Max(c Counter, v int64) {
+	if s == nil {
+		return
+	}
+	for {
+		cur := s.counts[c].Load()
+		if v <= cur || s.counts[c].CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // Get returns the current value of the counter; 0 on nil.

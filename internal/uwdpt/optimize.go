@@ -36,6 +36,8 @@ func (o *OptimizedUnion) Tractable() bool { return o.witness != nil }
 func (o *OptimizedUnion) Witness() *Union { return o.witness }
 
 // PartialEval answers ⋃-PARTIAL-EVAL for the original union.
+//
+//lint:ignore R7 Corollary 3 witness evaluator: dispatches between witness and original, both of which route through Solve
 func (o *OptimizedUnion) PartialEval(d *db.Database, h cq.Mapping, eng cqeval.Engine) bool {
 	if o.witness != nil {
 		return o.witness.PartialEval(d, h, eng)
@@ -44,6 +46,8 @@ func (o *OptimizedUnion) PartialEval(d *db.Database, h cq.Mapping, eng cqeval.En
 }
 
 // MaxEval answers ⋃-MAX-EVAL for the original union.
+//
+//lint:ignore R7 Corollary 3 witness evaluator: dispatches between witness and original, both of which route through Solve
 func (o *OptimizedUnion) MaxEval(d *db.Database, h cq.Mapping, eng cqeval.Engine) bool {
 	if o.witness != nil {
 		return o.witness.MaxEval(d, h, eng)

@@ -7,6 +7,7 @@
 package uwdpt
 
 import (
+	"context"
 	"fmt"
 
 	"wdpt/internal/core"
@@ -14,6 +15,7 @@ import (
 	"wdpt/internal/cqeval"
 	"wdpt/internal/db"
 	"wdpt/internal/obs"
+	"wdpt/internal/par"
 	"wdpt/internal/subsume"
 )
 
@@ -53,67 +55,179 @@ func (u *Union) Size() int {
 	return n
 }
 
-// Evaluate computes φ(D) = ⋃ p_i(D).
-func (u *Union) Evaluate(d *db.Database) []cq.Mapping {
-	set := cq.NewMappingSet()
-	for _, p := range u.trees {
-		for _, h := range p.Evaluate(d) {
-			set.Add(h)
-		}
+// Solve is the consolidated union entry point, mirroring
+// core.PatternTree.Solve over φ = p_1 ∪ ... ∪ p_n (Theorem 16). The
+// enumeration modes evaluate the members — in parallel when
+// opts.Parallelism > 1 — and merge their answer sets in member order, so
+// results are byte-identical at every parallelism level. The decision modes
+// are member-level disjunctions: sequentially they short-circuit on the
+// first witnessing member (the historical behavior and counter totals); in
+// parallel every member is evaluated, so decision-mode work counters may
+// exceed the sequential totals when a early member already witnesses.
+func (u *Union) Solve(ctx context.Context, d *db.Database, opts core.SolveOptions) (core.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return set.All()
+	st := opts.Stats
+	if st == nil {
+		st = cqeval.StatsOf(opts.Engine)
+	}
+	switch opts.Mode {
+	case core.ModeEnumerate, core.ModeMaximal:
+		memberOpts := opts
+		memberOpts.Mode = core.ModeEnumerate
+		pool := par.New(opts.Parallelism, st)
+		type memberOut struct {
+			answers []cq.Mapping
+			err     error
+		}
+		outs := par.Map(pool, len(u.trees), func(i int) memberOut {
+			res, err := u.trees[i].Solve(ctx, d, memberOpts)
+			return memberOut{answers: res.Answers, err: err}
+		})
+		set := cq.NewMappingSet()
+		for _, out := range outs {
+			if out.err != nil {
+				return core.Result{}, out.err
+			}
+			for _, h := range out.answers {
+				set.Add(h)
+			}
+		}
+		if opts.Mode == core.ModeMaximal {
+			return core.Result{Answers: set.Maximal()}, nil
+		}
+		return core.Result{Answers: set.All()}, nil
+	case core.ModeExact, core.ModeExactNaive, core.ModePartial:
+		holds, err := u.anyMember(ctx, d, opts, st)
+		return core.Result{Holds: holds}, err
+	case core.ModeMax:
+		// h is ⊑-maximal in φ(D) iff it is a partial answer of some member
+		// and no member has an answer properly extending it (Theorem 16.2).
+		partialOpts := opts
+		partialOpts.Mode = core.ModePartial
+		holds, err := u.anyMember(ctx, d, partialOpts, st)
+		if err != nil || !holds {
+			return core.Result{}, err
+		}
+		eng := u.resolveEngine(opts, st)
+		pool := par.New(opts.Parallelism, st)
+		if !pool.Parallel() {
+			for _, p := range u.trees {
+				if p.ProperExtensionExists(d, opts.Mapping, eng) {
+					return core.Result{}, nil
+				}
+			}
+			return core.Result{Holds: true}, nil
+		}
+		extended := par.Map(pool, len(u.trees), func(i int) bool {
+			return u.trees[i].ProperExtensionExists(d, opts.Mapping, eng)
+		})
+		for _, ext := range extended {
+			if ext {
+				return core.Result{}, nil
+			}
+		}
+		return core.Result{Holds: true}, nil
+	}
+	return core.Result{}, fmt.Errorf("uwdpt: unknown solve mode %v", opts.Mode)
+}
+
+// resolveEngine mirrors core.Solve's engine defaulting at the union level,
+// so one engine (and one plan cache) is shared across all member tests.
+func (u *Union) resolveEngine(opts core.SolveOptions, st *obs.Stats) cqeval.Engine {
+	eng := opts.Engine
+	if eng == nil {
+		eng = cqeval.WithStats(cqeval.Auto(), st)
+	} else if opts.Stats != nil && cqeval.StatsOf(eng) != opts.Stats {
+		eng = cqeval.WithStats(eng, opts.Stats)
+	}
+	return cqeval.WithPool(eng, par.New(opts.Parallelism, st))
+}
+
+// anyMember decides the member-level disjunction behind the union decision
+// modes, counting one uwdpt.member_evals per member actually evaluated.
+func (u *Union) anyMember(ctx context.Context, d *db.Database, opts core.SolveOptions, st *obs.Stats) (bool, error) {
+	memberOpts := opts
+	memberOpts.Engine = u.resolveEngine(opts, st)
+	memberOpts.Stats = nil // already wired into the engine
+	pool := par.New(opts.Parallelism, st)
+	if !pool.Parallel() {
+		for _, p := range u.trees {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
+			st.Inc(obs.CtrUnionMemberEvals)
+			res, err := p.Solve(ctx, d, memberOpts)
+			if err != nil {
+				return false, err
+			}
+			if res.Holds {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	st.Add(obs.CtrUnionMemberEvals, int64(len(u.trees)))
+	type memberOut struct {
+		holds bool
+		err   error
+	}
+	outs := par.Map(pool, len(u.trees), func(i int) memberOut {
+		res, err := u.trees[i].Solve(ctx, d, memberOpts)
+		return memberOut{holds: res.Holds, err: err}
+	})
+	holds := false
+	for _, out := range outs {
+		if out.err != nil {
+			return false, out.err
+		}
+		holds = holds || out.holds
+	}
+	return holds, nil
+}
+
+// Evaluate computes φ(D) = ⋃ p_i(D).
+//
+// Deprecated: use Solve with core.ModeEnumerate.
+func (u *Union) Evaluate(d *db.Database) []cq.Mapping {
+	res, _ := u.Solve(context.Background(), d, core.SolveOptions{Mode: core.ModeEnumerate})
+	return res.Answers
 }
 
 // EvaluateMaximal computes φ_m(D): the ⊑-maximal members of φ(D).
+//
+// Deprecated: use Solve with core.ModeMaximal.
 func (u *Union) EvaluateMaximal(d *db.Database) []cq.Mapping {
-	set := cq.NewMappingSet()
-	for _, h := range u.Evaluate(d) {
-		set.Add(h)
-	}
-	return set.Maximal()
+	res, _ := u.Solve(context.Background(), d, core.SolveOptions{Mode: core.ModeMaximal})
+	return res.Answers
 }
 
 // Eval decides ⋃-EVAL: h ∈ φ(D), i.e. h ∈ p_i(D) for some member. Each
 // member test uses the interface algorithm, so the union problem stays in
 // LOGCFL for unions of ℓ-C(k) ∩ BI(c) trees (Theorem 16.1).
+//
+// Deprecated: use Solve with core.ModeExact.
 func (u *Union) Eval(d *db.Database, h cq.Mapping, eng cqeval.Engine) bool {
-	st := cqeval.StatsOf(eng)
-	for _, p := range u.trees {
-		st.Inc(obs.CtrUnionMemberEvals)
-		if p.EvalInterface(d, h, eng) {
-			return true
-		}
-	}
-	return false
+	res, _ := u.Solve(context.Background(), d, core.SolveOptions{Mode: core.ModeExact, Mapping: h, Engine: eng})
+	return res.Holds
 }
 
 // PartialEval decides ⋃-PARTIAL-EVAL: some answer of some member extends h
 // (Theorem 16.2).
+//
+// Deprecated: use Solve with core.ModePartial.
 func (u *Union) PartialEval(d *db.Database, h cq.Mapping, eng cqeval.Engine) bool {
-	st := cqeval.StatsOf(eng)
-	for _, p := range u.trees {
-		st.Inc(obs.CtrUnionMemberEvals)
-		if p.PartialEval(d, h, eng) {
-			return true
-		}
-	}
-	return false
+	res, _ := u.Solve(context.Background(), d, core.SolveOptions{Mode: core.ModePartial, Mapping: h, Engine: eng})
+	return res.Holds
 }
 
-// MaxEval decides ⋃-MAX-EVAL: h is a ⊑-maximal element of φ(D). This holds
-// iff h is a partial answer of some member and no member has an answer
-// properly extending h — in which case the witnessing member also has h as
-// an exact answer (Theorem 16.2 keeps this in LOGCFL for g-C(k) members).
+// MaxEval decides ⋃-MAX-EVAL: h is a ⊑-maximal element of φ(D).
+//
+// Deprecated: use Solve with core.ModeMax.
 func (u *Union) MaxEval(d *db.Database, h cq.Mapping, eng cqeval.Engine) bool {
-	if !u.PartialEval(d, h, eng) {
-		return false
-	}
-	for _, p := range u.trees {
-		if p.ProperExtensionExists(d, h, eng) {
-			return false
-		}
-	}
-	return true
+	res, _ := u.Solve(context.Background(), d, core.SolveOptions{Mode: core.ModeMax, Mapping: h, Engine: eng})
+	return res.Holds
 }
 
 // CQTranslation computes φ_cq (Section 6): the union, over members p and
@@ -141,6 +255,46 @@ func (u *Union) CQTranslationObs(maxCQs int, st *obs.Stats) []*cq.CQ {
 		})
 		if maxCQs != 0 && len(out) >= maxCQs {
 			break
+		}
+	}
+	return out
+}
+
+// CQTranslationParallel is CQTranslationObs with the per-member subtree
+// enumeration fanned out over parallelism workers. The fan-out only applies
+// to the uncapped translation (maxCQs == 0): members enumerate with private
+// dedup and the results merge in member order under the global dedup, which
+// reproduces the sequential output and its uwdpt.translation_cqs count
+// byte for byte (each CQ is counted when it first survives the global
+// dedup, exactly as the sequential pass counts it). A capped translation
+// short-circuits mid-member, so it always runs sequentially.
+func (u *Union) CQTranslationParallel(maxCQs int, st *obs.Stats, parallelism int) []*cq.CQ {
+	pool := par.New(parallelism, st)
+	if maxCQs != 0 || !pool.Parallel() {
+		return u.CQTranslationObs(maxCQs, st)
+	}
+	perMember := par.Map(pool, len(u.trees), func(i int) []*cq.CQ {
+		var cqs []*cq.CQ
+		local := make(map[string]bool)
+		u.trees[i].EnumerateSubtrees(func(s core.Subtree) bool {
+			q := u.trees[i].SubtreeProjectedCQ(s)
+			if key := q.String(); !local[key] {
+				local[key] = true
+				cqs = append(cqs, q)
+			}
+			return true
+		})
+		return cqs
+	})
+	var out []*cq.CQ
+	seen := make(map[string]bool)
+	for _, cqs := range perMember {
+		for _, q := range cqs {
+			if key := q.String(); !seen[key] {
+				seen[key] = true
+				out = append(out, q)
+				st.Inc(obs.CtrUnionCQs)
+			}
 		}
 	}
 	return out

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Repository gate: formatting, vet, wdptlint, build, tests under the race
-# detector, a -short benchmark smoke, a wdptbench metrics-artifact smoke
-# (writes BENCH_<date>.json, which CI uploads), and a bounded parser fuzz
+# detector, a -short benchmark smoke, wdptbench metrics-artifact smokes at
+# Parallelism=1 and Parallelism=NumCPU (writes BENCH_<date>.json and
+# BENCH_<date>-pncpu.json, both uploaded by CI — same tables, elapsed_ns
+# ratio is the parallel-scaling measurement), and a bounded parser fuzz
 # smoke. CI (.github/workflows/ci.yml) runs exactly this script.
 #
 #   ./scripts/check.sh
@@ -36,8 +38,11 @@ go test -race ./...
 echo "== benchmark smoke (-race -short -benchtime=1x)"
 go test -race -short -run='^$' -bench=. -benchtime=1x .
 
-echo "== wdptbench metrics artifact (-short -json)"
+echo "== wdptbench metrics artifact (-short -json, parallelism 1)"
 go run ./cmd/wdptbench -short -json -out . >/dev/null
+
+echo "== wdptbench metrics artifact (-short -json, parallelism NumCPU)"
+go run ./cmd/wdptbench -short -json -out . -parallelism 0 -suffix -pncpu >/dev/null
 
 if [[ "${WDPT_SKIP_FUZZ:-0}" != "1" ]]; then
   fuzztime="${FUZZTIME:-10s}"

@@ -71,10 +71,34 @@ type (
 	SubsumeOptions = subsume.Options
 	// ApproxOptions bounds the approximation candidate search.
 	ApproxOptions = approx.Options
+	// SolveOptions configures a PatternTree.Solve or Union.Solve call: the
+	// problem mode, candidate mapping, engine, stats sink, and parallelism.
+	SolveOptions = core.SolveOptions
+	// SolveMode selects the evaluation problem a Solve call answers.
+	SolveMode = core.Mode
+	// SolveResult is the outcome of a Solve call: Answers for the
+	// enumeration modes, Holds for the decision modes.
+	SolveResult = core.Result
 	// Optimized is the fixed-parameter-tractable evaluator of Corollary 2.
 	Optimized = approx.Optimized
 	// OptimizedUnion is the union counterpart (Corollary 3).
 	OptimizedUnion = uwdpt.OptimizedUnion
+)
+
+// Solve modes: the consolidated evaluation entry point's problem selector.
+const (
+	// ModeEnumerate computes p(D) (Definition 2).
+	ModeEnumerate = core.ModeEnumerate
+	// ModeMaximal computes p_m(D) (Section 3.4).
+	ModeMaximal = core.ModeMaximal
+	// ModeExact decides h ∈ p(D) via the Theorem 6 interface algorithm.
+	ModeExact = core.ModeExact
+	// ModeExactNaive decides h ∈ p(D) via the band-enumeration baseline.
+	ModeExactNaive = core.ModeExactNaive
+	// ModePartial decides PARTIAL-EVAL (Theorem 8).
+	ModePartial = core.ModePartial
+	// ModeMax decides MAX-EVAL (Theorem 9).
+	ModeMax = core.ModeMax
 )
 
 // Term constructors.
