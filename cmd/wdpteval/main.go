@@ -11,12 +11,23 @@
 //	partial    decide whether h extends to an answer
 //	max        decide h ∈ p_m(D)
 //
-// Every mode routes through the consolidated Solve API, so concurrency and
-// cancellation are uniform:
+// Every mode routes through the consolidated Solve API, so concurrency,
+// cancellation, and resource budgets are uniform:
 //
-//	-parallelism n  Solve worker pool (1 = sequential, 0 = NumCPU); answers
-//	                are byte-identical at every value
-//	-timeout d      cancel the evaluation after d (e.g. 30s); exits non-zero
+//	-parallelism n    Solve worker pool (1 = sequential, 0 = NumCPU); answers
+//	                  are byte-identical at every value
+//	-timeout d        cancel the evaluation after d (e.g. 30s); exits non-zero
+//	-budget-tuples n  fail (or degrade) after materializing n intermediate
+//	                  tuples
+//	-max-answers n    truncate enumeration after n answers; the partial
+//	                  answer set is still printed
+//	-fallback         on a tripped budget, degrade down the
+//	                  exact → maximal → partial ladder instead of failing
+//	                  (docs/ROBUSTNESS.md); degraded output is marked
+//
+// Exit codes: 0 success, 2 usage or evaluation error, 3 deadline exceeded,
+// 4 tuple budget exceeded, 5 answer limit reached (partial answers were
+// printed).
 //
 // Observability (see docs/OBSERVABILITY.md):
 //
@@ -37,6 +48,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -67,6 +79,9 @@ type options struct {
 	optimize                 int
 	parallelism              int
 	timeout                  time.Duration
+	budgetTuples             int64
+	maxAnswers               int64
+	fallback                 bool
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -86,6 +101,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&o.optimize, "optimize", 0, "k > 0: route partial/max modes through the Corollary 2 M(WB(k)) witness when one exists")
 	fs.IntVar(&o.parallelism, "parallelism", 1, "Solve worker pool size (1 = sequential, 0 = NumCPU)")
 	fs.DurationVar(&o.timeout, "timeout", 0, "cancel the evaluation after this duration (0 = none)")
+	fs.Int64Var(&o.budgetTuples, "budget-tuples", 0, "fail (or degrade with -fallback) after materializing this many intermediate tuples (0 = unlimited)")
+	fs.Int64Var(&o.maxAnswers, "max-answers", 0, "truncate enumeration after this many answers (0 = unlimited)")
+	fs.BoolVar(&o.fallback, "fallback", false, "on a tripped budget, degrade exact→maximal→partial instead of failing")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	traceFile := fs.String("trace", "", "write a runtime execution trace to this file")
@@ -103,9 +121,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "wdpteval: %v\n", err)
-		return 2
+		return exitCode(err)
 	}
 	return 0
+}
+
+// exitCode maps guard trips to distinct exit codes so scripts can tell a
+// resource-limit stop (retryable with a bigger budget or -fallback) from a
+// genuine evaluation error.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, wdpt.ErrDeadline) || errors.Is(err, context.DeadlineExceeded):
+		return 3
+	case errors.Is(err, wdpt.ErrTupleBudget):
+		return 4
+	case errors.Is(err, wdpt.ErrAnswerLimit):
+		return 5
+	}
+	return 2
 }
 
 // report is the machine form of one run, emitted by -json as a single
@@ -119,6 +152,8 @@ type report struct {
 	AnswerCount        *int             `json:"answer_count,omitempty"`
 	Answers            []wdpt.Mapping   `json:"answers,omitempty"`
 	Result             *bool            `json:"result,omitempty"`
+	Degraded           *bool            `json:"degraded,omitempty"`
+	DegradedMode       string           `json:"degraded_mode,omitempty"`
 	OptimizerTractable *bool            `json:"optimizer_tractable,omitempty"`
 	Plans              []wdpt.Plan      `json:"plans,omitempty"`
 	Counters           map[string]int64 `json:"counters,omitempty"`
@@ -173,14 +208,21 @@ func evalMain(out io.Writer, o options) error {
 			fmt.Fprintln(out)
 		}
 	}
+	budget := wdpt.Budget{MaxTuples: o.budgetTuples, MaxAnswers: o.maxAnswers}
+	// evalErr carries a trip (e.g. the answer limit) whose partial result is
+	// still emitted below; run maps it to the documented exit code.
+	var evalErr error
 	switch o.mode {
 	case "enumerate":
 		res, err := p.Solve(ctx, d, wdpt.SolveOptions{
 			Mode: wdpt.ModeEnumerate, Engine: eng, Parallelism: par,
+			Budget: budget, Fallback: o.fallback,
 		})
-		if err != nil {
+		if err != nil && !errors.Is(err, wdpt.ErrAnswerLimit) {
 			return err
 		}
+		evalErr = err
+		noteDegraded(&rep, out, o.jsonOut, res)
 		answers := wdpt.SortSolutions(res.Answers)
 		n := len(answers)
 		rep.AnswerCount, rep.Answers = &n, answers
@@ -195,10 +237,13 @@ func evalMain(out io.Writer, o options) error {
 		// the engine, so Engine stays nil and the counters land on Stats.
 		res, err := p.Solve(ctx, d, wdpt.SolveOptions{
 			Mode: wdpt.ModeMaximal, Stats: st, Parallelism: par,
+			Budget: budget, Fallback: o.fallback,
 		})
-		if err != nil {
+		if err != nil && !errors.Is(err, wdpt.ErrAnswerLimit) {
 			return err
 		}
+		evalErr = err
+		noteDegraded(&rep, out, o.jsonOut, res)
 		answers := wdpt.SortSolutions(res.Answers)
 		n := len(answers)
 		rep.AnswerCount, rep.Answers = &n, answers
@@ -244,10 +289,12 @@ func evalMain(out io.Writer, o options) error {
 			}
 			res, err := p.Solve(ctx, d, wdpt.SolveOptions{
 				Mode: mode, Mapping: h, Engine: eng, Parallelism: par,
+				Budget: budget, Fallback: o.fallback,
 			})
 			if err != nil {
 				return err
 			}
+			noteDegraded(&rep, out, o.jsonOut, res)
 			result = res.Holds
 		}
 		rep.Result = &result
@@ -266,9 +313,26 @@ func evalMain(out io.Writer, o options) error {
 	if o.jsonOut {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		return enc.Encode(rep)
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
 	}
-	return nil
+	return evalErr
+}
+
+// noteDegraded records a Degraded result on the report and, in text mode,
+// prints the marker before the answers so truncated or fallback output is
+// never mistaken for the full semantics.
+func noteDegraded(rep *report, out io.Writer, jsonOut bool, res wdpt.SolveResult) {
+	if !res.Degraded {
+		return
+	}
+	t := true
+	rep.Degraded = &t
+	rep.DegradedMode = res.DegradedMode.String()
+	if !jsonOut {
+		fmt.Fprintf(out, "(degraded: result carries %s semantics)\n", rep.DegradedMode)
+	}
 }
 
 func loadQuery(inline, file string) (*core.PatternTree, error) {

@@ -151,3 +151,61 @@ func TestRunHypertreeEngine(t *testing.T) {
 		t.Fatalf("exit %d output %q err %q", code, out.String(), errOut.String())
 	}
 }
+
+func TestRunExitCodes(t *testing.T) {
+	db := writeMusicDB(t)
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"deadline", []string{"-db", db, "-query", musicQuery, "-timeout", "1ns"}, 3},
+		{"tuple-budget", []string{"-db", db, "-query", musicQuery, "-budget-tuples", "1"}, 4},
+		{"answer-limit", []string{"-db", db, "-query", musicQuery, "-max-answers", "1"}, 5},
+	}
+	for _, c := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(c.args, &out, &errOut); code != c.want {
+			t.Errorf("%s: exit %d, want %d (stderr: %s)", c.name, code, c.want, errOut.String())
+		}
+	}
+}
+
+func TestRunAnswerLimitKeepsPartialAnswers(t *testing.T) {
+	db := writeMusicDB(t)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-db", db, "-query", musicQuery, "-max-answers", "1", "-json"}, &out, &errOut)
+	if code != 5 {
+		t.Fatalf("exit %d, want 5: %s", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, `"degraded": true`) || !strings.Contains(s, `"degraded_mode": "enumerate"`) {
+		t.Fatalf("truncated run not marked degraded:\n%s", s)
+	}
+	if !strings.Contains(s, `"answers"`) {
+		t.Fatalf("truncated run dropped its partial answer set:\n%s", s)
+	}
+}
+
+func TestRunFallbackDegradesInsteadOfFailing(t *testing.T) {
+	db := writeMusicDB(t)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-db", db, "-query", musicQuery, "-max-answers", "1", "-fallback", "-json"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 with -fallback: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), `"degraded": true`) {
+		t.Fatalf("degraded run not marked in JSON:\n%s", out.String())
+	}
+}
+
+func TestRunNoBudgetOmitsDegradedField(t *testing.T) {
+	db := writeMusicDB(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-db", db, "-query", musicQuery, "-json"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if strings.Contains(out.String(), `"degraded"`) {
+		t.Fatalf("unbudgeted run emitted a degraded field:\n%s", out.String())
+	}
+}

@@ -14,6 +14,10 @@
 //	R7  consolidated evaluation surface: exported Eval*/Evaluate*/
 //	    PartialEval*/MaxEval* functions in internal/core and internal/uwdpt
 //	    must delegate to Solve or carry a "Deprecated:" doc comment
+//	R8  error-chain preservation: in internal/*, a fmt.Errorf whose
+//	    arguments include an error must wrap it with %w (or the code
+//	    returns a guard sentinel directly), so errors crossing a package
+//	    boundary stay errors.Is-matchable
 //
 // Findings print as "file:line: [rule] message" and make the tool exit 1.
 // A finding is suppressed by a directive on the same line or the line above:
@@ -78,7 +82,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // allRules lists every implemented rule in report order.
-var allRules = []string{"R1", "R2", "R3", "R4", "R5", "R6", "R7"}
+var allRules = []string{"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"}
 
 func parseRules(s string) (map[string]bool, error) {
 	enabled := make(map[string]bool, len(allRules))

@@ -63,6 +63,9 @@ func lintPackage(l *loader, p *lintPkg, enabled map[string]bool) []Finding {
 		if enabled["R7"] && solveSurfacePkg(p.rel) {
 			fs = append(fs, lintSolveSurface(l, f)...)
 		}
+		if enabled["R8"] && isInternalPkg(p.rel) {
+			fs = append(fs, lintErrorWrapping(l, p, f)...)
+		}
 		out = append(out, applySuppressions(l, f, fs)...)
 	}
 	return out
@@ -574,6 +577,54 @@ func referencesSolve(body *ast.BlockStmt) bool {
 		return !found
 	})
 	return found
+}
+
+// ---------------------------------------------------------------------------
+// R8 — error-chain preservation across internal package boundaries.
+//
+// The guard layer's typed errors (guard.ErrDeadline, guard.ErrTupleBudget,
+// ...) are matched with errors.Is at the CLI and test layers, which only
+// works if every intermediate layer wraps with %w instead of flattening the
+// cause into text with %v or %s. The rule flags a fmt.Errorf call in an
+// internal package whose arguments include an error-typed expression but
+// whose format string has no %w verb: the chain is lost at that point.
+// Errors built without embedding a cause (plain messages, formatted
+// non-error values) and sentinels returned directly are untouched.
+
+func lintErrorWrapping(l *loader, p *lintPkg, f *ast.File) []Finding {
+	errType, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []Finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p.info, call)
+		if fn == nil || fn.FullName() != "fmt.Errorf" || len(call.Args) < 2 {
+			return true
+		}
+		format, ok := unparen(call.Args[0]).(*ast.BasicLit)
+		if !ok || format.Kind != token.STRING {
+			return true // dynamic format string: not analyzable
+		}
+		s, err := strconv.Unquote(format.Value)
+		if err != nil || strings.Contains(s, "%w") {
+			return true
+		}
+		for _, arg := range call.Args[1:] {
+			t := p.info.TypeOf(arg)
+			if t == nil || !types.Implements(t, errType) {
+				continue
+			}
+			out = append(out, l.finding(call.Pos(), "R8",
+				"fmt.Errorf flattens error argument %s without %%w: the cause is no longer errors.Is-matchable across the package boundary", exprString(arg)))
+		}
+		return true
+	})
+	return out
 }
 
 // ---------------------------------------------------------------------------

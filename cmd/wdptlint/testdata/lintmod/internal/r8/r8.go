@@ -1,0 +1,41 @@
+// Package r8 exercises the R8 error-chain preservation rule.
+package r8
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrLimit is a sentinel callers match with errors.Is.
+var ErrLimit = errors.New("limit reached")
+
+// Lossy flattens the cause with %v, breaking the errors.Is chain.
+func Lossy(err error) error {
+	return fmt.Errorf("evaluating: %v", err) // want R8
+}
+
+// LossyString flattens the cause into a message with %s.
+func LossyString(name string, err error) error {
+	return fmt.Errorf("stage %s failed: %s", name, err) // want R8
+}
+
+// Wrapped preserves the chain with %w; exempt.
+func Wrapped(err error) error {
+	return fmt.Errorf("evaluating: %w", err)
+}
+
+// Fresh formats only non-error values; exempt.
+func Fresh(n int) error {
+	return fmt.Errorf("bad width %d", n)
+}
+
+// Sentinel returns a matchable sentinel directly; exempt.
+func Sentinel() error {
+	return ErrLimit
+}
+
+// Boundary deliberately severs the chain at a trust boundary.
+func Boundary(err error) error {
+	//lint:ignore R8 sanitized message: the cause must not leak past this boundary
+	return fmt.Errorf("internal failure: %v", err)
+}

@@ -7,6 +7,7 @@ import (
 	"wdpt/internal/cq"
 	"wdpt/internal/cqeval"
 	"wdpt/internal/db"
+	"wdpt/internal/guard"
 	"wdpt/internal/obs"
 )
 
@@ -158,14 +159,17 @@ func (p *PatternTree) EvalObs(d *db.Database, h cq.Mapping, st *obs.Stats) bool 
 	return res.Holds
 }
 
-// evalNaive is the band-enumeration baseline behind ModeExactNaive.
-func (p *PatternTree) evalNaive(d *db.Database, h cq.Mapping, st *obs.Stats) bool {
+// evalNaive is the band-enumeration baseline behind ModeExactNaive. The
+// meter checkpoints once per enumerated band so deadlines and cancellation
+// interrupt the exponential subtree enumeration between bands.
+func (p *PatternTree) evalNaive(d *db.Database, h cq.Mapping, st *obs.Stats, m *guard.Meter) bool {
 	tmin, tmax, ok := p.evalBand(h)
 	if !ok {
 		return false
 	}
 	found := false
 	p.enumerateBand(tmin, tmax, func(s Subtree) bool {
+		m.Checkpoint()
 		st.Inc(obs.CtrBandsEnumerated)
 		cq.HomomorphismsObs(p.SubtreeAtoms(s), d, h, st, func(g cq.Mapping) bool {
 			// g is defined on vars(s) ⊆ the allowed region, so its free
@@ -343,6 +347,7 @@ func (p *PatternTree) evalInterface(d *db.Database, h cq.Mapping, eng cqeval.Eng
 		h:    h,
 		eng:  eng,
 		st:   cqeval.StatsOf(eng),
+		gm:   cqeval.MeterOf(eng),
 		tmin: tmin,
 		tmax: tmax,
 		memo: make(map[string]bool),
@@ -355,7 +360,8 @@ type biEvaluator struct {
 	d          *db.Database
 	h          cq.Mapping
 	eng        cqeval.Engine
-	st         *obs.Stats // the engine's sink, shared for memo counters
+	st         *obs.Stats   // the engine's sink, shared for memo counters
+	gm         *guard.Meter // the engine's meter, checkpointed per memo query
 	tmin, tmax Subtree
 	memo       map[string]bool
 }
@@ -424,6 +430,7 @@ func (e *biEvaluator) fixedWith(iface cq.Mapping) cq.Mapping {
 // and all children must in turn be satisfiable as required / safe / blocked
 // according to their region.
 func (e *biEvaluator) required(n *Node, iface cq.Mapping) bool {
+	e.gm.Checkpoint()
 	key := fmt.Sprintf("R%d|%s", n.id, iface.Key())
 	if v, ok := e.memo[key]; ok {
 		e.st.Inc(obs.CtrInterfaceMemoHits)
@@ -447,6 +454,7 @@ func (e *biEvaluator) required(n *Node, iface cq.Mapping) bool {
 // or it can be entered by some local homomorphism whose children are again
 // all safe or blocked.
 func (e *biEvaluator) safe(n *Node, iface cq.Mapping) bool {
+	e.gm.Checkpoint()
 	key := fmt.Sprintf("S%d|%s", n.id, iface.Key())
 	if v, ok := e.memo[key]; ok {
 		e.st.Inc(obs.CtrInterfaceMemoHits)
@@ -472,6 +480,7 @@ func (e *biEvaluator) safe(n *Node, iface cq.Mapping) bool {
 // blocked handles nodes outside T”: entering them would define the answer
 // on a new free variable, so no consistent local homomorphism may exist.
 func (e *biEvaluator) blocked(n *Node, iface cq.Mapping) bool {
+	e.gm.Checkpoint()
 	key := fmt.Sprintf("B%d|%s", n.id, iface.Key())
 	if v, ok := e.memo[key]; ok {
 		e.st.Inc(obs.CtrInterfaceMemoHits)

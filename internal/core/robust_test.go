@@ -1,0 +1,164 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"wdpt/internal/core"
+	"wdpt/internal/cq"
+	"wdpt/internal/cqeval"
+	"wdpt/internal/db"
+	"wdpt/internal/gen"
+	"wdpt/internal/guard"
+	"wdpt/internal/obs"
+)
+
+// panicEngine is a cqeval.Engine whose evaluation methods always panic. It
+// stands in for a buggy engine implementation: the Solve boundary must turn
+// the panic into a wrapped error instead of crashing the process.
+type panicEngine struct{}
+
+func (panicEngine) Name() string { return "panic-stub" }
+
+func (panicEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
+	panic("stub engine: Satisfiable")
+}
+
+func (panicEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, proj []string) []cq.Mapping {
+	panic("stub engine: Project")
+}
+
+func (panicEngine) Explain(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) obs.Plan {
+	return obs.Plan{Engine: "panic-stub"}
+}
+
+// waitDrained fails the test if the goroutine count does not return to the
+// baseline: a recovered panic must not strand pool helpers.
+func waitDrained(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d goroutines, baseline %d\n%s",
+				runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSolveRecoversEnginePanic pins the panic-to-error boundary: a panicking
+// engine surfaces as an errors.Is(err, ErrPanic) error carrying the panic
+// value and a stack that names the faulty frame, the process does not crash,
+// and the worker pool drains, at every parallelism level.
+func TestSolveRecoversEnginePanic(t *testing.T) {
+	p := gen.MusicWDPT("x", "y", "z", "zp")
+	d := gen.MusicDatabase()
+	for _, par := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("p%d", par), func(t *testing.T) {
+			base := runtime.NumGoroutine()
+			res, err := p.Solve(context.Background(), d, core.SolveOptions{
+				Mode:        core.ModeEnumerate,
+				Engine:      panicEngine{},
+				Parallelism: par,
+			})
+			if err == nil {
+				t.Fatalf("panicking engine returned %d answers and no error", len(res.Answers))
+			}
+			if !errors.Is(err, guard.ErrPanic) {
+				t.Fatalf("err = %v, not matchable with ErrPanic", err)
+			}
+			var te *guard.TripError
+			if !errors.As(err, &te) {
+				t.Fatalf("err = %v, want a *guard.TripError in the chain", err)
+			}
+			if v, ok := te.Value.(string); !ok || !strings.Contains(v, "stub engine") {
+				t.Errorf("trip lost the panic value: %v", te.Value)
+			}
+			if !strings.Contains(string(te.Stack), "panicEngine") {
+				t.Errorf("trip stack does not name the panicking frame:\n%s", te.Stack)
+			}
+			waitDrained(t, base)
+		})
+	}
+}
+
+// TestSolvePanicIsNotDegradable pins that the fallback ladder treats a panic
+// as a failure, not a budget: no weaker mode is attempted.
+func TestSolvePanicIsNotDegradable(t *testing.T) {
+	p := gen.MusicWDPT("x", "y")
+	d := gen.MusicDatabase()
+	st := obs.NewStats()
+	_, err := p.Solve(context.Background(), d, core.SolveOptions{
+		Mode:     core.ModeExact,
+		Mapping:  map[string]string{"x": "Swim", "y": "Caribou"},
+		Engine:   panicEngine{},
+		Stats:    st,
+		Fallback: true,
+	})
+	if !errors.Is(err, guard.ErrPanic) {
+		t.Fatalf("err = %v, want ErrPanic", err)
+	}
+	if hops := st.Snapshot()["guard.fallback_hops"]; hops != 0 {
+		t.Errorf("ladder retried past a panic: guard.fallback_hops = %d", hops)
+	}
+}
+
+// crossDatabase returns a complete directed graph on n vertices as a single
+// binary relation: a chain query over it joins without any semijoin pruning,
+// so evaluation stays inside join waves long enough for a deadline to land
+// mid-join.
+func crossDatabase(n int) *db.Database {
+	d := db.New()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d.Insert("r", fmt.Sprint(i), fmt.Sprint(j))
+		}
+	}
+	return d
+}
+
+// TestSolveCancellationMidJoin is the regression test for context checks
+// inside cqeval's join waves: a deadline that expires while a large join is
+// materializing must abort evaluation promptly with a deadline-matchable
+// error instead of running the join to completion.
+func TestSolveCancellationMidJoin(t *testing.T) {
+	p := core.MustNew(core.NodeSpec{Atoms: []cq.Atom{
+		cq.NewAtom("r", cq.V("x1"), cq.V("x2")),
+		cq.NewAtom("r", cq.V("x2"), cq.V("x3")),
+		cq.NewAtom("r", cq.V("x3"), cq.V("x4")),
+		cq.NewAtom("r", cq.V("x4"), cq.V("x5")),
+	}}, []string{"x1"})
+	d := crossDatabase(64)
+	for _, par := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("p%d", par), func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+			defer cancel()
+			start := time.Now()
+			_, err := p.Solve(ctx, d, core.SolveOptions{
+				Mode:        core.ModeEnumerate,
+				Engine:      cqeval.Yannakakis(),
+				Parallelism: par,
+			})
+			elapsed := time.Since(start)
+			if err == nil {
+				t.Fatal("expired deadline did not abort the join")
+			}
+			if !errors.Is(err, context.DeadlineExceeded) || !errors.Is(err, guard.ErrDeadline) {
+				t.Fatalf("err = %v, want both context.DeadlineExceeded and ErrDeadline", err)
+			}
+			if guard.Degradable(err) {
+				t.Error("a caller deadline must not be degradable")
+			}
+			// Generous CI bound: the full cross-product join takes far longer.
+			if elapsed > 1500*time.Millisecond {
+				t.Errorf("Solve returned after %v, want prompt abort", elapsed)
+			}
+		})
+	}
+}

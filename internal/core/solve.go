@@ -7,6 +7,7 @@ import (
 	"wdpt/internal/cq"
 	"wdpt/internal/cqeval"
 	"wdpt/internal/db"
+	"wdpt/internal/guard"
 	"wdpt/internal/obs"
 	"wdpt/internal/par"
 )
@@ -16,14 +17,23 @@ import (
 // (Evaluate, EvaluateMaximal, Eval, EvalInterface, PartialEval, MaxEval,
 // EvaluateWith), which survive as thin deprecated wrappers; new callers and
 // new evaluation variants go through Solve so that context cancellation,
-// engine selection, observability, and parallelism are configured in one
-// place (wdptlint rule R7 enforces this for future exported functions).
+// engine selection, observability, parallelism, and resource budgets are
+// configured in one place (wdptlint rule R7 enforces this for future
+// exported functions).
 //
 // Determinism contract: for every mode and every Parallelism level the
 // returned answers are byte-identical, and at Parallelism ≤ 1 the counter
 // totals on SolveOptions.Stats equal the historical sequential totals
 // exactly. Parallel fan-outs only cover work whose operation set is
 // order-independent, so all non-par.* counters stay level-independent too.
+// With no Budget set and a non-cancellable context, no guard meter exists,
+// so the guardrails add nothing to answers or counters.
+//
+// Robustness contract (docs/ROBUSTNESS.md): Solve never panics — engine
+// bugs, budget trips, and injected faults are recovered at this boundary
+// into *guard.TripError values — and with Fallback set, a budget trip on a
+// decision mode retries down the paper's tractability ladder
+// (exact → maximal → partial; Theorems 8–9) instead of failing.
 
 // Mode selects which evaluation problem Solve decides or computes.
 type Mode int
@@ -69,8 +79,27 @@ func (m Mode) String() string {
 	return fmt.Sprintf("mode(%d)", int(m))
 }
 
+// FallbackLadder returns the degradation ladder for a mode: the weaker
+// modes Solve retries, in order, when a budget trips and Fallback is set.
+// The ladder follows the paper's tractability results — EVAL is
+// Σ₂ᴾ-complete in general (Proposition 3) while MAX-EVAL and PARTIAL-EVAL
+// stay in LOGCFL on globally tractable trees (Theorems 9 and 8) — so each
+// hop trades answer precision for a strictly cheaper complexity class. The
+// enumeration modes have no ladder (their truncation path is the answer
+// cap, which keeps the partial answer set instead of retrying).
+func FallbackLadder(m Mode) []Mode {
+	switch m {
+	case ModeExact, ModeExactNaive:
+		return []Mode{ModeMax, ModePartial}
+	case ModeMax:
+		return []Mode{ModePartial}
+	}
+	return nil
+}
+
 // SolveOptions configures one Solve call. The zero value enumerates p(D)
-// sequentially with the naive homomorphism solver and no observability.
+// sequentially with the naive homomorphism solver, no observability, and no
+// resource limits.
 type SolveOptions struct {
 	// Mode selects the problem; see the Mode constants.
 	Mode Mode
@@ -90,20 +119,47 @@ type SolveOptions struct {
 	// Parallelism bounds the worker goroutines; values ≤ 1 run the exact
 	// sequential legacy code paths and record no par.* counters.
 	Parallelism int
+	// Budget bounds each evaluation attempt (wall clock, intermediate
+	// tuples, answers); see guard.Budget. The zero value imposes no limits.
+	// Each attempt of the fallback ladder gets the full budget afresh.
+	Budget guard.Budget
+	// Fallback retries a budget-tripped decision mode down the degradation
+	// ladder (FallbackLadder) and marks answer-capped enumerations Degraded
+	// instead of returning guard.ErrAnswerLimit.
+	Fallback bool
+	// Meter shares an external guard meter across several Solve calls — one
+	// budget for a whole union evaluation rather than per member. When set,
+	// Budget is ignored and the fallback ladder is driven by the outermost
+	// caller (Union.Solve), not per call.
+	Meter *guard.Meter
 }
 
 // Result is the outcome of a Solve call: Answers for the enumeration modes,
 // Holds for the decision modes.
 type Result struct {
+	// Answers is the enumerated answer set (enumeration modes only).
 	Answers []cq.Mapping
-	Holds   bool
+	// Holds is the decision-mode verdict.
+	Holds bool
+	// Degraded reports that the result carries weaker semantics than the
+	// requested mode: a fallback-ladder hop succeeded after a budget trip,
+	// or the enumeration was truncated at Budget.MaxAnswers.
+	Degraded bool
+	// DegradedMode is the mode whose semantics the result actually carries
+	// when Degraded (the successful rung of the ladder, or the truncated
+	// enumeration mode itself).
+	DegradedMode Mode
 }
 
 // Solve runs the selected evaluation problem over d. It returns an error
-// only when ctx is cancelled (checked between root-candidate expansions;
-// decision modes run to completion once started) or when opts.Mode is
-// unknown. A nil ctx is treated as context.Background().
-func (p *PatternTree) Solve(ctx context.Context, d *db.Database, opts SolveOptions) (Result, error) {
+// when ctx is cancelled, when opts.Mode is unknown, or when a resource
+// budget trips without a fallback; budget trips, injected faults, and
+// recovered panics all surface as *guard.TripError values (errors.Is
+// against guard.ErrDeadline, guard.ErrTupleBudget, guard.ErrAnswerLimit,
+// guard.ErrInjected, guard.ErrPanic). Solve never panics: any panic below
+// this boundary is recovered into an error. A nil ctx is treated as
+// context.Background().
+func (p *PatternTree) Solve(ctx context.Context, d *db.Database, opts SolveOptions) (res Result, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -111,37 +167,90 @@ func (p *PatternTree) Solve(ctx context.Context, d *db.Database, opts SolveOptio
 	if st == nil {
 		st = cqeval.StatsOf(opts.Engine)
 	}
+	defer func() {
+		// The boundary backstop: solveAttempt recovers evaluation panics, so
+		// this only fires for bugs in the orchestration itself.
+		if r := recover(); r != nil {
+			res, err = Result{}, guard.AsError(r, st)
+		}
+	}()
+	if opts.Meter != nil {
+		// An external meter means an outer caller owns budget and ladder.
+		return p.solveAttempt(ctx, d, opts.Mode, opts, st, opts.Meter)
+	}
+	res, err = p.solveAttempt(ctx, d, opts.Mode, opts, st, guard.NewMeter(ctx, opts.Budget, st))
+	if err == nil || !opts.Fallback || !guard.Degradable(err) {
+		return res, err
+	}
+	for _, mode := range FallbackLadder(opts.Mode) {
+		if cerr := ctx.Err(); cerr != nil {
+			return Result{}, cerr
+		}
+		st.Inc(obs.CtrGuardFallbackHops)
+		res, err = p.solveAttempt(ctx, d, mode, opts, st, guard.NewMeter(ctx, opts.Budget, st))
+		if err == nil {
+			res.Degraded, res.DegradedMode = true, mode
+			return res, nil
+		}
+		if !guard.Degradable(err) {
+			return Result{}, err
+		}
+	}
+	return Result{}, err
+}
+
+// solveAttempt runs one evaluation attempt of the given mode under the
+// meter m, recovering any panic below it — budget trips, injected faults,
+// engine bugs — into an error.
+func (p *PatternTree) solveAttempt(ctx context.Context, d *db.Database, mode Mode, opts SolveOptions, st *obs.Stats, m *guard.Meter) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = Result{}, guard.AsError(r, st)
+		}
+	}()
 	pool := par.New(opts.Parallelism, st)
 	eng := opts.Engine
 	if eng != nil {
 		if opts.Stats != nil && cqeval.StatsOf(eng) != opts.Stats {
 			eng = cqeval.WithStats(eng, opts.Stats)
 		}
-		eng = cqeval.WithPool(eng, pool)
+		eng = cqeval.WithMeter(cqeval.WithPool(eng, pool), m)
 	}
-	switch opts.Mode {
+	switch mode {
 	case ModeEnumerate, ModeMaximal:
-		answers, err := p.enumerateSolve(ctx, d, eng, st, pool)
+		answers, err := p.enumerateSolve(ctx, d, eng, st, pool, m)
 		if err != nil {
 			return Result{}, err
 		}
-		if opts.Mode == ModeMaximal {
-			return Result{Answers: answers.Maximal()}, nil
+		if mode == ModeMaximal {
+			res = Result{Answers: answers.Maximal()}
+		} else {
+			res = Result{Answers: answers.All()}
 		}
-		return Result{Answers: answers.All()}, nil
+		if m.Truncated() {
+			// The answer cap keeps the partial set: marked Degraded under
+			// Fallback (or an outer shared-meter caller), paired with the
+			// typed error otherwise — either way the answers survive.
+			res.Degraded, res.DegradedMode = true, mode
+			if opts.Fallback || opts.Meter != nil {
+				return res, nil
+			}
+			return res, m.AnswerLimitError()
+		}
+		return res, nil
 	case ModeExactNaive:
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
-		return Result{Holds: p.evalNaive(d, opts.Mapping, st)}, nil
+		return Result{Holds: p.evalNaive(d, opts.Mapping, st, m)}, nil
 	case ModeExact, ModePartial, ModeMax:
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
 		if eng == nil {
-			eng = cqeval.WithPool(cqeval.WithStats(cqeval.Auto(), st), pool)
+			eng = cqeval.WithMeter(cqeval.WithPool(cqeval.WithStats(cqeval.Auto(), st), pool), m)
 		}
-		switch opts.Mode {
+		switch mode {
 		case ModeExact:
 			return Result{Holds: p.evalInterface(d, opts.Mapping, eng)}, nil
 		case ModePartial:
@@ -150,7 +259,7 @@ func (p *PatternTree) Solve(ctx context.Context, d *db.Database, opts SolveOptio
 			return Result{Holds: p.partialEval(d, opts.Mapping, eng) && !p.ProperExtensionExists(d, opts.Mapping, eng)}, nil
 		}
 	}
-	return Result{}, fmt.Errorf("core: unknown solve mode %v", opts.Mode)
+	return Result{}, fmt.Errorf("core: unknown solve mode %v", mode)
 }
 
 // enumerateSolve computes the full answer set of Definition 2. Root-node
@@ -161,11 +270,14 @@ func (p *PatternTree) Solve(ctx context.Context, d *db.Database, opts SolveOptio
 // candidates never collide (every key embeds the root bindings), so the
 // per-candidate dedup maps partition the shared sequential map exactly:
 // the expansion work — and its counters — are identical at every
-// parallelism level.
-func (p *PatternTree) enumerateSolve(ctx context.Context, d *db.Database, eng cqeval.Engine, st *obs.Stats, pool *par.Pool) (*cq.MappingSet, error) {
+// parallelism level. The guard meter charges enumerated homomorphisms and
+// caps the answer set; when the cap fires the remaining candidates are
+// skipped and the partial set is returned truncated.
+func (p *PatternTree) enumerateSolve(ctx context.Context, d *db.Database, eng cqeval.Engine, st *obs.Stats, pool *par.Pool, m *guard.Meter) (*cq.MappingSet, error) {
 	var roots []cq.Mapping
 	if eng == nil {
 		cq.HomomorphismsObs(p.root.atoms, d, nil, st, func(h cq.Mapping) bool {
+			m.ChargeTuples(1)
 			roots = append(roots, h.Clone())
 			return true
 		})
@@ -182,13 +294,16 @@ func (p *PatternTree) enumerateSolve(ctx context.Context, d *db.Database, eng cq
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			p.expandSolve(d, eng, st, visited, answers, p.RootSubtree(), h)
+			if m.Truncated() {
+				break
+			}
+			p.expandSolve(d, eng, st, visited, answers, p.RootSubtree(), h, m)
 		}
 		return answers, nil
 	}
 	sets := par.Map(pool, len(roots), func(i int) *cq.MappingSet {
 		answers := cq.NewMappingSet()
-		p.expandSolve(d, eng, st, make(map[string]bool), answers, p.RootSubtree(), roots[i])
+		p.expandSolve(d, eng, st, make(map[string]bool), answers, p.RootSubtree(), roots[i], m)
 		return answers
 	})
 	if err := ctx.Err(); err != nil {
@@ -207,8 +322,14 @@ func (p *PatternTree) enumerateSolve(ctx context.Context, d *db.Database, eng cq
 // units until no extension is possible, collecting the free projections of
 // the maximal homomorphisms. With eng == nil the node CQs go to the
 // backtracking solver (the historical Evaluate path); otherwise to the
-// engine (the historical EvaluateWith path).
-func (p *PatternTree) expandSolve(d *db.Database, eng cqeval.Engine, st *obs.Stats, visited map[string]bool, answers *cq.MappingSet, s Subtree, h cq.Mapping) {
+// engine (the historical EvaluateWith path). The meter checkpoints each
+// expansion, charges enumerated extension homomorphisms, and gates answer
+// collection on the answer budget.
+func (p *PatternTree) expandSolve(d *db.Database, eng cqeval.Engine, st *obs.Stats, visited map[string]bool, answers *cq.MappingSet, s Subtree, h cq.Mapping, m *guard.Meter) {
+	m.Checkpoint()
+	if m.Truncated() {
+		return
+	}
 	key := s.Key() + "|" + h.Key()
 	if visited[key] {
 		return
@@ -220,6 +341,7 @@ func (p *PatternTree) expandSolve(d *db.Database, eng cqeval.Engine, st *obs.Sta
 		var exts []cq.Mapping
 		if eng == nil {
 			cq.HomomorphismsObs(u.atoms, d, h, st, func(g cq.Mapping) bool {
+				m.ChargeTuples(1)
 				exts = append(exts, g.Clone())
 				return true
 			})
@@ -235,10 +357,18 @@ func (p *PatternTree) expandSolve(d *db.Database, eng cqeval.Engine, st *obs.Sta
 			next[n.id] = true
 		}
 		for _, g := range exts {
-			p.expandSolve(d, eng, st, visited, answers, next, h.Union(g))
+			p.expandSolve(d, eng, st, visited, answers, next, h.Union(g), m)
 		}
 	}
 	if !extendable {
-		answers.Add(h.Restrict(p.free))
+		row := h.Restrict(p.free)
+		if m.Active() {
+			// Consume answer budget only for rows new to this candidate's
+			// set; refusals mark the enumeration truncated.
+			if !answers.Contains(row) && !m.TryAnswer() {
+				return
+			}
+		}
+		answers.Add(row)
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"wdpt/internal/cq"
 	"wdpt/internal/db"
+	"wdpt/internal/guard"
 	"wdpt/internal/obs"
 	"wdpt/internal/par"
 )
@@ -85,6 +86,35 @@ func PoolOf(eng Engine) *par.Pool {
 	return nil
 }
 
+// meterCarrier is the private interface every engine in this package
+// implements; WithMeter and MeterOf dispatch through it.
+type meterCarrier interface {
+	withMeter(gm *guard.Meter) Engine
+	meter() *guard.Meter
+}
+
+// WithMeter returns a copy of eng that charges its materialized rows —
+// bag relations, join rows, domain products, enumerated homomorphisms —
+// against the guard meter and checkpoints its semijoin and join loops for
+// cancellation. A nil gm restores unmetered evaluation (the default).
+// Engines not constructed by this package are returned unchanged.
+func WithMeter(eng Engine, gm *guard.Meter) Engine {
+	if c, ok := eng.(meterCarrier); ok {
+		return c.withMeter(gm)
+	}
+	return eng
+}
+
+// MeterOf returns the guard meter attached to eng by WithMeter, or nil.
+// Layers above cqeval use it to checkpoint their own loops against the
+// same budget the engine charges.
+func MeterOf(eng Engine) *guard.Meter {
+	if c, ok := eng.(meterCarrier); ok {
+		return c.meter()
+	}
+	return nil
+}
+
 // Naive returns the baseline backtracking engine (general CQs, exponential
 // in query size in the worst case).
 func Naive() Engine { return naiveEngine{} }
@@ -108,15 +138,22 @@ func Decomposition() Engine { return decompEngine{cache: newPlanCache()} }
 // cached across calls.
 func Auto() Engine { return autoEngine{cache: newPlanCache()} }
 
-type naiveEngine struct{ st *obs.Stats }
+type naiveEngine struct {
+	st *obs.Stats
+	gm *guard.Meter
+}
 
 func (naiveEngine) Name() string { return "naive" }
 
-func (e naiveEngine) withStats(st *obs.Stats) Engine { return naiveEngine{st: st} }
+func (e naiveEngine) withStats(st *obs.Stats) Engine { return naiveEngine{st: st, gm: e.gm} }
 func (e naiveEngine) stats() *obs.Stats              { return e.st }
+
+func (e naiveEngine) withMeter(gm *guard.Meter) Engine { return naiveEngine{st: e.st, gm: gm} }
+func (e naiveEngine) meter() *guard.Meter              { return e.gm }
 
 func (e naiveEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
 	e.st.Inc(obs.CtrSatisfiableCalls)
+	e.gm.Checkpoint()
 	return cq.SatisfiableObs(atoms, d, fixed, e.st)
 }
 
@@ -124,6 +161,7 @@ func (e naiveEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, 
 	e.st.Inc(obs.CtrProjectCalls)
 	out := cq.NewMappingSet()
 	cq.HomomorphismsObs(atoms, d, fixed, e.st, func(h cq.Mapping) bool {
+		e.gm.ChargeTuples(1)
 		row := h.Restrict(proj)
 		for _, v := range proj {
 			if c, ok := fixed[v]; ok {
@@ -145,29 +183,35 @@ type yannakakisEngine struct {
 	st    *obs.Stats
 	cache *planCache
 	pl    *par.Pool
+	gm    *guard.Meter
 }
 
 func (yannakakisEngine) Name() string { return "yannakakis" }
 
 func (e yannakakisEngine) withStats(st *obs.Stats) Engine {
-	return yannakakisEngine{st: st, cache: e.cache, pl: e.pl}
+	return yannakakisEngine{st: st, cache: e.cache, pl: e.pl, gm: e.gm}
 }
 func (e yannakakisEngine) stats() *obs.Stats { return e.st }
 
 func (e yannakakisEngine) withPool(pl *par.Pool) Engine {
-	return yannakakisEngine{st: e.st, cache: e.cache, pl: pl}
+	return yannakakisEngine{st: e.st, cache: e.cache, pl: pl, gm: e.gm}
 }
 func (e yannakakisEngine) pool() *par.Pool { return e.pl }
 
+func (e yannakakisEngine) withMeter(gm *guard.Meter) Engine {
+	return yannakakisEngine{st: e.st, cache: e.cache, pl: e.pl, gm: gm}
+}
+func (e yannakakisEngine) meter() *guard.Meter { return e.gm }
+
 // fallback is the decomposition engine sharing this engine's sink, cache,
-// and pool.
+// pool, and meter.
 func (e yannakakisEngine) fallback() decompEngine {
-	return decompEngine{st: e.st, cache: e.cache, pl: e.pl}
+	return decompEngine{st: e.st, cache: e.cache, pl: e.pl, gm: e.gm}
 }
 
 func (e yannakakisEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
 	e.st.Inc(obs.CtrSatisfiableCalls)
-	p, ok := prepareJoinTree(atoms, d, fixed, e.st, e.cache, e.pl)
+	p, ok := prepareJoinTree(atoms, d, fixed, e.st, e.cache, e.pl, e.gm)
 	if !ok {
 		e.st.Inc(obs.CtrFallbacks)
 		return e.fallback().satisfiable(atoms, d, fixed)
@@ -177,7 +221,7 @@ func (e yannakakisEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.
 
 func (e yannakakisEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, proj []string) []cq.Mapping {
 	e.st.Inc(obs.CtrProjectCalls)
-	p, ok := prepareJoinTree(atoms, d, fixed, e.st, e.cache, e.pl)
+	p, ok := prepareJoinTree(atoms, d, fixed, e.st, e.cache, e.pl, e.gm)
 	if !ok {
 		e.st.Inc(obs.CtrFallbacks)
 		return e.fallback().projectRows(atoms, d, fixed, proj)
@@ -186,7 +230,7 @@ func (e yannakakisEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapp
 }
 
 func (e yannakakisEngine) Explain(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) obs.Plan {
-	p, ok := prepareJoinTree(atoms, d, fixed, nil, e.cache, nil)
+	p, ok := prepareJoinTree(atoms, d, fixed, nil, e.cache, nil, nil)
 	if !ok {
 		out := e.fallback().Explain(atoms, d, fixed)
 		out.Engine = e.Name()
@@ -200,19 +244,25 @@ type decompEngine struct {
 	st    *obs.Stats
 	cache *planCache
 	pl    *par.Pool
+	gm    *guard.Meter
 }
 
 func (decompEngine) Name() string { return "decomposition" }
 
 func (e decompEngine) withStats(st *obs.Stats) Engine {
-	return decompEngine{st: st, cache: e.cache, pl: e.pl}
+	return decompEngine{st: st, cache: e.cache, pl: e.pl, gm: e.gm}
 }
 func (e decompEngine) stats() *obs.Stats { return e.st }
 
 func (e decompEngine) withPool(pl *par.Pool) Engine {
-	return decompEngine{st: e.st, cache: e.cache, pl: pl}
+	return decompEngine{st: e.st, cache: e.cache, pl: pl, gm: e.gm}
 }
 func (e decompEngine) pool() *par.Pool { return e.pl }
+
+func (e decompEngine) withMeter(gm *guard.Meter) Engine {
+	return decompEngine{st: e.st, cache: e.cache, pl: e.pl, gm: gm}
+}
+func (e decompEngine) meter() *guard.Meter { return e.gm }
 
 func (e decompEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
 	e.st.Inc(obs.CtrSatisfiableCalls)
@@ -222,7 +272,7 @@ func (e decompEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapp
 // satisfiable is the call-counter-free body, shared with fallback paths so
 // one logical engine call counts once.
 func (e decompEngine) satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
-	p, ok := prepareDecomposition(atoms, d, fixed, e.st, e.cache, e.pl)
+	p, ok := prepareDecomposition(atoms, d, fixed, e.st, e.cache, e.pl, e.gm)
 	if !ok {
 		return false
 	}
@@ -236,7 +286,7 @@ func (e decompEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapping,
 
 // projectRows is the call-counter-free body behind Project.
 func (e decompEngine) projectRows(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, proj []string) []cq.Mapping {
-	p, ok := prepareDecomposition(atoms, d, fixed, e.st, e.cache, e.pl)
+	p, ok := prepareDecomposition(atoms, d, fixed, e.st, e.cache, e.pl, e.gm)
 	if !ok {
 		return nil
 	}
@@ -244,7 +294,7 @@ func (e decompEngine) projectRows(atoms []cq.Atom, d *db.Database, fixed cq.Mapp
 }
 
 func (e decompEngine) Explain(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) obs.Plan {
-	p, ok := prepareDecomposition(atoms, d, fixed, nil, e.cache, nil)
+	p, ok := prepareDecomposition(atoms, d, fixed, nil, e.cache, nil, nil)
 	if !ok {
 		// Provably unsatisfiable before planning (a ground atom failed).
 		inst, _ := instantiate(atoms, d, fixed)
@@ -263,22 +313,28 @@ type autoEngine struct {
 	st    *obs.Stats
 	cache *planCache
 	pl    *par.Pool
+	gm    *guard.Meter
 }
 
 func (autoEngine) Name() string { return "auto" }
 
 func (e autoEngine) withStats(st *obs.Stats) Engine {
-	return autoEngine{st: st, cache: e.cache, pl: e.pl}
+	return autoEngine{st: st, cache: e.cache, pl: e.pl, gm: e.gm}
 }
 func (e autoEngine) stats() *obs.Stats { return e.st }
 
 func (e autoEngine) withPool(pl *par.Pool) Engine {
-	return autoEngine{st: e.st, cache: e.cache, pl: pl}
+	return autoEngine{st: e.st, cache: e.cache, pl: pl, gm: e.gm}
 }
 func (e autoEngine) pool() *par.Pool { return e.pl }
 
+func (e autoEngine) withMeter(gm *guard.Meter) Engine {
+	return autoEngine{st: e.st, cache: e.cache, pl: e.pl, gm: gm}
+}
+func (e autoEngine) meter() *guard.Meter { return e.gm }
+
 func (e autoEngine) delegate() yannakakisEngine {
-	return yannakakisEngine{st: e.st, cache: e.cache, pl: e.pl}
+	return yannakakisEngine{st: e.st, cache: e.cache, pl: e.pl, gm: e.gm}
 }
 
 func (e autoEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
@@ -322,6 +378,7 @@ type plan struct {
 	failed   bool  // a ground atom failed or a node relation is empty by construction
 	st       *obs.Stats
 	pl       *par.Pool
+	gm       *guard.Meter
 	nAtoms   int   // instantiated atoms the plan covers
 	bagAtoms []int // atoms assigned per bag (diagnostics for Explain)
 }
@@ -366,7 +423,7 @@ func instantiate(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) ([]cq.Atom, 
 // variable shape of the instantiated atoms has been planned before; bag
 // relations materialize in parallel over pl (one independent backtracking
 // search per atom, so row sets and counters match the sequential pass).
-func prepareJoinTree(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st *obs.Stats, cache *planCache, pl *par.Pool) (*plan, bool) {
+func prepareJoinTree(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st *obs.Stats, cache *planCache, pl *par.Pool, gm *guard.Meter) (*plan, bool) {
 	inst, ok := instantiate(atoms, d, fixed)
 	if !ok {
 		return &plan{failed: true, st: st}, true
@@ -387,10 +444,12 @@ func prepareJoinTree(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st *obs.
 	if !shape.ok {
 		return nil, false
 	}
-	p := &plan{parent: shape.parent, order: shape.order, st: st, pl: pl, nAtoms: len(inst)}
+	p := &plan{parent: shape.parent, order: shape.order, st: st, pl: pl, gm: gm, nAtoms: len(inst)}
 	p.rels = par.Map(pl, len(inst), func(i int) *varRel {
+		guard.Fault(guard.SiteCQEvalBag)
 		r := newVarRel(inst[i].Vars())
 		r.rows = cq.ProjectionsObs([]cq.Atom{inst[i]}, d, nil, st, r.vars)
+		gm.ChargeTuples(int64(len(r.rows)))
 		return r
 	})
 	p.bagAtoms = make([]int, len(inst))
@@ -414,7 +473,7 @@ func prepareJoinTree(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st *obs.
 // provably unsatisfiable before planning. The decomposition shape is
 // served from cache when available; bag relations materialize in parallel
 // over pl.
-func prepareDecomposition(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st *obs.Stats, cache *planCache, pl *par.Pool) (*plan, bool) {
+func prepareDecomposition(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st *obs.Stats, cache *planCache, pl *par.Pool, gm *guard.Meter) (*plan, bool) {
 	inst, ok := instantiate(atoms, d, fixed)
 	if !ok {
 		return nil, false
@@ -456,8 +515,9 @@ func prepareDecomposition(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st 
 		}
 	}
 	cand := candidateDomains(inst, d)
-	p := &plan{parent: parent, order: order, st: st, pl: pl, nAtoms: len(inst)}
+	p := &plan{parent: parent, order: order, st: st, pl: pl, gm: gm, nAtoms: len(inst)}
 	p.rels = par.Map(pl, nBags, func(i int) *varRel {
+		guard.Fault(guard.SiteCQEvalBag)
 		r := newVarRel(bags[i])
 		covered := make(map[string]bool)
 		for _, a := range assigned[i] {
@@ -472,7 +532,8 @@ func prepareDecomposition(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st 
 			}
 		}
 		base := cq.ProjectionsObs(assigned[i], d, nil, st, r.vars)
-		rows := extendOverDomains(base, uncovered, cand)
+		gm.ChargeTuples(int64(len(base)))
+		rows := extendOverDomains(base, uncovered, cand, gm)
 		if len(uncovered) > 0 {
 			st.Add(obs.CtrDomainProductRows, int64(len(rows)))
 		}
@@ -543,8 +604,10 @@ func candidateDomains(atoms []cq.Atom, d *db.Database) map[string][]string {
 }
 
 // extendOverDomains extends each base row with all combinations of candidate
-// values for the uncovered variables.
-func extendOverDomains(base []cq.Mapping, uncovered []string, cand map[string][]string) []cq.Mapping {
+// values for the uncovered variables, charging each product row against the
+// guard meter (the decomposition engine's cross-product blow-up is exactly
+// the path a tuple budget must bound).
+func extendOverDomains(base []cq.Mapping, uncovered []string, cand map[string][]string, gm *guard.Meter) []cq.Mapping {
 	rows := base
 	for _, v := range uncovered {
 		vals := cand[v]
@@ -554,6 +617,7 @@ func extendOverDomains(base []cq.Mapping, uncovered []string, cand map[string][]
 		next := make([]cq.Mapping, 0, len(rows)*len(vals))
 		for _, row := range rows {
 			for _, c := range vals {
+				gm.ChargeTuples(1)
 				r := row.Clone()
 				r[v] = c
 				next = append(next, r)
@@ -599,6 +663,8 @@ func (p *plan) satisfiable() bool {
 	}
 	for _, i := range p.order {
 		if pa := p.parent[i]; pa != -1 {
+			p.gm.Checkpoint()
+			guard.Fault(guard.SiteCQEvalSemijoin)
 			p.rels[pa].semijoin(p.rels[i])
 			p.st.Inc(obs.CtrSemijoinPasses)
 			if len(p.rels[pa].rows) == 0 {
@@ -620,6 +686,8 @@ func (p *plan) projectAnswers(proj []string, fixed cq.Mapping) []cq.Mapping {
 	// Bottom-up full reduction (sequential; see satisfiable).
 	for _, i := range p.order {
 		if pa := p.parent[i]; pa != -1 {
+			p.gm.Checkpoint()
+			guard.Fault(guard.SiteCQEvalSemijoin)
 			p.rels[pa].semijoin(p.rels[i])
 			p.st.Inc(obs.CtrSemijoinPasses)
 			if len(p.rels[pa].rows) == 0 {
@@ -660,7 +728,8 @@ func (p *plan) projectAnswers(proj []string, fixed cq.Mapping) []cq.Mapping {
 			for _, cr := range par.Map(p.pl, len(kids), func(k int) *varRel {
 				return answers(kids[k])
 			}) {
-				r = join(r, cr)
+				p.gm.Checkpoint()
+				r = join(r, cr, p.gm)
 				p.st.Inc(obs.CtrJoins)
 			}
 		}
@@ -699,6 +768,8 @@ func (p *plan) topDownReduce() {
 		for j := len(p.order) - 1; j >= 0; j-- {
 			i := p.order[j]
 			if pa := p.parent[i]; pa != -1 {
+				p.gm.Checkpoint()
+				guard.Fault(guard.SiteCQEvalSemijoin)
 				p.rels[i].semijoin(p.rels[pa])
 				p.st.Inc(obs.CtrSemijoinPasses)
 			}
@@ -727,6 +798,8 @@ func (p *plan) topDownReduce() {
 		wave := wave
 		p.pl.Run(len(wave), func(k int) {
 			i := wave[k]
+			p.gm.Checkpoint()
+			guard.Fault(guard.SiteCQEvalSemijoin)
 			p.rels[i].semijoin(p.rels[p.parent[i]])
 			p.st.Inc(obs.CtrSemijoinPasses)
 		})

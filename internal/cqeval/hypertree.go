@@ -5,6 +5,7 @@ import (
 
 	"wdpt/internal/cq"
 	"wdpt/internal/db"
+	"wdpt/internal/guard"
 	"wdpt/internal/hypergraph"
 	"wdpt/internal/obs"
 	"wdpt/internal/par"
@@ -32,29 +33,35 @@ type hypertreeEngine struct {
 	st       *obs.Stats
 	cache    *planCache
 	pl       *par.Pool
+	gm       *guard.Meter
 }
 
 func (e hypertreeEngine) Name() string { return "hypertree" }
 
 func (e hypertreeEngine) withStats(st *obs.Stats) Engine {
-	return hypertreeEngine{maxWidth: e.maxWidth, st: st, cache: e.cache, pl: e.pl}
+	return hypertreeEngine{maxWidth: e.maxWidth, st: st, cache: e.cache, pl: e.pl, gm: e.gm}
 }
 func (e hypertreeEngine) stats() *obs.Stats { return e.st }
 
 func (e hypertreeEngine) withPool(pl *par.Pool) Engine {
-	return hypertreeEngine{maxWidth: e.maxWidth, st: e.st, cache: e.cache, pl: pl}
+	return hypertreeEngine{maxWidth: e.maxWidth, st: e.st, cache: e.cache, pl: pl, gm: e.gm}
 }
 func (e hypertreeEngine) pool() *par.Pool { return e.pl }
 
+func (e hypertreeEngine) withMeter(gm *guard.Meter) Engine {
+	return hypertreeEngine{maxWidth: e.maxWidth, st: e.st, cache: e.cache, pl: e.pl, gm: gm}
+}
+func (e hypertreeEngine) meter() *guard.Meter { return e.gm }
+
 // fallback is the decomposition engine sharing this engine's sink, cache,
-// and pool.
+// pool, and meter.
 func (e hypertreeEngine) fallback() decompEngine {
-	return decompEngine{st: e.st, cache: e.cache, pl: e.pl}
+	return decompEngine{st: e.st, cache: e.cache, pl: e.pl, gm: e.gm}
 }
 
 func (e hypertreeEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
 	e.st.Inc(obs.CtrSatisfiableCalls)
-	p, _, ok := e.prepare(atoms, d, fixed, e.st, e.pl)
+	p, _, ok := e.prepare(atoms, d, fixed, e.st, e.pl, e.gm)
 	if !ok {
 		e.st.Inc(obs.CtrFallbacks)
 		return e.fallback().satisfiable(atoms, d, fixed)
@@ -64,7 +71,7 @@ func (e hypertreeEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.M
 
 func (e hypertreeEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, proj []string) []cq.Mapping {
 	e.st.Inc(obs.CtrProjectCalls)
-	p, _, ok := e.prepare(atoms, d, fixed, e.st, e.pl)
+	p, _, ok := e.prepare(atoms, d, fixed, e.st, e.pl, e.gm)
 	if !ok {
 		e.st.Inc(obs.CtrFallbacks)
 		return e.fallback().projectRows(atoms, d, fixed, proj)
@@ -73,7 +80,7 @@ func (e hypertreeEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mappi
 }
 
 func (e hypertreeEngine) Explain(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) obs.Plan {
-	p, width, ok := e.prepare(atoms, d, fixed, nil, nil)
+	p, width, ok := e.prepare(atoms, d, fixed, nil, nil, nil)
 	if !ok {
 		out := e.fallback().Explain(atoms, d, fixed)
 		out.Engine = e.Name()
@@ -86,7 +93,7 @@ func (e hypertreeEngine) Explain(atoms []cq.Atom, d *db.Database, fixed cq.Mappi
 // prepare builds the plan; ok=false requests the fallback (width exceeded).
 // The width return is the GHD width at which the search succeeded. Bag
 // relations materialize in parallel over pl.
-func (e hypertreeEngine) prepare(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st *obs.Stats, pl *par.Pool) (*plan, int, bool) {
+func (e hypertreeEngine) prepare(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st *obs.Stats, pl *par.Pool, gm *guard.Meter) (*plan, int, bool) {
 	inst, groundOK := instantiate(atoms, d, fixed)
 	if !groundOK {
 		return &plan{failed: true, st: st}, 0, true
@@ -140,14 +147,16 @@ func (e hypertreeEngine) prepare(atoms []cq.Atom, d *db.Database, fixed cq.Mappi
 			panic("cqeval: atom not covered by any GHD bag")
 		}
 	}
-	p := &plan{parent: parent, order: order, st: st, pl: pl, nAtoms: len(inst)}
+	p := &plan{parent: parent, order: order, st: st, pl: pl, gm: gm, nAtoms: len(inst)}
 	p.rels = par.Map(pl, len(bags), func(i int) *varRel {
+		guard.Fault(guard.SiteCQEvalBag)
 		local := append([]cq.Atom(nil), assigned[i]...)
 		for _, ei := range covers[i] {
 			local = append(local, inst[ei])
 		}
 		r := newVarRel(bags[i])
 		r.rows = cq.ProjectionsObs(cq.DedupAtoms(local), d, nil, st, r.vars)
+		gm.ChargeTuples(int64(len(r.rows)))
 		return r
 	})
 	p.bagAtoms = make([]int, len(bags))

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"wdpt/internal/cq"
+	"wdpt/internal/guard"
 )
 
 // varRel is a materialized relation over a set of variables: each row is a
@@ -106,8 +107,11 @@ func (r *varRel) semijoin(s *varRel) {
 	r.rows = kept
 }
 
-// join returns the natural join of r and s.
-func join(r, s *varRel) *varRel {
+// join returns the natural join of r and s, charging each merged candidate
+// row against the guard meter: the inner loop is the hot path a tuple
+// budget must bound, and the meter's periodic context check is what lets a
+// huge single join cancel promptly (a nil gm charges nothing).
+func join(r, s *varRel, gm *guard.Meter) *varRel {
 	shared := sharedVars(r.vars, s.vars)
 	out := newVarRel(unionVars(r.vars, s.vars))
 	index := make(map[string][]cq.Mapping, len(s.rows))
@@ -118,6 +122,7 @@ func join(r, s *varRel) *varRel {
 	seen := make(map[string]bool)
 	for _, row := range r.rows {
 		for _, srow := range index[r.key(row, shared)] {
+			gm.ChargeTuples(1)
 			merged := row.Clone()
 			for k, v := range srow {
 				merged[k] = v

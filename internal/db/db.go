@@ -13,6 +13,8 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+
+	"wdpt/internal/guard"
 )
 
 // Tuple is a single database row: a sequence of constants.
@@ -148,8 +150,12 @@ func (r *Relation) ensureIndex() *relIndex {
 
 // Matching returns the offsets of tuples whose component at position pos
 // equals value. The returned slice must not be modified. Safe for
-// concurrent use with other read operations.
+// concurrent use with other read operations. The call is a registered
+// fault-injection site (guard.SiteDBMatching): it sits under every
+// backtracking homomorphism step, so chaos tests can fail the innermost
+// data access.
 func (r *Relation) Matching(pos int, value string) []int {
+	guard.Fault(guard.SiteDBMatching)
 	return r.ensureIndex().byPos[pos][value]
 }
 

@@ -1,0 +1,359 @@
+// The chaos suite: deterministic fault injection and budget trips driven
+// through the full Solve stack at several parallelism levels (override with
+// WDPT_CHAOS_P=1,4), designed to run under -race. It proves the tentpole's
+// robustness claims end to end: injected faults and budget trips surface as
+// wrapped errors — never panics, never goroutine leaks — and the fallback
+// ladder returns exactly what direct evaluation under the weaker semantics
+// returns.
+package guard_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"wdpt/internal/core"
+	"wdpt/internal/cqeval"
+	"wdpt/internal/db"
+	"wdpt/internal/gen"
+	"wdpt/internal/guard"
+	"wdpt/internal/obs"
+	"wdpt/internal/uwdpt"
+)
+
+// chaosParallelism returns the parallelism levels to sweep, from the
+// WDPT_CHAOS_P env (comma-separated) or the default {1, 2, 8}.
+func chaosParallelism(t *testing.T) []int {
+	env := os.Getenv("WDPT_CHAOS_P")
+	if env == "" {
+		return []int{1, 2, 8}
+	}
+	var out []int
+	for _, part := range strings.Split(env, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			t.Fatalf("bad WDPT_CHAOS_P entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// waitGoroutines fails the test if the goroutine count does not return to
+// the baseline within the grace period — the pool must drain its helpers
+// even when an attempt aborts by panic.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak after Solve: %d goroutines, baseline %d\n%s",
+				n, base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func figure1() (*core.PatternTree, *db.Database) {
+	return gen.MusicWDPT("x", "y", "z", "zp"), gen.MusicDatabase()
+}
+
+// TestChaosInjectedFaultsSurfaceAsErrors drives every registered fault site
+// through a full enumeration at each parallelism level: the first hit of
+// the site fails, and the failure must come back as an errors.Is-matchable
+// wrapped error, with the worker pool fully drained.
+func TestChaosInjectedFaultsSurfaceAsErrors(t *testing.T) {
+	p, d := figure1()
+	for _, site := range guard.Sites() {
+		for _, par := range chaosParallelism(t) {
+			t.Run(fmt.Sprintf("%s/p%d", site, par), func(t *testing.T) {
+				base := runtime.NumGoroutine()
+				in := guard.NewInjector(1).FailNth(site, 1)
+				restore := guard.Activate(in)
+				defer restore()
+				st := obs.NewStats()
+				res, err := p.Solve(context.Background(), d, core.SolveOptions{
+					Mode:        core.ModeEnumerate,
+					Engine:      cqeval.WithStats(cqeval.Yannakakis(), st),
+					Parallelism: par,
+				})
+				restore()
+				if in.Hits(site) == 0 {
+					t.Fatalf("site %s was never evaluated: the trigger point is dead", site)
+				}
+				if err == nil {
+					t.Fatalf("injected fault at %s did not surface: got %d answers", site, len(res.Answers))
+				}
+				if !errors.Is(err, guard.ErrInjected) {
+					t.Fatalf("fault surfaced as %v, not matchable with ErrInjected", err)
+				}
+				var te *guard.TripError
+				if !errors.As(err, &te) || te.Site != site {
+					t.Errorf("trip error carries site %q, want %q", te.Site, site)
+				}
+				if got := st.Snapshot()["guard.injected_faults"]; got < 1 {
+					t.Errorf("guard.injected_faults = %d, want >= 1", got)
+				}
+				waitGoroutines(t, base)
+			})
+		}
+	}
+}
+
+// TestChaosProbabilisticInjectionReplays pins that a seeded probabilistic
+// injector makes the same pass/fail decision sequence on identical
+// sequential runs.
+func TestChaosProbabilisticInjectionReplays(t *testing.T) {
+	p, d := figure1()
+	run := func() (bool, int64) {
+		in := guard.NewInjector(42).FailProb(guard.SiteDBMatching, 0.05)
+		restore := guard.Activate(in)
+		defer restore()
+		_, err := p.Solve(context.Background(), d, core.SolveOptions{Mode: core.ModeEnumerate})
+		if err != nil && !errors.Is(err, guard.ErrInjected) {
+			t.Fatalf("unexpected non-injected error: %v", err)
+		}
+		return err != nil, in.Hits(guard.SiteDBMatching)
+	}
+	failedA, hitsA := run()
+	failedB, hitsB := run()
+	if failedA != failedB || hitsA != hitsB {
+		t.Errorf("seeded runs diverged: (failed=%v hits=%d) vs (failed=%v hits=%d)",
+			failedA, hitsA, failedB, hitsB)
+	}
+}
+
+// TestChaosTupleBudgetTripsCleanly pins that an absurdly small tuple budget
+// aborts evaluation with ErrTupleBudget — never a panic — at every
+// parallelism level, with progress stats on the error.
+func TestChaosTupleBudgetTripsCleanly(t *testing.T) {
+	p, d := figure1()
+	for _, par := range chaosParallelism(t) {
+		t.Run(fmt.Sprintf("p%d", par), func(t *testing.T) {
+			base := runtime.NumGoroutine()
+			st := obs.NewStats()
+			_, err := p.Solve(context.Background(), d, core.SolveOptions{
+				Mode:        core.ModeEnumerate,
+				Engine:      cqeval.WithStats(cqeval.Yannakakis(), st),
+				Parallelism: par,
+				Budget:      guard.Budget{MaxTuples: 1},
+			})
+			if !errors.Is(err, guard.ErrTupleBudget) {
+				t.Fatalf("err = %v, want ErrTupleBudget", err)
+			}
+			var te *guard.TripError
+			if !errors.As(err, &te) || te.Tuples < 2 {
+				t.Errorf("trip carries Tuples=%d, want >= 2 (the charge that tripped)", te.Tuples)
+			}
+			snap := st.Snapshot()
+			if snap["guard.budget_trips"] < 1 || snap["guard.budget_charges"] < 1 {
+				t.Errorf("guard counters not recorded: %v", snap)
+			}
+			waitGoroutines(t, base)
+		})
+	}
+}
+
+// TestChaosAnswerCapKeepsPartialSet pins the answer-limit semantics: the
+// truncated enumeration keeps a subset of the full answer set and surfaces
+// ErrAnswerLimit (no fallback) or a Degraded result (fallback).
+func TestChaosAnswerCapKeepsPartialSet(t *testing.T) {
+	p, d := figure1()
+	full, err := p.Solve(context.Background(), d, core.SolveOptions{Mode: core.ModeEnumerate})
+	if err != nil || len(full.Answers) < 2 {
+		t.Fatalf("full enumeration: %v (%d answers)", err, len(full.Answers))
+	}
+	fullSet := make(map[string]bool, len(full.Answers))
+	for _, h := range full.Answers {
+		fullSet[h.Key()] = true
+	}
+	for _, par := range chaosParallelism(t) {
+		for _, fallback := range []bool{false, true} {
+			t.Run(fmt.Sprintf("p%d/fallback=%v", par, fallback), func(t *testing.T) {
+				res, err := p.Solve(context.Background(), d, core.SolveOptions{
+					Mode:        core.ModeEnumerate,
+					Parallelism: par,
+					Budget:      guard.Budget{MaxAnswers: 1},
+					Fallback:    fallback,
+				})
+				if fallback {
+					if err != nil {
+						t.Fatalf("fallback truncation returned error %v", err)
+					}
+				} else if !errors.Is(err, guard.ErrAnswerLimit) {
+					t.Fatalf("err = %v, want ErrAnswerLimit", err)
+				}
+				if !res.Degraded || res.DegradedMode != core.ModeEnumerate {
+					t.Errorf("truncated result not marked degraded: %+v", res)
+				}
+				if len(res.Answers) != 1 {
+					t.Fatalf("got %d answers, want exactly the cap of 1", len(res.Answers))
+				}
+				if !fullSet[res.Answers[0].Key()] {
+					t.Errorf("truncated answer %v is not in the full answer set", res.Answers[0])
+				}
+			})
+		}
+	}
+}
+
+// calibrationFixture returns the Figure 1 tree projected to free variables
+// {y, z} over a seeded multi-band database, plus a candidate mapping h that
+// binds only y. Keeping x existential makes every decision mode materialize
+// bags whose row counts scale with the database, so the modes charge
+// measurably different tuple totals: PARTIAL-EVAL satisfies one band,
+// MAX-EVAL additionally probes the z-extension, and EVAL runs the interface
+// algorithm on top.
+func calibrationFixture(t *testing.T) (*core.PatternTree, *db.Database, map[string]string) {
+	t.Helper()
+	p := gen.MusicWDPT("y", "z")
+	d := gen.MusicDatabaseLarge(4, 6, 1)
+	res, err := p.Solve(context.Background(), d, core.SolveOptions{Mode: core.ModeEnumerate})
+	if err != nil || len(res.Answers) == 0 {
+		t.Fatalf("enumerating the fixture: %v (%d answers)", err, len(res.Answers))
+	}
+	return p, d, res.Answers[0].Restrict([]string{"y"})
+}
+
+// chargesUnder runs one decision-mode Solve with an effectively unlimited
+// tuple budget and returns the guard.budget_charges total — the exact
+// number of tuples that mode materializes on the fixture.
+func chargesUnder(t *testing.T, p *core.PatternTree, d *db.Database, mode core.Mode, h map[string]string) int64 {
+	t.Helper()
+	st := obs.NewStats()
+	_, err := p.Solve(context.Background(), d, core.SolveOptions{
+		Mode:    mode,
+		Mapping: h,
+		Stats:   st,
+		Budget:  guard.Budget{MaxTuples: math.MaxInt64},
+	})
+	if err != nil {
+		t.Fatalf("calibration run (%v): %v", mode, err)
+	}
+	return st.Snapshot()["guard.budget_charges"]
+}
+
+// TestChaosFallbackMatchesDirectEvaluation is the acceptance pin for the
+// degradation ladder: with Fallback and a tuple budget calibrated to trip
+// the exact attempt, Solve's degraded verdict is byte-identical to what
+// direct evaluation under the weaker semantics returns, with
+// guard.fallback_hops recorded.
+func TestChaosFallbackMatchesDirectEvaluation(t *testing.T) {
+	p, d, h := calibrationFixture(t)
+	exact := chargesUnder(t, p, d, core.ModeExact, h)
+	max := chargesUnder(t, p, d, core.ModeMax, h)
+	partial := chargesUnder(t, p, d, core.ModePartial, h)
+	if partial >= max || partial >= exact {
+		t.Fatalf("calibration broke: partial=%d max=%d exact=%d (need partial < max, exact)", partial, max, exact)
+	}
+	direct, err := p.Solve(context.Background(), d, core.SolveOptions{Mode: core.ModePartial, Mapping: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range chaosParallelism(t) {
+		t.Run(fmt.Sprintf("p%d", par), func(t *testing.T) {
+			st := obs.NewStats()
+			res, err := p.Solve(context.Background(), d, core.SolveOptions{
+				Mode:        core.ModeExact,
+				Mapping:     h,
+				Stats:       st,
+				Parallelism: par,
+				Budget:      guard.Budget{MaxTuples: partial},
+				Fallback:    true,
+			})
+			if err != nil {
+				t.Fatalf("fallback Solve: %v", err)
+			}
+			if !res.Degraded {
+				t.Fatal("fallback result not marked Degraded")
+			}
+			if res.DegradedMode != core.ModePartial {
+				t.Errorf("DegradedMode = %v, want ModePartial (max must also trip at this budget)", res.DegradedMode)
+			}
+			if res.Holds != direct.Holds {
+				t.Errorf("degraded Holds = %v, direct partial evaluation says %v", res.Holds, direct.Holds)
+			}
+			snap := st.Snapshot()
+			if snap["guard.fallback_hops"] < 1 {
+				t.Errorf("guard.fallback_hops = %d, want >= 1", snap["guard.fallback_hops"])
+			}
+			if snap["guard.budget_trips"] < 2 {
+				t.Errorf("guard.budget_trips = %d, want >= 2 (exact and max both trip)", snap["guard.budget_trips"])
+			}
+		})
+	}
+}
+
+// TestChaosFallbackDisabledSurfacesTrip pins that without Fallback the same
+// budget surfaces the raw ErrTupleBudget instead of silently degrading.
+func TestChaosFallbackDisabledSurfacesTrip(t *testing.T) {
+	p, d, h := calibrationFixture(t)
+	_, err := p.Solve(context.Background(), d, core.SolveOptions{
+		Mode:    core.ModeExact,
+		Mapping: h,
+		Budget:  guard.Budget{MaxTuples: 1},
+	})
+	if !errors.Is(err, guard.ErrTupleBudget) {
+		t.Fatalf("err = %v, want ErrTupleBudget", err)
+	}
+}
+
+// TestChaosInjectedFaultIsNotDegradable pins that the ladder never retries
+// past an injected fault: a fault is a failure, not a budget.
+func TestChaosInjectedFaultIsNotDegradable(t *testing.T) {
+	p, d, h := calibrationFixture(t)
+	restore := guard.Activate(guard.NewInjector(1).FailNth(guard.SiteCQEvalBag, 1))
+	defer restore()
+	st := obs.NewStats()
+	_, err := p.Solve(context.Background(), d, core.SolveOptions{
+		Mode:     core.ModeExact,
+		Mapping:  h,
+		Stats:    st,
+		Budget:   guard.Budget{MaxTuples: math.MaxInt64},
+		Fallback: true,
+	})
+	if !errors.Is(err, guard.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if hops := st.Snapshot()["guard.fallback_hops"]; hops != 0 {
+		t.Errorf("ladder retried an injected fault: guard.fallback_hops = %d", hops)
+	}
+}
+
+// TestChaosUnionSharedBudget pins that a union evaluation charges all
+// members against one shared meter: a budget sized to the single-member
+// cost trips the three-member union, and raising it threefold does not.
+func TestChaosUnionSharedBudget(t *testing.T) {
+	p, d := figure1()
+	u := uwdpt.MustNew(p, gen.MusicWDPT("x", "y"), gen.MusicWDPT("y", "z"))
+	single := chargesUnder(t, p, d, core.ModeEnumerate, nil)
+	if single == 0 {
+		t.Fatal("single-member enumeration charged nothing")
+	}
+	_, err := u.Solve(context.Background(), d, core.SolveOptions{
+		Mode:   core.ModeEnumerate,
+		Budget: guard.Budget{MaxTuples: single},
+	})
+	if !errors.Is(err, guard.ErrTupleBudget) {
+		t.Fatalf("union under single-member budget: err = %v, want ErrTupleBudget", err)
+	}
+	res, err := u.Solve(context.Background(), d, core.SolveOptions{
+		Mode:   core.ModeEnumerate,
+		Budget: guard.Budget{MaxTuples: 4 * single},
+	})
+	if err != nil || len(res.Answers) == 0 {
+		t.Fatalf("union under ample budget: %v (%d answers)", err, len(res.Answers))
+	}
+}

@@ -1,0 +1,310 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"wdpt/internal/obs"
+)
+
+// recoverTrip runs f and returns the *TripError it panicked, or nil.
+func recoverTrip(f func()) (te *TripError) {
+	defer func() {
+		if r := recover(); r != nil {
+			te = r.(*TripError)
+		}
+	}()
+	f()
+	return nil
+}
+
+func TestBudgetZero(t *testing.T) {
+	if !(Budget{}).Zero() {
+		t.Error("zero Budget is not Zero()")
+	}
+	for _, b := range []Budget{{Wall: time.Second}, {MaxTuples: 1}, {MaxAnswers: 1}} {
+		if b.Zero() {
+			t.Errorf("%+v reported Zero()", b)
+		}
+	}
+}
+
+func TestNewMeterDisabled(t *testing.T) {
+	if m := NewMeter(context.Background(), Budget{}, nil); m != nil {
+		t.Error("zero budget + background context should yield the nil meter")
+	}
+	if m := NewMeter(nil, Budget{}, nil); m != nil {
+		t.Error("nil context normalizes to Background and should yield the nil meter")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if m := NewMeter(ctx, Budget{}, nil); m == nil {
+		t.Error("cancellable context should yield an active meter even with no budget")
+	}
+}
+
+func TestNilMeterIsSafe(t *testing.T) {
+	var m *Meter
+	m.ChargeTuples(1000)
+	m.Checkpoint()
+	if !m.TryAnswer() {
+		t.Error("nil meter refused an answer")
+	}
+	if m.Active() || m.Truncated() || m.Tuples() != 0 || m.Answers() != 0 {
+		t.Error("nil meter reported activity")
+	}
+}
+
+func TestTupleBudgetTrips(t *testing.T) {
+	st := obs.NewStats()
+	m := NewMeter(context.Background(), Budget{MaxTuples: 10}, st)
+	m.ChargeTuples(10) // exactly at the cap: no trip
+	te := recoverTrip(func() { m.ChargeTuples(1) })
+	if te == nil {
+		t.Fatal("charging past MaxTuples did not trip")
+	}
+	if !errors.Is(te, ErrTupleBudget) {
+		t.Errorf("trip reason = %v, want ErrTupleBudget", te.Reason)
+	}
+	if te.Tuples != 11 {
+		t.Errorf("trip carried Tuples=%d, want 11", te.Tuples)
+	}
+	snap := st.Snapshot()
+	if snap["guard.budget_charges"] != 11 || snap["guard.budget_trips"] != 1 {
+		t.Errorf("counters = %v, want 11 charges and 1 trip", snap)
+	}
+}
+
+func TestContextCancellationTripsAtCheckpoint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := NewMeter(ctx, Budget{}, nil)
+	m.Checkpoint() // not cancelled yet
+	cancel()
+	te := recoverTrip(func() { m.Checkpoint() })
+	if te == nil || !errors.Is(te, context.Canceled) {
+		t.Fatalf("checkpoint after cancel tripped %v, want context.Canceled", te)
+	}
+	if Degradable(te) {
+		t.Error("a context cancellation must not be degradable")
+	}
+}
+
+func TestWallBudgetTripsAsDeadline(t *testing.T) {
+	m := NewMeter(context.Background(), Budget{Wall: time.Nanosecond}, nil)
+	time.Sleep(time.Millisecond)
+	te := recoverTrip(func() { m.Checkpoint() })
+	if te == nil || !errors.Is(te, ErrDeadline) {
+		t.Fatalf("expired wall budget tripped %v, want ErrDeadline", te)
+	}
+	if !Degradable(te) {
+		t.Error("a wall-budget trip must be degradable")
+	}
+}
+
+func TestContextDeadlineMatchesErrDeadline(t *testing.T) {
+	// The caller's context deadline and our wall budget must look the same
+	// to errors.Is(err, ErrDeadline) so exit-code mapping stays uniform.
+	te := &TripError{Reason: context.DeadlineExceeded}
+	if !errors.Is(te, ErrDeadline) {
+		t.Error("context.DeadlineExceeded trip does not match ErrDeadline")
+	}
+	if !errors.Is(te, context.DeadlineExceeded) {
+		t.Error("trip does not unwrap to context.DeadlineExceeded")
+	}
+	if Degradable(te) {
+		t.Error("a caller deadline must not be degradable (the caller asked to stop)")
+	}
+}
+
+func TestChargePathNoticesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := NewMeter(ctx, Budget{MaxTuples: 1 << 40}, nil)
+	cancel()
+	te := recoverTrip(func() {
+		for i := 0; i < 10*(tickMask+1); i++ {
+			m.ChargeTuples(1)
+		}
+	})
+	if te == nil || !errors.Is(te, context.Canceled) {
+		t.Fatalf("charge loop tripped %v, want context.Canceled within %d charges", te, 10*(tickMask+1))
+	}
+}
+
+func TestTryAnswerCapAndTruncation(t *testing.T) {
+	st := obs.NewStats()
+	m := NewMeter(context.Background(), Budget{MaxAnswers: 3}, st)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if m.TryAnswer() {
+			admitted++
+		}
+	}
+	if admitted != 3 {
+		t.Errorf("admitted %d answers, want 3", admitted)
+	}
+	if !m.Truncated() {
+		t.Error("meter not marked truncated after refusals")
+	}
+	err := m.AnswerLimitError()
+	if !errors.Is(err, ErrAnswerLimit) {
+		t.Errorf("AnswerLimitError = %v, want ErrAnswerLimit", err)
+	}
+	if !Degradable(err) {
+		t.Error("an answer-limit trip must be degradable")
+	}
+	var te *TripError
+	if !errors.As(err, &te) || te.Answers != 3 {
+		t.Errorf("trip carried Answers=%d, want 3", te.Answers)
+	}
+	if st.Snapshot()["guard.budget_trips"] != 1 {
+		t.Error("AnswerLimitError did not count guard.budget_trips")
+	}
+}
+
+func TestContextOnlyMeterIsCounterSilent(t *testing.T) {
+	// A meter that exists only to watch a cancellable context must not
+	// record guard.* counters, or unbudgeted runs under a cancellable
+	// context would break the pinned counter snapshots.
+	st := obs.NewStats()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m := NewMeter(ctx, Budget{}, st)
+	m.ChargeTuples(100)
+	for name, v := range st.Snapshot() {
+		if strings.HasPrefix(name, "guard.") && v != 0 {
+			t.Errorf("context-only meter recorded %s=%d", name, v)
+		}
+	}
+}
+
+func TestTripErrorRendering(t *testing.T) {
+	te := &TripError{Reason: ErrInjected, Site: SiteCQEvalBag, Tuples: 7, Answers: 2, Elapsed: time.Millisecond}
+	msg := te.Error()
+	for _, want := range []string{"injected fault", SiteCQEvalBag, "tuples=7", "answers=2"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() = %q, missing %q", msg, want)
+		}
+	}
+}
+
+func TestDegradableTaxonomy(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{&TripError{Reason: ErrDeadline}, true},
+		{&TripError{Reason: ErrTupleBudget}, true},
+		{&TripError{Reason: ErrAnswerLimit}, true},
+		{&TripError{Reason: ErrInjected, Site: SiteParTask}, false},
+		{&TripError{Reason: ErrPanic, Value: "boom"}, false},
+		{&TripError{Reason: context.Canceled}, false},
+		{&TripError{Reason: context.DeadlineExceeded}, false},
+		{errors.New("plain"), false},
+		{nil, false},
+		{fmt.Errorf("wrapped: %w", &TripError{Reason: ErrTupleBudget}), true},
+	}
+	for _, c := range cases {
+		if got := Degradable(c.err); got != c.want {
+			t.Errorf("Degradable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestAsErrorClassifiesAndCounts(t *testing.T) {
+	st := obs.NewStats()
+	trip := &TripError{Reason: ErrTupleBudget}
+	if err := AsError(trip, st); err != error(trip) {
+		t.Errorf("AsError passed trip through as %v", err)
+	}
+	if err := AsError(&TripError{Reason: ErrInjected}, st); !errors.Is(err, ErrInjected) {
+		t.Errorf("injected trip lost its reason: %v", err)
+	}
+	err := AsError("kaboom", st)
+	if !errors.Is(err, ErrPanic) {
+		t.Errorf("foreign panic became %v, want ErrPanic", err)
+	}
+	var te *TripError
+	if !errors.As(err, &te) || te.Value != "kaboom" || len(te.Stack) == 0 {
+		t.Error("foreign panic lost its value or stack")
+	}
+	snap := st.Snapshot()
+	if snap["guard.injected_faults"] != 1 || snap["guard.recovered_panics"] != 1 {
+		t.Errorf("counters = %v, want 1 injected fault and 1 recovered panic", snap)
+	}
+}
+
+func TestFromPanicTransportsWithoutCounting(t *testing.T) {
+	trip := &TripError{Reason: ErrTupleBudget}
+	if FromPanic(trip) != trip {
+		t.Error("FromPanic did not pass the trip through")
+	}
+	te := FromPanic(42)
+	if !errors.Is(te, ErrPanic) || te.Value != 42 || len(te.Stack) == 0 {
+		t.Errorf("FromPanic(42) = %+v, want an ErrPanic trip with value and stack", te)
+	}
+}
+
+func TestInjectorNthIsDeterministic(t *testing.T) {
+	in := NewInjector(1)
+	in.FailNth(SiteDBMatching, 3)
+	var fails []int64
+	for i := int64(1); i <= 5; i++ {
+		if in.check(SiteDBMatching) {
+			fails = append(fails, i)
+		}
+	}
+	if len(fails) != 1 || fails[0] != 3 {
+		t.Errorf("FailNth(3) failed at hits %v, want exactly [3]", fails)
+	}
+	if in.Hits(SiteDBMatching) != 5 {
+		t.Errorf("Hits = %d, want 5", in.Hits(SiteDBMatching))
+	}
+}
+
+func TestInjectorProbReplaysFromSeed(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := NewInjector(seed)
+		in.FailProb(SiteCQEvalSemijoin, 0.5)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.check(SiteCQEvalSemijoin)
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+}
+
+func TestActivateRestores(t *testing.T) {
+	in := NewInjector(1).FailNth(SiteParTask, 1)
+	restore := Activate(in)
+	te := recoverTrip(func() { Fault(SiteParTask) })
+	if te == nil || !errors.Is(te, ErrInjected) || te.Site != SiteParTask {
+		t.Fatalf("active injector raised %v, want ErrInjected at %s", te, SiteParTask)
+	}
+	restore()
+	if te := recoverTrip(func() { Fault(SiteParTask) }); te != nil {
+		t.Errorf("Fault fired %v after restore", te)
+	}
+}
+
+func TestSitesRegistry(t *testing.T) {
+	want := []string{SiteDBMatching, SiteParTask, SiteCQEvalBag, SiteCQEvalSemijoin}
+	got := Sites()
+	if len(got) != len(want) {
+		t.Fatalf("Sites() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Sites()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

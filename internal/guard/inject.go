@@ -1,0 +1,124 @@
+// Deterministic fault injection: seeded trigger points compiled into the
+// evaluation stack (internal/db, internal/par, internal/cqeval). Inactive
+// sites cost one atomic load; an active Injector decides per site — by
+// nth-call count or seeded probability — whether the site raises an
+// ErrInjected trip, which surfaces at the Solve boundary as a wrapped
+// error. The chaos suite (chaos_test.go) drives every site at parallelism
+// 1/2/8 under -race.
+package guard
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// The registered fault-injection sites.
+const (
+	// SiteDBMatching fires in Relation.Matching, the index probe under every
+	// backtracking homomorphism step.
+	SiteDBMatching = "db.matching"
+	// SiteParTask fires before each task executed through a par fan-out
+	// (and before each task of the sequential nil-pool loop).
+	SiteParTask = "par.task"
+	// SiteCQEvalBag fires at the start of each bag-relation materialization.
+	SiteCQEvalBag = "cqeval.bag"
+	// SiteCQEvalSemijoin fires before each semijoin pass.
+	SiteCQEvalSemijoin = "cqeval.semijoin"
+)
+
+// Sites lists every registered fault-injection site.
+func Sites() []string {
+	return []string{SiteDBMatching, SiteParTask, SiteCQEvalBag, SiteCQEvalSemijoin}
+}
+
+// Injector decides, per site, whether a trigger point fails. Configure with
+// FailNth / FailProb before Activate; the decision sequence is a pure
+// function of the seed and the per-site hit order, so single-threaded runs
+// replay exactly and parallel runs inject the same number of faults per
+// site count.
+type Injector struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	hits map[string]int64
+	nth  map[string]int64
+	prob map[string]float64
+}
+
+// NewInjector returns an injector whose probabilistic decisions are driven
+// by the given seed.
+func NewInjector(seed int64) *Injector {
+	return &Injector{
+		rng:  rand.New(rand.NewSource(seed)),
+		hits: make(map[string]int64),
+		nth:  make(map[string]int64),
+		prob: make(map[string]float64),
+	}
+}
+
+// FailNth arranges for the site's nth hit (1-based) to fail. It returns the
+// injector for chaining.
+func (in *Injector) FailNth(site string, n int64) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.nth[site] = n
+	return in
+}
+
+// FailProb arranges for each hit of the site to fail with probability p,
+// drawn from the injector's seeded source. It returns the injector for
+// chaining.
+func (in *Injector) FailProb(site string, p float64) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.prob[site] = p
+	return in
+}
+
+// Hits returns how many times the site has been evaluated.
+func (in *Injector) Hits(site string) int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits[site]
+}
+
+// check counts the hit and decides whether it fails.
+func (in *Injector) check(site string) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.hits[site]++
+	if n, ok := in.nth[site]; ok && in.hits[site] == n {
+		return true
+	}
+	if p, ok := in.prob[site]; ok && p > 0 && in.rng.Float64() < p {
+		return true
+	}
+	return false
+}
+
+// active is the process-wide injector, nil when fault injection is off (the
+// common case: Fault is then a single atomic load).
+var active atomic.Pointer[Injector]
+
+// Activate installs in as the process-wide injector and returns a restore
+// function reinstating the previous one. Tests that activate an injector
+// must not run in parallel with tests that expect fault-free evaluation.
+func Activate(in *Injector) (restore func()) {
+	prev := active.Swap(in)
+	return func() { active.Store(prev) }
+}
+
+// Fault is a fault-injection trigger point. When the active injector
+// decides the site fails, it raises an ErrInjected trip (recovered into a
+// wrapped error at the Solve boundary). With no active injector it is a
+// single atomic load.
+func Fault(site string) {
+	in := active.Load()
+	if in == nil {
+		return
+	}
+	if in.check(site) {
+		//lint:ignore R2 injected-fault unwinding: recovered into a *TripError error at the Solve boundary (AsError)
+		panic(&TripError{Reason: ErrInjected, Site: site})
+	}
+}

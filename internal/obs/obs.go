@@ -107,6 +107,20 @@ const (
 	// CtrParMaxInFlight is a high-water mark: the largest number of
 	// goroutines a single fan-out put to work at once.
 	CtrParMaxInFlight
+	// CtrGuardBudgetCharges counts intermediate tuples charged against an
+	// active resource budget (internal/guard).
+	CtrGuardBudgetCharges
+	// CtrGuardBudgetTrips counts budget trips: attempts aborted by the
+	// wall-clock, tuple, or answer budget.
+	CtrGuardBudgetTrips
+	// CtrGuardFallbackHops counts degradation steps taken by the fallback
+	// ladder (exact → maximal → partial).
+	CtrGuardFallbackHops
+	// CtrGuardRecoveredPanics counts panics recovered into errors at the
+	// Solve boundaries.
+	CtrGuardRecoveredPanics
+	// CtrGuardInjectedFaults counts injected faults surfaced as errors.
+	CtrGuardInjectedFaults
 
 	numCounters // sentinel; keep last
 )
@@ -144,6 +158,12 @@ var counterNames = [numCounters]string{
 	CtrParTasks:            "par.tasks",
 	CtrParInline:           "par.inline_batches",
 	CtrParMaxInFlight:      "par.max_in_flight",
+
+	CtrGuardBudgetCharges:   "guard.budget_charges",
+	CtrGuardBudgetTrips:     "guard.budget_trips",
+	CtrGuardFallbackHops:    "guard.fallback_hops",
+	CtrGuardRecoveredPanics: "guard.recovered_panics",
+	CtrGuardInjectedFaults:  "guard.injected_faults",
 }
 
 // String returns the counter's stable name.

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"wdpt/internal/guard"
 	"wdpt/internal/obs"
 )
 
@@ -64,12 +65,20 @@ func (p *Pool) Workers() int {
 // the execution order is unspecified, so fn must only perform work whose
 // combined effect is order-independent (atomic counters, writes to
 // task-private state).
+//
+// A panicking task does not crash its worker goroutine: the first panic is
+// captured, the remaining queued tasks are skipped, every helper drains
+// back into the pool, and the panic is re-raised on the calling goroutine
+// (wrapped by guard.FromPanic, so the Solve boundary recovers it into an
+// error). Budget trips and injected faults inside tasks therefore unwind
+// through fan-outs without leaking goroutines or tokens.
 func (p *Pool) Run(n int, fn func(int)) {
 	if n <= 0 {
 		return
 	}
 	if p == nil || n == 1 {
 		for i := 0; i < n; i++ {
+			guard.Fault(guard.SiteParTask)
 			fn(i)
 		}
 		return
@@ -91,6 +100,7 @@ func (p *Pool) Run(n int, fn func(int)) {
 	if helpers == 0 {
 		p.st.Inc(obs.CtrParInline)
 		for i := 0; i < n; i++ {
+			guard.Fault(guard.SiteParTask)
 			fn(i)
 		}
 		return
@@ -98,13 +108,22 @@ func (p *Pool) Run(n int, fn func(int)) {
 	p.st.Inc(obs.CtrParFanouts)
 	p.st.Max(obs.CtrParMaxInFlight, int64(helpers+1))
 	var next atomic.Int64
+	var failure atomic.Pointer[guard.TripError]
 	work := func() {
-		for {
+		for failure.Load() == nil {
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
 			}
-			fn(i)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						failure.CompareAndSwap(nil, guard.FromPanic(r))
+					}
+				}()
+				guard.Fault(guard.SiteParTask)
+				fn(i)
+			}()
 		}
 	}
 	var wg sync.WaitGroup
@@ -118,6 +137,10 @@ func (p *Pool) Run(n int, fn func(int)) {
 	}
 	work() // the caller participates; its token is implicit
 	wg.Wait()
+	if te := failure.Load(); te != nil {
+		//lint:ignore R2 re-raise of a captured worker panic on the caller; recovered at the Solve boundary (guard.AsError)
+		panic(te)
+	}
 }
 
 // Map computes fn(0), ..., fn(n-1) over the pool and returns the results

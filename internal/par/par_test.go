@@ -1,9 +1,11 @@
 package par
 
 import (
+	"errors"
 	"sync/atomic"
 	"testing"
 
+	"wdpt/internal/guard"
 	"wdpt/internal/obs"
 )
 
@@ -105,5 +107,70 @@ func TestStatsMax(t *testing.T) {
 	st.Max(obs.CtrParMaxInFlight, 7)
 	if got := st.Get(obs.CtrParMaxInFlight); got != 7 {
 		t.Fatalf("Max high-water = %d, want 7", got)
+	}
+}
+
+// recoverAny runs f and returns whatever it panicked with (nil if none).
+func recoverAny(f func()) (v any) {
+	defer func() { v = recover() }()
+	f()
+	return nil
+}
+
+func TestRunPropagatesTaskPanic(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := New(workers, nil)
+		var ran atomic.Int64
+		v := recoverAny(func() {
+			p.Run(64, func(i int) {
+				ran.Add(1)
+				if i == 7 {
+					panic("task blew up")
+				}
+			})
+		})
+		if workers <= 1 {
+			// The sequential pool runs tasks on the calling goroutine, so
+			// the panic propagates raw; the Solve boundary wraps it there.
+			if v != any("task blew up") {
+				t.Fatalf("sequential pool re-raised %v, want the raw task value", v)
+			}
+		} else {
+			te, ok := v.(*guard.TripError)
+			if !ok {
+				t.Fatalf("workers=%d: Run re-raised %T(%v), want *guard.TripError", workers, v, v)
+			}
+			if !errors.Is(te, guard.ErrPanic) || te.Value != "task blew up" {
+				t.Errorf("workers=%d: trip = %+v, want ErrPanic carrying the task value", workers, te)
+			}
+			if len(te.Stack) == 0 {
+				t.Errorf("workers=%d: captured panic lost its stack", workers)
+			}
+		}
+		if n := ran.Load(); n < 1 || n > 64 {
+			t.Errorf("workers=%d: %d tasks ran, want within [1, 64]", workers, n)
+		}
+		// The pool must be fully drained and reusable after the panic.
+		var after atomic.Int64
+		p.Run(16, func(int) { after.Add(1) })
+		if after.Load() != 16 {
+			t.Errorf("workers=%d: pool broken after panic: %d/16 tasks ran", workers, after.Load())
+		}
+	}
+}
+
+func TestRunTripErrorPassesThroughUnwrapped(t *testing.T) {
+	trip := &guard.TripError{Reason: guard.ErrTupleBudget, Tuples: 9}
+	p := New(4, nil)
+	v := recoverAny(func() {
+		p.Run(32, func(i int) {
+			if i == 3 {
+				//lint:ignore R2 test raises a budget trip inside a task on purpose
+				panic(trip)
+			}
+		})
+	})
+	if v != any(trip) {
+		t.Fatalf("Run re-raised %v, want the original *TripError unchanged", v)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"wdpt/internal/cq"
 	"wdpt/internal/cqeval"
 	"wdpt/internal/db"
+	"wdpt/internal/guard"
 	"wdpt/internal/obs"
 	"wdpt/internal/par"
 	"wdpt/internal/subsume"
@@ -64,7 +65,14 @@ func (u *Union) Size() int {
 // first witnessing member (the historical behavior and counter totals); in
 // parallel every member is evaluated, so decision-mode work counters may
 // exceed the sequential totals when a early member already witnesses.
-func (u *Union) Solve(ctx context.Context, d *db.Database, opts core.SolveOptions) (core.Result, error) {
+//
+// Guardrails mirror core.Solve: one guard meter spans the whole union
+// evaluation (members share the budget through SolveOptions.Meter rather
+// than getting it afresh), budget trips and panics surface as
+// *guard.TripError values, Solve never panics, and with Fallback set a
+// tripped decision mode retries the entire union down the degradation
+// ladder (docs/ROBUSTNESS.md).
+func (u *Union) Solve(ctx context.Context, d *db.Database, opts core.SolveOptions) (res core.Result, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -72,18 +80,61 @@ func (u *Union) Solve(ctx context.Context, d *db.Database, opts core.SolveOption
 	if st == nil {
 		st = cqeval.StatsOf(opts.Engine)
 	}
-	switch opts.Mode {
+	defer func() {
+		// Boundary backstop; solveAttempt recovers evaluation panics.
+		if r := recover(); r != nil {
+			res, err = core.Result{}, guard.AsError(r, st)
+		}
+	}()
+	if opts.Meter != nil {
+		return u.solveAttempt(ctx, d, opts.Mode, opts, st, opts.Meter)
+	}
+	res, err = u.solveAttempt(ctx, d, opts.Mode, opts, st, guard.NewMeter(ctx, opts.Budget, st))
+	if err == nil || !opts.Fallback || !guard.Degradable(err) {
+		return res, err
+	}
+	for _, mode := range core.FallbackLadder(opts.Mode) {
+		if cerr := ctx.Err(); cerr != nil {
+			return core.Result{}, cerr
+		}
+		st.Inc(obs.CtrGuardFallbackHops)
+		res, err = u.solveAttempt(ctx, d, mode, opts, st, guard.NewMeter(ctx, opts.Budget, st))
+		if err == nil {
+			res.Degraded, res.DegradedMode = true, mode
+			return res, nil
+		}
+		if !guard.Degradable(err) {
+			return core.Result{}, err
+		}
+	}
+	return core.Result{}, err
+}
+
+// solveAttempt runs one union evaluation attempt of the given mode with all
+// members sharing the meter m, recovering any panic below it into an error
+// (member Solve calls recover their own, but ProperExtensionExists runs
+// outside a member boundary).
+func (u *Union) solveAttempt(ctx context.Context, d *db.Database, mode core.Mode, opts core.SolveOptions, st *obs.Stats, m *guard.Meter) (res core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = core.Result{}, guard.AsError(r, st)
+		}
+	}()
+	switch mode {
 	case core.ModeEnumerate, core.ModeMaximal:
 		memberOpts := opts
 		memberOpts.Mode = core.ModeEnumerate
+		memberOpts.Budget = guard.Budget{}
+		memberOpts.Fallback = false
+		memberOpts.Meter = m
 		pool := par.New(opts.Parallelism, st)
 		type memberOut struct {
 			answers []cq.Mapping
 			err     error
 		}
 		outs := par.Map(pool, len(u.trees), func(i int) memberOut {
-			res, err := u.trees[i].Solve(ctx, d, memberOpts)
-			return memberOut{answers: res.Answers, err: err}
+			out, merr := u.trees[i].Solve(ctx, d, memberOpts)
+			return memberOut{answers: out.Answers, err: merr}
 		})
 		set := cq.NewMappingSet()
 		for _, out := range outs {
@@ -94,23 +145,37 @@ func (u *Union) Solve(ctx context.Context, d *db.Database, opts core.SolveOption
 				set.Add(h)
 			}
 		}
-		if opts.Mode == core.ModeMaximal {
-			return core.Result{Answers: set.Maximal()}, nil
+		if mode == core.ModeMaximal {
+			res = core.Result{Answers: set.Maximal()}
+		} else {
+			res = core.Result{Answers: set.All()}
 		}
-		return core.Result{Answers: set.All()}, nil
+		if m.Truncated() {
+			// The shared answer cap fired in some member: keep the merged
+			// partial set, marked Degraded (with the typed error when no
+			// fallback was requested).
+			res.Degraded, res.DegradedMode = true, mode
+			if opts.Fallback || opts.Meter != nil {
+				return res, nil
+			}
+			return res, m.AnswerLimitError()
+		}
+		return res, nil
 	case core.ModeExact, core.ModeExactNaive, core.ModePartial:
-		holds, err := u.anyMember(ctx, d, opts, st)
+		attemptOpts := opts
+		attemptOpts.Mode = mode
+		holds, err := u.anyMember(ctx, d, attemptOpts, st, m)
 		return core.Result{Holds: holds}, err
 	case core.ModeMax:
 		// h is ⊑-maximal in φ(D) iff it is a partial answer of some member
 		// and no member has an answer properly extending it (Theorem 16.2).
 		partialOpts := opts
 		partialOpts.Mode = core.ModePartial
-		holds, err := u.anyMember(ctx, d, partialOpts, st)
+		holds, err := u.anyMember(ctx, d, partialOpts, st, m)
 		if err != nil || !holds {
 			return core.Result{}, err
 		}
-		eng := u.resolveEngine(opts, st)
+		eng := u.resolveEngine(opts, st, m)
 		pool := par.New(opts.Parallelism, st)
 		if !pool.Parallel() {
 			for _, p := range u.trees {
@@ -130,27 +195,31 @@ func (u *Union) Solve(ctx context.Context, d *db.Database, opts core.SolveOption
 		}
 		return core.Result{Holds: true}, nil
 	}
-	return core.Result{}, fmt.Errorf("uwdpt: unknown solve mode %v", opts.Mode)
+	return core.Result{}, fmt.Errorf("uwdpt: unknown solve mode %v", mode)
 }
 
 // resolveEngine mirrors core.Solve's engine defaulting at the union level,
 // so one engine (and one plan cache) is shared across all member tests.
-func (u *Union) resolveEngine(opts core.SolveOptions, st *obs.Stats) cqeval.Engine {
+func (u *Union) resolveEngine(opts core.SolveOptions, st *obs.Stats, m *guard.Meter) cqeval.Engine {
 	eng := opts.Engine
 	if eng == nil {
 		eng = cqeval.WithStats(cqeval.Auto(), st)
 	} else if opts.Stats != nil && cqeval.StatsOf(eng) != opts.Stats {
 		eng = cqeval.WithStats(eng, opts.Stats)
 	}
-	return cqeval.WithPool(eng, par.New(opts.Parallelism, st))
+	return cqeval.WithMeter(cqeval.WithPool(eng, par.New(opts.Parallelism, st)), m)
 }
 
 // anyMember decides the member-level disjunction behind the union decision
-// modes, counting one uwdpt.member_evals per member actually evaluated.
-func (u *Union) anyMember(ctx context.Context, d *db.Database, opts core.SolveOptions, st *obs.Stats) (bool, error) {
+// modes, counting one uwdpt.member_evals per member actually evaluated. All
+// members share the meter m.
+func (u *Union) anyMember(ctx context.Context, d *db.Database, opts core.SolveOptions, st *obs.Stats, m *guard.Meter) (bool, error) {
 	memberOpts := opts
-	memberOpts.Engine = u.resolveEngine(opts, st)
+	memberOpts.Engine = u.resolveEngine(opts, st, m)
 	memberOpts.Stats = nil // already wired into the engine
+	memberOpts.Budget = guard.Budget{}
+	memberOpts.Fallback = false
+	memberOpts.Meter = m
 	pool := par.New(opts.Parallelism, st)
 	if !pool.Parallel() {
 		for _, p := range u.trees {

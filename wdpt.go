@@ -33,6 +33,7 @@ import (
 	"wdpt/internal/cq"
 	"wdpt/internal/cqeval"
 	"wdpt/internal/db"
+	"wdpt/internal/guard"
 	"wdpt/internal/obs"
 	"wdpt/internal/rdf"
 	"wdpt/internal/sparql"
@@ -72,7 +73,8 @@ type (
 	// ApproxOptions bounds the approximation candidate search.
 	ApproxOptions = approx.Options
 	// SolveOptions configures a PatternTree.Solve or Union.Solve call: the
-	// problem mode, candidate mapping, engine, stats sink, and parallelism.
+	// problem mode, candidate mapping, engine, stats sink, parallelism,
+	// resource budget, and fallback policy.
 	SolveOptions = core.SolveOptions
 	// SolveMode selects the evaluation problem a Solve call answers.
 	SolveMode = core.Mode
@@ -226,6 +228,49 @@ var (
 	StatsOf = cqeval.StatsOf
 	// AllCounters returns every registered counter in declaration order.
 	AllCounters = obs.Counters
+)
+
+// Guardrails: resource budgets, graceful degradation, and deterministic
+// fault injection (see docs/ROBUSTNESS.md for semantics and examples).
+type (
+	// Budget bounds one evaluation attempt: wall clock, intermediate tuples
+	// materialized, and answers produced. The zero value imposes no limits.
+	// Set it on SolveOptions.Budget; pair with SolveOptions.Fallback to
+	// degrade down the exact → maximal → partial ladder instead of failing.
+	Budget = guard.Budget
+	// TripError is the typed error a budget trip, injected fault, or
+	// recovered panic surfaces as, carrying the trip site and progress
+	// stats; match its cause with errors.Is against the Err* sentinels.
+	TripError = guard.TripError
+	// FaultInjector deterministically fails registered evaluation sites
+	// (nth call or probabilistic, from a fixed seed) for chaos testing.
+	FaultInjector = guard.Injector
+)
+
+// Guardrail sentinels and helpers.
+var (
+	// ErrDeadline reports that Budget.Wall (or a context deadline) expired.
+	ErrDeadline = guard.ErrDeadline
+	// ErrTupleBudget reports that Budget.MaxTuples was exceeded.
+	ErrTupleBudget = guard.ErrTupleBudget
+	// ErrAnswerLimit reports that Budget.MaxAnswers truncated an
+	// enumeration; the partial answer set is still returned.
+	ErrAnswerLimit = guard.ErrAnswerLimit
+	// ErrInjected reports a fault raised by an active FaultInjector.
+	ErrInjected = guard.ErrInjected
+	// ErrPanic reports an engine panic recovered at the Solve boundary.
+	ErrPanic = guard.ErrPanic
+	// Degradable reports whether an error is a budget trip the fallback
+	// ladder may recover from (deadline, tuple budget, or answer limit).
+	Degradable = guard.Degradable
+	// NewFaultInjector returns a deterministic injector seeded for
+	// reproducible chaos runs; configure with FailNth / FailProb.
+	NewFaultInjector = guard.NewInjector
+	// ActivateFaults installs an injector process-wide and returns a
+	// restore function; for tests only.
+	ActivateFaults = guard.Activate
+	// FaultSites lists the registered fault-injection site names.
+	FaultSites = guard.Sites
 )
 
 // RDF scenario (Section 2): answer-preserving encodings into the single
