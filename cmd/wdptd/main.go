@@ -1,0 +1,234 @@
+// Command wdptd serves WDPT evaluation over HTTP: a dataset registry of
+// named databases, POST /v1/query mapped onto the consolidated Solve API,
+// weighted admission control, and a bounded LRU result cache. The response
+// body is byte-identical to wdpteval -json output for the same query and
+// options; budget trips map onto the same taxonomy as the CLI exit codes
+// (504 deadline, 413 tuple budget, 206 answer limit). See docs/SERVER.md.
+//
+//	wdptd -listen 127.0.0.1:8080 -dataset music=examples/data/music.txt
+//
+// Signals: SIGHUP hot-reloads every dataset file (atomically; a failed
+// reload keeps the previous snapshots serving); SIGINT/SIGTERM drain
+// in-flight queries under -shutdown-timeout, cancelling their evaluation
+// contexts when the deadline passes.
+//
+//	-listen addr            listen address (default 127.0.0.1:8080)
+//	-dataset name=path      register a dataset (repeatable, at least one)
+//	-max-inflight n         total in-flight parallelism (0 = NumCPU)
+//	-max-queue n            admission wait-queue bound; overflow is 429
+//	-width-bound k          reject queries not globally in TW(k) with 422
+//	-cache n                result-cache entries (0 disables)
+//	-pprof                  mount net/http/pprof under /debug/pprof/
+//	-shutdown-timeout d     drain deadline for graceful shutdown
+//	-selfcheck              start on an ephemeral port, probe the API once
+//	                        (health, datasets, one query per dataset), exit
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"wdpt/internal/obs"
+	"wdpt/internal/server"
+	"wdpt/internal/server/client"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// datasetFlags collects repeated -dataset name=path specs.
+type datasetFlags struct {
+	specs map[string]string
+}
+
+// String renders the specs deterministically (sorted by name).
+func (d *datasetFlags) String() string {
+	names := make([]string, 0, len(d.specs))
+	for name := range d.specs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, name+"="+d.specs[name])
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set parses one name=path spec.
+func (d *datasetFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	if d.specs == nil {
+		d.specs = make(map[string]string)
+	}
+	if _, dup := d.specs[name]; dup {
+		return fmt.Errorf("duplicate dataset %q", name)
+	}
+	d.specs[name] = path
+	return nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wdptd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var datasets datasetFlags
+	fs.Var(&datasets, "dataset", "name=path dataset spec (repeatable, at least one required)")
+	listen := fs.String("listen", "127.0.0.1:8080", "listen address")
+	maxInflight := fs.Int("max-inflight", 0, "total in-flight parallelism across queries (0 = NumCPU)")
+	maxQueue := fs.Int("max-queue", 16, "admission wait-queue bound; overflow is rejected with 429")
+	widthBound := fs.Int("width-bound", 0, "reject queries not globally in TW(k) with 422 (0 = no bound)")
+	cacheSize := fs.Int("cache", 256, "result-cache entries (0 disables caching)")
+	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "drain deadline for graceful shutdown")
+	selfcheck := fs.Bool("selfcheck", false, "start on an ephemeral port, probe the API once, and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if len(datasets.specs) == 0 {
+		fmt.Fprintln(stderr, "wdptd: at least one -dataset name=path is required")
+		return 2
+	}
+	reg, err := server.NewRegistry(datasets.specs)
+	if err != nil {
+		fmt.Fprintf(stderr, "wdptd: %v\n", err)
+		return 2
+	}
+	srv, err := server.NewServer(server.Config{
+		Registry:    reg,
+		MaxInFlight: *maxInflight,
+		MaxQueue:    *maxQueue,
+		WidthBound:  *widthBound,
+		CacheSize:   *cacheSize,
+		EnablePprof: *enablePprof,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "wdptd: %v\n", err)
+		return 2
+	}
+	addr := *listen
+	if *selfcheck {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "wdptd: %v\n", err)
+		return 1
+	}
+	// ReadHeaderTimeout bounds slow-header clients (wdptlint R9: never run
+	// an http.Server without it).
+	hs := &http.Server{Handler: srv, ReadHeaderTimeout: 5 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	if *selfcheck {
+		err := selfCheck(fmt.Sprintf("http://%s", ln.Addr()), stdout)
+		shutdown(srv, hs, *shutdownTimeout)
+		if err != nil {
+			fmt.Fprintf(stderr, "wdptd: selfcheck: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	fmt.Fprintf(stdout, "wdptd: serving %d dataset(s) on %s (registry version %d)\n", len(datasets.specs), ln.Addr(), reg.Version())
+	sigCh := make(chan os.Signal, 4)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	defer signal.Stop(sigCh)
+	for {
+		select {
+		case err := <-serveErr:
+			fmt.Fprintf(stderr, "wdptd: serve: %v\n", err)
+			return 1
+		case sig := <-sigCh:
+			if sig == syscall.SIGHUP {
+				if version, err := reg.Reload(); err != nil {
+					fmt.Fprintf(stderr, "wdptd: reload failed (previous snapshots keep serving): %v\n", err)
+				} else {
+					srv.Stats().Inc(obs.CtrServerReloads)
+					fmt.Fprintf(stdout, "wdptd: reloaded datasets (registry version %d)\n", version)
+				}
+				continue
+			}
+			fmt.Fprintf(stdout, "wdptd: %v received, draining (deadline %s)\n", sig, *shutdownTimeout)
+			shutdown(srv, hs, *shutdownTimeout)
+			return 0
+		}
+	}
+}
+
+// shutdown drains in-flight queries under the deadline (cancelling their
+// contexts past it), then closes the listener and connections.
+func shutdown(srv *server.Server, hs *http.Server, timeout time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	_ = hs.Shutdown(context.Background())
+}
+
+// selfCheck probes a freshly started server end to end: health, the dataset
+// listing, and one enumeration query per dataset built from its first
+// relation. It is the smoke test scripts/check.sh runs against examples/.
+func selfCheck(base string, stdout io.Writer) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c := client.New(base, nil)
+	h, err := c.Health(ctx)
+	if err != nil {
+		return err
+	}
+	if h.Status != "ok" {
+		return fmt.Errorf("health status %q, want ok", h.Status)
+	}
+	list, err := c.Datasets(ctx)
+	if err != nil {
+		return err
+	}
+	if len(list.Datasets) == 0 {
+		return fmt.Errorf("dataset listing is empty")
+	}
+	queries := 0
+	for _, ds := range list.Datasets {
+		if len(ds.Relations) == 0 || ds.Relations[0].Arity == 0 {
+			return fmt.Errorf("dataset %q has no probeable relation", ds.Name)
+		}
+		rel := ds.Relations[0]
+		vars := make([]string, rel.Arity)
+		for i := range vars {
+			vars[i] = fmt.Sprintf("?v%d", i+1)
+		}
+		query := fmt.Sprintf("SELECT ?v1 WHERE %s(%s)", rel.Name, strings.Join(vars, ", "))
+		res, err := c.Query(ctx, server.Request{Dataset: ds.Name, Query: query, Parallelism: 1})
+		if err != nil {
+			return fmt.Errorf("dataset %q: %w", ds.Name, err)
+		}
+		if res.Status != http.StatusOK || res.Report == nil || res.Report.AnswerCount == nil {
+			return fmt.Errorf("dataset %q: status %d, want 200 with a report", ds.Name, res.Status)
+		}
+		queries++
+	}
+	fmt.Fprintf(stdout, "wdptd: selfcheck ok (%d dataset(s), %d probe quer%s, registry version %d)\n",
+		len(list.Datasets), queries, pluralIES(queries), h.Version)
+	return nil
+}
+
+// pluralIES returns the y/ies suffix.
+func pluralIES(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
+}

@@ -47,7 +47,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -62,6 +61,7 @@ import (
 	"wdpt/internal/core"
 	"wdpt/internal/cqeval"
 	"wdpt/internal/obs"
+	"wdpt/internal/report"
 )
 
 func main() {
@@ -128,36 +128,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // exitCode maps guard trips to distinct exit codes so scripts can tell a
 // resource-limit stop (retryable with a bigger budget or -fallback) from a
-// genuine evaluation error.
-func exitCode(err error) int {
-	switch {
-	case errors.Is(err, wdpt.ErrDeadline) || errors.Is(err, context.DeadlineExceeded):
-		return 3
-	case errors.Is(err, wdpt.ErrTupleBudget):
-		return 4
-	case errors.Is(err, wdpt.ErrAnswerLimit):
-		return 5
-	}
-	return 2
-}
-
-// report is the machine form of one run, emitted by -json as a single
-// document: the mode and engine, then whichever of answers / result / plans /
-// counters the flags and mode produced.
-type report struct {
-	Mode               string           `json:"mode"`
-	Engine             string           `json:"engine"`
-	Parallelism        int              `json:"parallelism,omitempty"`
-	Classification     string           `json:"classification,omitempty"`
-	AnswerCount        *int             `json:"answer_count,omitempty"`
-	Answers            []wdpt.Mapping   `json:"answers,omitempty"`
-	Result             *bool            `json:"result,omitempty"`
-	Degraded           *bool            `json:"degraded,omitempty"`
-	DegradedMode       string           `json:"degraded_mode,omitempty"`
-	OptimizerTractable *bool            `json:"optimizer_tractable,omitempty"`
-	Plans              []wdpt.Plan      `json:"plans,omitempty"`
-	Counters           map[string]int64 `json:"counters,omitempty"`
-}
+// genuine evaluation error. The taxonomy lives in internal/report so wdptd
+// classifies the same errors identically (as HTTP statuses).
+var exitCode = report.ExitCode
 
 func evalMain(out io.Writer, o options) error {
 	p, err := loadQuery(o.query, o.queryFile)
@@ -187,7 +160,7 @@ func evalMain(out io.Writer, o options) error {
 		ctx, cancel = context.WithTimeout(ctx, o.timeout)
 		defer cancel()
 	}
-	rep := report{Mode: o.mode, Engine: o.engine, Parallelism: par}
+	rep := report.Report{Mode: o.mode, Engine: o.engine, Parallelism: par}
 	if o.classify {
 		rep.Classification = p.Classify().String()
 		if !o.jsonOut {
@@ -223,12 +196,10 @@ func evalMain(out io.Writer, o options) error {
 		}
 		evalErr = err
 		noteDegraded(&rep, out, o.jsonOut, res)
-		answers := wdpt.SortSolutions(res.Answers)
-		n := len(answers)
-		rep.AnswerCount, rep.Answers = &n, answers
+		rep.SetAnswers(res.Answers)
 		if !o.jsonOut {
-			fmt.Fprintf(out, "p(D): %d answer(s)\n", n)
-			for _, h := range answers {
+			fmt.Fprintf(out, "p(D): %d answer(s)\n", *rep.AnswerCount)
+			for _, h := range rep.Answers {
 				fmt.Fprintln(out, "  "+h.String())
 			}
 		}
@@ -244,12 +215,10 @@ func evalMain(out io.Writer, o options) error {
 		}
 		evalErr = err
 		noteDegraded(&rep, out, o.jsonOut, res)
-		answers := wdpt.SortSolutions(res.Answers)
-		n := len(answers)
-		rep.AnswerCount, rep.Answers = &n, answers
+		rep.SetAnswers(res.Answers)
 		if !o.jsonOut {
-			fmt.Fprintf(out, "p_m(D): %d answer(s)\n", n)
-			for _, h := range answers {
+			fmt.Fprintf(out, "p_m(D): %d answer(s)\n", *rep.AnswerCount)
+			for _, h := range rep.Answers {
 				fmt.Fprintln(out, "  "+h.String())
 			}
 		}
@@ -297,7 +266,7 @@ func evalMain(out io.Writer, o options) error {
 			noteDegraded(&rep, out, o.jsonOut, res)
 			result = res.Holds
 		}
-		rep.Result = &result
+		rep.SetResult(result)
 		if !o.jsonOut {
 			fmt.Fprintln(out, result)
 		}
@@ -311,9 +280,7 @@ func evalMain(out io.Writer, o options) error {
 		}
 	}
 	if o.jsonOut {
-		enc := json.NewEncoder(out)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
+		if err := report.Encode(out, rep); err != nil {
 			return err
 		}
 	}
@@ -323,14 +290,8 @@ func evalMain(out io.Writer, o options) error {
 // noteDegraded records a Degraded result on the report and, in text mode,
 // prints the marker before the answers so truncated or fallback output is
 // never mistaken for the full semantics.
-func noteDegraded(rep *report, out io.Writer, jsonOut bool, res wdpt.SolveResult) {
-	if !res.Degraded {
-		return
-	}
-	t := true
-	rep.Degraded = &t
-	rep.DegradedMode = res.DegradedMode.String()
-	if !jsonOut {
+func noteDegraded(rep *report.Report, out io.Writer, jsonOut bool, res wdpt.SolveResult) {
+	if rep.NoteDegraded(res) && !jsonOut {
 		fmt.Fprintf(out, "(degraded: result carries %s semantics)\n", rep.DegradedMode)
 	}
 }

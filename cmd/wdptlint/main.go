@@ -18,6 +18,9 @@
 //	    arguments include an error must wrap it with %w (or the code
 //	    returns a guard sentinel directly), so errors crossing a package
 //	    boundary stay errors.Is-matchable
+//	R9  every http.Server literal must set ReadHeaderTimeout, and the
+//	    package-level http.ListenAndServe helpers (which construct a
+//	    server with no timeouts) are forbidden
 //
 // Findings print as "file:line: [rule] message" and make the tool exit 1.
 // A finding is suppressed by a directive on the same line or the line above:
@@ -82,7 +85,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // allRules lists every implemented rule in report order.
-var allRules = []string{"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"}
+var allRules = []string{"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"}
 
 func parseRules(s string) (map[string]bool, error) {
 	enabled := make(map[string]bool, len(allRules))

@@ -66,6 +66,9 @@ func lintPackage(l *loader, p *lintPkg, enabled map[string]bool) []Finding {
 		if enabled["R8"] && isInternalPkg(p.rel) {
 			fs = append(fs, lintErrorWrapping(l, p, f)...)
 		}
+		if enabled["R9"] {
+			fs = append(fs, lintHTTPServer(l, p, f)...)
+		}
 		out = append(out, applySuppressions(l, f, fs)...)
 	}
 	return out
@@ -625,6 +628,68 @@ func lintErrorWrapping(l *loader, p *lintPkg, f *ast.File) []Finding {
 		return true
 	})
 	return out
+}
+
+// ---------------------------------------------------------------------------
+// R9 — HTTP servers must bound header reads.
+//
+// wdptd serves untrusted network clients, and an http.Server with no
+// ReadHeaderTimeout lets a client that trickles its request headers hold a
+// connection (and its admission slot) forever — the classic Slowloris
+// resource exhaustion. The rule flags every http.Server composite literal
+// that does not set ReadHeaderTimeout, and every call to the package-level
+// http.ListenAndServe / http.ListenAndServeTLS helpers, which construct an
+// implicit server with no timeouts at all and offer no way to add one.
+// Serving through a method on an explicitly constructed *http.Server is
+// fine: the construction site is where the rule looks.
+
+func lintHTTPServer(l *loader, p *lintPkg, f *ast.File) []Finding {
+	var out []Finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			t := p.info.TypeOf(n)
+			if t == nil || !isHTTPServerType(t) {
+				return true
+			}
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					// A positional literal fills every field, including
+					// ReadHeaderTimeout.
+					return true
+				}
+				if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "ReadHeaderTimeout" {
+					return true
+				}
+			}
+			out = append(out, l.finding(n.Pos(), "R9",
+				"http.Server literal does not set ReadHeaderTimeout: a client trickling headers holds the connection forever"))
+		case *ast.CallExpr:
+			fn := calleeFunc(p.info, n)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "net/http" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // method on an explicitly constructed server
+			}
+			switch fn.Name() {
+			case "ListenAndServe", "ListenAndServeTLS":
+				out = append(out, l.finding(n.Pos(), "R9",
+					"http.%s constructs a server with no timeouts; build an http.Server with ReadHeaderTimeout instead", fn.Name()))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isHTTPServerType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "net/http" && named.Obj().Name() == "Server"
 }
 
 // ---------------------------------------------------------------------------

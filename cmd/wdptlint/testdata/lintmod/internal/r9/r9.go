@@ -1,0 +1,46 @@
+// Package r9 exercises the R9 bounded-header-read rule.
+package r9
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// Naked starts a server through the package-level helper, which builds an
+// http.Server with no timeouts at all.
+func Naked(addr string, h http.Handler) error {
+	return http.ListenAndServe(addr, h) // want R9
+}
+
+// NakedTLS is the TLS variant of the same hazard.
+func NakedTLS(addr, cert, key string, h http.Handler) error {
+	return http.ListenAndServeTLS(addr, cert, key, h) // want R9
+}
+
+// Unbounded constructs a server that never times out header reads.
+func Unbounded(h http.Handler) *http.Server {
+	return &http.Server{Handler: h} // want R9
+}
+
+// Empty is the zero literal, equally unbounded.
+func Empty() *http.Server {
+	return &http.Server{} // want R9
+}
+
+// Bounded sets ReadHeaderTimeout; exempt.
+func Bounded(h http.Handler) *http.Server {
+	return &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+}
+
+// ServeConfigured serves through a method on an explicitly constructed
+// server; the construction site is where R9 looks, so this is exempt.
+func ServeConfigured(s *http.Server, ln net.Listener) error {
+	return s.Serve(ln)
+}
+
+// Suppressed documents a deliberate exception.
+func Suppressed(h http.Handler) *http.Server {
+	//lint:ignore R9 test-only server torn down before any client connects
+	return &http.Server{Handler: h}
+}

@@ -1,6 +1,7 @@
 package cqeval
 
 import (
+	"container/list"
 	"strings"
 	"sync"
 
@@ -35,49 +36,81 @@ type cachedShape struct {
 // requests for one shape always record exactly one miss and k-1 hits, the
 // same totals a sequential run records.
 type cacheEntry struct {
+	key   string
 	ready chan struct{}
 	shape *cachedShape
 }
 
-// planCache memoizes structural plans keyed on strategy + variable shape.
-// Safe for concurrent use; a nil *planCache disables caching (engines built
-// as bare struct literals still work, they just re-plan every call).
+// planCache memoizes structural plans keyed on strategy + variable shape,
+// bounded at max entries with least-recently-used eviction — a long-running
+// server fed an adversarial stream of distinct query shapes must not grow
+// without limit. Safe for concurrent use; a nil *planCache disables caching
+// (engines built as bare struct literals still work, they just re-plan every
+// call).
 type planCache struct {
-	mu sync.Mutex
-	m  map[string]*cacheEntry
+	mu  sync.Mutex
+	max int
+	m   map[string]*list.Element // each element holds a *cacheEntry
+	lru *list.List               // front = most recently used
 }
 
-// maxCachedShapes bounds the cache; WDPT workloads reuse a handful of node
-// shapes, so the bound only matters for adversarial streams of distinct
-// queries. On overflow the cache resets rather than evicting — simpler, and
-// correct either way.
+// maxCachedShapes is the default cache bound; WDPT workloads reuse a handful
+// of node shapes, so eviction only matters for adversarial streams of
+// distinct queries.
 const maxCachedShapes = 512
 
 func newPlanCache() *planCache {
-	return &planCache{m: make(map[string]*cacheEntry)}
+	return newPlanCacheSize(maxCachedShapes)
+}
+
+// newPlanCacheSize returns a cache bounded at max entries (values < 1 fall
+// back to the default bound).
+func newPlanCacheSize(max int) *planCache {
+	if max < 1 {
+		max = maxCachedShapes
+	}
+	return &planCache{max: max, m: make(map[string]*list.Element), lru: list.New()}
+}
+
+// len returns the number of cached shapes (including in-flight builds).
+func (c *planCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
 }
 
 // do returns the shape for key, invoking build on the first request and
 // coalescing concurrent requests onto that single build. The builder counts
-// one cache miss (plus whatever build itself records); every other
-// requester counts one cache hit. A nil cache invokes build on every call
-// and records neither hits nor misses — the legacy uncached behavior.
+// one cache miss (plus whatever build itself records); every other requester
+// counts one cache hit and refreshes the entry's recency. Inserting into a
+// full cache evicts the least recently used entries, one eviction counter
+// tick each; an evicted in-flight build still completes and serves its
+// waiters, it just is no longer findable. A nil cache invokes build on every
+// call and records neither hits nor misses — the legacy uncached behavior.
 func (c *planCache) do(key string, st *obs.Stats, build func() *cachedShape) *cachedShape {
 	if c == nil {
 		return build()
 	}
 	c.mu.Lock()
-	if e, ok := c.m[key]; ok {
+	if el, ok := c.m[key]; ok {
+		c.lru.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
 		c.mu.Unlock()
 		<-e.ready
 		st.Inc(obs.CtrPlanCacheHits)
 		return e.shape
 	}
-	if len(c.m) >= maxCachedShapes {
-		c.m = make(map[string]*cacheEntry)
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	c.m[key] = c.lru.PushFront(e)
+	for len(c.m) > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+		st.Inc(obs.CtrPlanCacheEvictions)
 	}
-	e := &cacheEntry{ready: make(chan struct{})}
-	c.m[key] = e
 	c.mu.Unlock()
 	st.Inc(obs.CtrPlanCacheMisses)
 	e.shape = build()

@@ -66,6 +66,9 @@ const (
 	CtrPlanCacheHits
 	// CtrPlanCacheMisses counts structural plans computed from scratch.
 	CtrPlanCacheMisses
+	// CtrPlanCacheEvictions counts structural plans evicted from the bounded
+	// plan cache in LRU order when it reaches its size cap.
+	CtrPlanCacheEvictions
 	// CtrFallbacks counts engine fallback decisions (e.g. Yannakakis or the
 	// GHD engine degrading to the tree-decomposition engine).
 	CtrFallbacks
@@ -121,6 +124,28 @@ const (
 	CtrGuardRecoveredPanics
 	// CtrGuardInjectedFaults counts injected faults surfaced as errors.
 	CtrGuardInjectedFaults
+	// CtrServerRequests counts query requests accepted by the wdptd server
+	// (after admission control, before evaluation).
+	CtrServerRequests
+	// CtrServerCacheHits counts query responses served from the wdptd
+	// result cache.
+	CtrServerCacheHits
+	// CtrServerCacheMisses counts query requests evaluated because no cached
+	// response existed for (dataset version, query, mode, options).
+	CtrServerCacheMisses
+	// CtrServerCacheEvictions counts result-cache entries evicted in LRU
+	// order when the cache reaches its size cap.
+	CtrServerCacheEvictions
+	// CtrServerAdmissionRejects counts requests rejected with 429 because
+	// the admission queue was full.
+	CtrServerAdmissionRejects
+	// CtrServerWidthRejects counts requests rejected by the fast-path
+	// structural check: the query's analyzed class exceeded the server's
+	// width bound.
+	CtrServerWidthRejects
+	// CtrServerReloads counts dataset-registry hot reloads (SIGHUP or the
+	// admin endpoint).
+	CtrServerReloads
 
 	numCounters // sentinel; keep last
 )
@@ -142,6 +167,7 @@ var counterNames = [numCounters]string{
 	CtrDomainProductRows:   "cqeval.domain_product_rows",
 	CtrPlanCacheHits:       "cqeval.plan_cache_hits",
 	CtrPlanCacheMisses:     "cqeval.plan_cache_misses",
+	CtrPlanCacheEvictions:  "cqeval.plan_cache_evictions",
 	CtrFallbacks:           "cqeval.fallbacks",
 	CtrBandsEnumerated:     "core.bands_enumerated",
 	CtrExtensionUnits:      "core.extension_units_tested",
@@ -164,6 +190,14 @@ var counterNames = [numCounters]string{
 	CtrGuardFallbackHops:    "guard.fallback_hops",
 	CtrGuardRecoveredPanics: "guard.recovered_panics",
 	CtrGuardInjectedFaults:  "guard.injected_faults",
+
+	CtrServerRequests:         "server.requests",
+	CtrServerCacheHits:        "server.cache_hits",
+	CtrServerCacheMisses:      "server.cache_misses",
+	CtrServerCacheEvictions:   "server.cache_evictions",
+	CtrServerAdmissionRejects: "server.admission_rejects",
+	CtrServerWidthRejects:     "server.width_rejects",
+	CtrServerReloads:          "server.reloads",
 }
 
 // String returns the counter's stable name.

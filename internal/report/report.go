@@ -1,0 +1,150 @@
+// Package report defines the machine-readable form of one evaluation run —
+// the JSON document emitted by wdpteval -json and served verbatim by the
+// wdptd query server — together with the error taxonomy both front ends
+// share: the CLI exit codes and the HTTP status codes derived from the
+// guard sentinels of docs/ROBUSTNESS.md.
+//
+// The package exists so the two front ends cannot drift: there is exactly
+// one Report shape, one encoder, and one classification of budget trips.
+// A body produced by the server for a request is byte-identical to what
+// wdpteval -json prints for the same query, database, mode, and options
+// (pinned by the parity tests in internal/server).
+package report
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"wdpt/internal/core"
+	"wdpt/internal/cq"
+	"wdpt/internal/guard"
+	"wdpt/internal/obs"
+)
+
+// Report is the machine form of one run, emitted as a single JSON document:
+// the mode and engine, then whichever of answers / result / plans / counters
+// the options and mode produced. Field order is part of the byte-stable
+// output contract.
+type Report struct {
+	// Mode is the requested evaluation mode (the wdpteval -mode vocabulary).
+	Mode string `json:"mode"`
+	// Engine names the CQ engine driving node evaluation.
+	Engine string `json:"engine"`
+	// Parallelism is the Solve worker-pool bound the run used.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Classification is the structural classification, when requested.
+	Classification string `json:"classification,omitempty"`
+	// AnswerCount is the number of answers (enumeration modes only).
+	AnswerCount *int `json:"answer_count,omitempty"`
+	// Answers is the canonically sorted answer set (enumeration modes only).
+	Answers []cq.Mapping `json:"answers,omitempty"`
+	// Result is the decision-mode verdict.
+	Result *bool `json:"result,omitempty"`
+	// Degraded marks a result carrying weaker semantics than the requested
+	// mode: a fallback-ladder hop, or an answer-capped enumeration.
+	Degraded *bool `json:"degraded,omitempty"`
+	// DegradedMode is the mode whose semantics the result actually carries.
+	DegradedMode string `json:"degraded_mode,omitempty"`
+	// OptimizerTractable reports whether the Corollary 2 optimizer found a
+	// tractable witness, when the optimizer was requested.
+	OptimizerTractable *bool `json:"optimizer_tractable,omitempty"`
+	// Plans carries the per-node EXPLAIN plans, when requested.
+	Plans []obs.Plan `json:"plans,omitempty"`
+	// Counters is the obs counter snapshot, when requested.
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// SetAnswers canonicalizes an enumeration answer set into the report: the
+// answers are sorted in place into the canonical solution order and the
+// count recorded, so every front end emits the same byte sequence for the
+// same answer set.
+func (r *Report) SetAnswers(answers []cq.Mapping) {
+	sorted := cq.SortSolutions(answers)
+	n := len(sorted)
+	r.AnswerCount, r.Answers = &n, sorted
+}
+
+// SetResult records a decision-mode verdict.
+func (r *Report) SetResult(v bool) { r.Result = &v }
+
+// NoteDegraded copies a degraded Solve result onto the report and reports
+// whether the result was degraded (so text front ends can print a marker).
+func (r *Report) NoteDegraded(res core.Result) bool {
+	if !res.Degraded {
+		return false
+	}
+	t := true
+	r.Degraded = &t
+	r.DegradedMode = res.DegradedMode.String()
+	return true
+}
+
+// Encode writes the report as one two-space-indented JSON document followed
+// by a newline — the exact bytes of wdpteval -json and of a wdptd response
+// body.
+func Encode(w io.Writer, r Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ExitCode maps an evaluation error to the documented CLI exit code: 0
+// success, 3 deadline exceeded, 4 tuple budget exceeded, 5 answer limit
+// reached (partial answers were printed), 2 anything else.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, guard.ErrDeadline) || errors.Is(err, context.DeadlineExceeded):
+		return 3
+	case errors.Is(err, guard.ErrTupleBudget):
+		return 4
+	case errors.Is(err, guard.ErrAnswerLimit):
+		return 5
+	}
+	return 2
+}
+
+// HTTPStatus maps an evaluation error to the status code wdptd serves: 200
+// success, 504 deadline (the request's wall budget or context expired), 413
+// tuple budget (the query materialized more than the request allowed), 206
+// answer limit (the body carries the truncated partial answer set), 500
+// anything else. The mapping is the HTTP projection of ExitCode; the two
+// classify errors identically.
+func HTTPStatus(err error) int {
+	switch ExitCode(err) {
+	case 0:
+		return http.StatusOK
+	case 3:
+		return http.StatusGatewayTimeout
+	case 4:
+		return http.StatusRequestEntityTooLarge
+	case 5:
+		return http.StatusPartialContent
+	}
+	return http.StatusInternalServerError
+}
+
+// ErrorCode names an evaluation error's taxonomy bucket for typed error
+// payloads: "deadline", "tuple_budget", "answer_limit", "injected_fault",
+// "panic", "canceled", or "error".
+func ErrorCode(err error) string {
+	switch {
+	case errors.Is(err, guard.ErrDeadline) || errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, guard.ErrTupleBudget):
+		return "tuple_budget"
+	case errors.Is(err, guard.ErrAnswerLimit):
+		return "answer_limit"
+	case errors.Is(err, guard.ErrInjected):
+		return "injected_fault"
+	case errors.Is(err, guard.ErrPanic):
+		return "panic"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	}
+	return "error"
+}

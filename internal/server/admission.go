@@ -1,0 +1,121 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errQueueFull reports that the admission wait queue was at capacity; the
+// handler maps it to HTTP 429 with a Retry-After header.
+var errQueueFull = errors.New("server: admission queue full")
+
+// admission is a weighted semaphore over the server's total in-flight
+// parallelism with a bounded FIFO wait queue. Each request holds a weight
+// equal to its effective parallelism for the duration of its evaluation, so
+// the server's worker-goroutine total stays bounded by capacity no matter
+// how requests mix parallelism levels. When the semaphore is exhausted a
+// request waits in FIFO order — up to maxQueue waiters; beyond that,
+// acquire fails fast with errQueueFull instead of building an unbounded
+// convoy.
+type admission struct {
+	mu       sync.Mutex
+	capacity int64
+	inUse    int64
+	maxQueue int
+	queue    []*waiter
+}
+
+// waiter is one queued acquire: its weight and the channel closed at grant
+// time. The grant (inUse += n) happens on the releasing goroutine before the
+// channel closes, so a woken waiter owns its weight immediately.
+type waiter struct {
+	n     int64
+	ready chan struct{}
+}
+
+func newAdmission(capacity int64, maxQueue int) *admission {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{capacity: capacity, maxQueue: maxQueue}
+}
+
+// clamp bounds a requested weight to what the semaphore can ever grant.
+func (a *admission) clamp(n int64) int64 {
+	if n < 1 {
+		return 1
+	}
+	if n > a.capacity {
+		return a.capacity
+	}
+	return n
+}
+
+// acquire obtains weight n (pre-clamped with clamp), waiting in FIFO order
+// behind earlier waiters. It fails with errQueueFull when the wait queue is
+// at capacity and with ctx.Err() when the context is cancelled while
+// waiting.
+func (a *admission) acquire(ctx context.Context, n int64) error {
+	a.mu.Lock()
+	if len(a.queue) == 0 && a.inUse+n <= a.capacity {
+		a.inUse += n
+		a.mu.Unlock()
+		return nil
+	}
+	if len(a.queue) >= a.maxQueue {
+		a.mu.Unlock()
+		return errQueueFull
+	}
+	w := &waiter{n: n, ready: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.mu.Unlock()
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		for i, q := range a.queue {
+			if q == w {
+				a.queue = append(a.queue[:i], a.queue[i+1:]...)
+				a.mu.Unlock()
+				return ctx.Err()
+			}
+		}
+		// Already granted between the ctx firing and taking the lock: give
+		// the weight back and report the cancellation.
+		a.mu.Unlock()
+		a.release(n)
+		return ctx.Err()
+	}
+}
+
+// release returns weight n and grants queued waiters, in order, while they
+// fit.
+func (a *admission) release(n int64) {
+	a.mu.Lock()
+	a.inUse -= n
+	if a.inUse < 0 {
+		a.inUse = 0
+	}
+	for len(a.queue) > 0 {
+		w := a.queue[0]
+		if a.inUse+w.n > a.capacity {
+			break
+		}
+		a.inUse += w.n
+		a.queue = a.queue[1:]
+		close(w.ready)
+	}
+	a.mu.Unlock()
+}
+
+// load returns the in-use weight and queue depth (for /healthz).
+func (a *admission) load() (inUse int64, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inUse, len(a.queue)
+}

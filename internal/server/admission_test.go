@@ -1,0 +1,104 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// waitQueued polls until the admission queue reaches depth n.
+func waitQueued(t *testing.T, a *admission, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, queued := a.load(); queued == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			_, queued := a.load()
+			t.Fatalf("queue depth %d, want %d", queued, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAdmissionClamp(t *testing.T) {
+	a := newAdmission(4, 0)
+	for in, want := range map[int64]int64{0: 1, -3: 1, 1: 1, 4: 4, 99: 4} {
+		if got := a.clamp(in); got != want {
+			t.Errorf("clamp(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// TestAdmissionFIFO pins the ordering contract: a small waiter that would
+// fit does not jump ahead of a larger waiter queued before it.
+func TestAdmissionFIFO(t *testing.T) {
+	a := newAdmission(2, 8)
+	if err := a.acquire(context.Background(), 2); err != nil {
+		t.Fatalf("initial acquire: %v", err)
+	}
+	aDone := make(chan error, 1)
+	go func() { aDone <- a.acquire(context.Background(), 2) }()
+	waitQueued(t, a, 1)
+	bDone := make(chan error, 1)
+	go func() { bDone <- a.acquire(context.Background(), 1) }()
+	waitQueued(t, a, 2)
+
+	a.release(2)
+	if err := <-aDone; err != nil {
+		t.Fatalf("front waiter: %v", err)
+	}
+	// The front waiter took the full capacity; the small waiter behind it
+	// must still be queued — FIFO, not best-fit.
+	if inUse, queued := a.load(); inUse != 2 || queued != 1 {
+		t.Fatalf("after first grant: inUse=%d queued=%d, want 2/1", inUse, queued)
+	}
+	a.release(2)
+	if err := <-bDone; err != nil {
+		t.Fatalf("second waiter: %v", err)
+	}
+	a.release(1)
+	if inUse, queued := a.load(); inUse != 0 || queued != 0 {
+		t.Fatalf("drained: inUse=%d queued=%d, want 0/0", inUse, queued)
+	}
+}
+
+func TestAdmissionQueueFull(t *testing.T) {
+	a := newAdmission(1, 1)
+	if err := a.acquire(context.Background(), 1); err != nil {
+		t.Fatalf("initial acquire: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- a.acquire(context.Background(), 1) }()
+	waitQueued(t, a, 1)
+	if err := a.acquire(context.Background(), 1); !errors.Is(err, errQueueFull) {
+		t.Fatalf("overflow acquire: %v, want errQueueFull", err)
+	}
+	a.release(1)
+	if err := <-done; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	a.release(1)
+}
+
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	a := newAdmission(1, 4)
+	if err := a.acquire(context.Background(), 1); err != nil {
+		t.Fatalf("initial acquire: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- a.acquire(ctx, 1) }()
+	waitQueued(t, a, 1)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: %v, want context.Canceled", err)
+	}
+	// The cancelled waiter removed itself; a release must not grant it.
+	a.release(1)
+	if inUse, queued := a.load(); inUse != 0 || queued != 0 {
+		t.Fatalf("after cancel+release: inUse=%d queued=%d, want 0/0", inUse, queued)
+	}
+}

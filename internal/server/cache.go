@@ -1,0 +1,128 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"wdpt/internal/obs"
+)
+
+// resultCache is the server's bounded response cache: complete response
+// bodies keyed by (dataset version, canonical query hash, mode, options),
+// evicted in least-recently-used order at the size cap. Because the dataset
+// version is part of the key, a registry reload invalidates every cached
+// response for the reloaded data without any explicit flush — stale entries
+// simply stop being addressable and age out of the LRU.
+//
+// Only status-200 bodies are cached: they are deterministic for their key
+// (the engine's byte-identical enumeration contract), whereas truncated
+// (206) bodies may keep a scheduling-dependent subset at parallelism > 1,
+// and counter-carrying bodies change run to run. A nil *resultCache
+// disables caching.
+type resultCache struct {
+	max int
+	st  *obs.Stats
+
+	mu  sync.Mutex
+	m   map[string]*list.Element
+	lru *list.List
+}
+
+// cachedBody is one cached response body.
+type cachedBody struct {
+	key  string
+	body []byte
+}
+
+// newResultCache returns a cache bounded at max entries recording server.*
+// counters on st, or nil (caching disabled) when max < 1.
+func newResultCache(max int, st *obs.Stats) *resultCache {
+	if max < 1 {
+		return nil
+	}
+	return &resultCache{max: max, st: st, m: make(map[string]*list.Element), lru: list.New()}
+}
+
+// get returns the cached body for key, counting a hit or miss. A nil cache
+// always misses silently.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	el, ok := c.m[key]
+	var body []byte
+	if ok {
+		c.lru.MoveToFront(el)
+		body = el.Value.(*cachedBody).body
+	}
+	c.mu.Unlock()
+	if ok {
+		c.st.Inc(obs.CtrServerCacheHits)
+		return body, true
+	}
+	c.st.Inc(obs.CtrServerCacheMisses)
+	return nil, false
+}
+
+// put stores a response body for key, evicting least-recently-used entries
+// past the cap. No-op on a nil cache or when the key is already present.
+func (c *resultCache) put(key string, body []byte) {
+	if c == nil {
+		return
+	}
+	var evicted int64
+	c.mu.Lock()
+	if _, ok := c.m[key]; !ok {
+		c.m[key] = c.lru.PushFront(&cachedBody{key: key, body: body})
+		for len(c.m) > c.max {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.m, oldest.Value.(*cachedBody).key)
+			evicted++
+		}
+	}
+	c.mu.Unlock()
+	c.st.Add(obs.CtrServerCacheEvictions, evicted)
+}
+
+// len returns the number of cached responses.
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// cacheKey builds the result-cache key for one request against one dataset
+// snapshot. The query is keyed by a hash of its canonical tree rendering —
+// not the request text — so reformatted but identical queries share an
+// entry; every option that can change the response body participates.
+func cacheKey(ds *Dataset, canonicalQuery string, req *Request, par int) string {
+	sum := sha256.Sum256([]byte(canonicalQuery))
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\x00%d\x00%s\x00%s\x00%s\x00%d\x00%v\x00", ds.Name, ds.Version, hex.EncodeToString(sum[:]), req.Mode, req.Engine, par, req.Fallback)
+	if req.Budget != nil {
+		fmt.Fprintf(&b, "w%d,t%d,a%d", req.Budget.WallMS, req.Budget.MaxTuples, req.Budget.MaxAnswers)
+	}
+	b.WriteByte('\x00')
+	keys := make([]string, 0, len(req.Mapping))
+	for k := range req.Mapping {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(req.Mapping[k])
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}

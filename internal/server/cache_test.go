@@ -1,0 +1,100 @@
+package server
+
+import (
+	"testing"
+
+	"wdpt/internal/obs"
+)
+
+// counts reads the three server cache counters.
+func counts(st *obs.Stats) (hits, misses, evictions int64) {
+	return st.Get(obs.CtrServerCacheHits), st.Get(obs.CtrServerCacheMisses), st.Get(obs.CtrServerCacheEvictions)
+}
+
+func TestResultCacheLRUAndCounters(t *testing.T) {
+	st := obs.NewStats()
+	c := newResultCache(2, st)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B"))
+	if body, ok := c.get("a"); !ok || string(body) != "A" {
+		t.Fatalf("get(a) = %q ok=%v", body, ok)
+	}
+	// "a" is now most recent; inserting "c" evicts "b".
+	c.put("c", []byte("C"))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("LRU victim b still cached")
+	}
+	if body, ok := c.get("a"); !ok || string(body) != "A" {
+		t.Fatalf("recently used a evicted: %q ok=%v", body, ok)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	// misses: a(empty), b(after eviction); hits: a, a; evictions: b.
+	if h, m, e := counts(st); h != 2 || m != 2 || e != 1 {
+		t.Fatalf("hits=%d misses=%d evictions=%d, want 2/2/1", h, m, e)
+	}
+	// Re-putting an existing key is a no-op (first body wins).
+	c.put("a", []byte("A2"))
+	if body, _ := c.get("a"); string(body) != "A" {
+		t.Fatalf("re-put replaced body: %q", body)
+	}
+}
+
+func TestResultCacheNilDisabled(t *testing.T) {
+	st := obs.NewStats()
+	c := newResultCache(0, st)
+	if c != nil {
+		t.Fatal("size 0 did not disable the cache")
+	}
+	c.put("a", []byte("A"))
+	if _, ok := c.get("a"); ok {
+		t.Fatal("nil cache hit")
+	}
+	if c.len() != 0 {
+		t.Fatal("nil cache has entries")
+	}
+	if h, m, e := counts(st); h != 0 || m != 0 || e != 0 {
+		t.Fatalf("nil cache recorded counters: %d/%d/%d", h, m, e)
+	}
+}
+
+// TestCacheKeyDiscriminates pins that every response-shaping input — dataset
+// version, query, mode, engine, parallelism, fallback, budget, mapping —
+// produces a distinct key, so a registry reload or option change can never
+// serve a stale body.
+func TestCacheKeyDiscriminates(t *testing.T) {
+	base := func() (*Dataset, *Request) {
+		return &Dataset{Name: "d", Version: 1},
+			&Request{Mode: "enumerate", Engine: "auto", Mapping: map[string]string{"x": "1"}}
+	}
+	ds, req := base()
+	ref := cacheKey(ds, "Q", req, 1)
+
+	mutations := map[string]func(ds *Dataset, req *Request) (canonical string, par int){
+		"version":     func(ds *Dataset, req *Request) (string, int) { ds.Version = 2; return "Q", 1 },
+		"dataset":     func(ds *Dataset, req *Request) (string, int) { ds.Name = "e"; return "Q", 1 },
+		"query":       func(ds *Dataset, req *Request) (string, int) { return "Q2", 1 },
+		"mode":        func(ds *Dataset, req *Request) (string, int) { req.Mode = "maximal"; return "Q", 1 },
+		"engine":      func(ds *Dataset, req *Request) (string, int) { req.Engine = "naive"; return "Q", 1 },
+		"parallelism": func(ds *Dataset, req *Request) (string, int) { return "Q", 8 },
+		"fallback":    func(ds *Dataset, req *Request) (string, int) { req.Fallback = true; return "Q", 1 },
+		"budget":      func(ds *Dataset, req *Request) (string, int) { req.Budget = &BudgetSpec{MaxTuples: 5}; return "Q", 1 },
+		"mapping":     func(ds *Dataset, req *Request) (string, int) { req.Mapping["x"] = "2"; return "Q", 1 },
+	}
+	for name, mutate := range mutations {
+		ds, req := base()
+		canonical, par := mutate(ds, req)
+		if got := cacheKey(ds, canonical, req, par); got == ref {
+			t.Errorf("mutating %s did not change the cache key", name)
+		}
+	}
+	// And identical inputs agree.
+	ds2, req2 := base()
+	if cacheKey(ds2, "Q", req2, 1) != ref {
+		t.Error("identical inputs produced different keys")
+	}
+}

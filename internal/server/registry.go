@@ -1,0 +1,158 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"wdpt/internal/db"
+	"wdpt/internal/sparql"
+)
+
+// RelationInfo describes one relation of a dataset in the /v1/datasets
+// listing.
+type RelationInfo struct {
+	// Name is the relation name.
+	Name string `json:"name"`
+	// Arity is the relation's arity.
+	Arity int `json:"arity"`
+	// Tuples is the number of ground tuples.
+	Tuples int `json:"tuples"`
+}
+
+// Dataset is one immutable snapshot of a named database: the parsed
+// Database, the registry version it was loaded at, and its shape summary.
+// Snapshots are never mutated after load — a hot reload builds fresh ones
+// and swaps the whole set atomically, so requests that already hold a
+// snapshot keep evaluating against consistent data.
+type Dataset struct {
+	// Name is the registry name queries address the dataset by.
+	Name string `json:"name"`
+	// Version is the registry generation this snapshot was loaded at; it is
+	// part of every result-cache key, so a reload implicitly invalidates all
+	// cached responses for the dataset.
+	Version int64 `json:"version"`
+	// Path is the file the snapshot was parsed from.
+	Path string `json:"path"`
+	// Atoms is the total number of ground atoms.
+	Atoms int `json:"atoms"`
+	// Relations summarizes the relations, sorted by name.
+	Relations []RelationInfo `json:"relations"`
+	// DB is the parsed database. Read-only.
+	DB *db.Database `json:"-"`
+}
+
+// Registry is the server's set of named datasets: parsed once at startup,
+// replaced wholesale by Reload (SIGHUP or the admin endpoint). Lookups are
+// lock-free reads of an atomically swapped snapshot map; a failed reload
+// keeps the previous snapshot serving.
+type Registry struct {
+	paths map[string]string // name -> file path; immutable after New
+	gen   atomic.Int64
+	cur   atomic.Pointer[map[string]*Dataset]
+	mu    sync.Mutex // serializes Reload
+}
+
+// NewRegistry parses every named dataset file and returns a registry at
+// version 1. An unreadable or unparsable file fails construction — a server
+// must not start with a partial dataset set.
+func NewRegistry(specs map[string]string) (*Registry, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("server: registry needs at least one dataset")
+	}
+	r := &Registry{paths: make(map[string]string, len(specs))}
+	for name, path := range specs {
+		if name == "" {
+			return nil, fmt.Errorf("server: dataset name must not be empty (path %q)", path)
+		}
+		r.paths[name] = path
+	}
+	snap, err := r.loadAll(1)
+	if err != nil {
+		return nil, err
+	}
+	r.gen.Store(1)
+	r.cur.Store(&snap)
+	return r, nil
+}
+
+// loadAll parses every registered file into a fresh snapshot stamped with
+// the given version, in name order so parse errors are reported
+// deterministically.
+func (r *Registry) loadAll(version int64) (map[string]*Dataset, error) {
+	names := make([]string, 0, len(r.paths))
+	for name := range r.paths {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	snap := make(map[string]*Dataset, len(names))
+	for _, name := range names {
+		path := r.paths[name]
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("server: dataset %q: %w", name, err)
+		}
+		d, err := sparql.ParseDatabase(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("server: dataset %q (%s): %w", name, path, err)
+		}
+		snap[name] = &Dataset{
+			Name:      name,
+			Version:   version,
+			Path:      path,
+			Atoms:     d.Size(),
+			Relations: relationInfos(d),
+			DB:        d,
+		}
+	}
+	return snap, nil
+}
+
+func relationInfos(d *db.Database) []RelationInfo {
+	rels := d.Relations()
+	out := make([]RelationInfo, 0, len(rels))
+	for _, rel := range rels {
+		out = append(out, RelationInfo{Name: rel.Name(), Arity: rel.Arity(), Tuples: rel.Len()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Reload re-parses every dataset file into a new snapshot set and swaps it
+// in atomically under a bumped version. On any error the previous snapshot
+// keeps serving and the version does not change.
+func (r *Registry) Reload() (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	version := r.gen.Load() + 1
+	snap, err := r.loadAll(version)
+	if err != nil {
+		return r.gen.Load(), err
+	}
+	r.gen.Store(version)
+	r.cur.Store(&snap)
+	return version, nil
+}
+
+// Version returns the current registry generation.
+func (r *Registry) Version() int64 { return r.gen.Load() }
+
+// Get returns the named dataset's current snapshot.
+func (r *Registry) Get(name string) (*Dataset, bool) {
+	snap := r.cur.Load()
+	ds, ok := (*snap)[name]
+	return ds, ok
+}
+
+// List returns the current snapshots sorted by name.
+func (r *Registry) List() []*Dataset {
+	snap := r.cur.Load()
+	out := make([]*Dataset, 0, len(*snap))
+	for _, ds := range *snap {
+		out = append(out, ds)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

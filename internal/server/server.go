@@ -1,0 +1,600 @@
+// Package server implements wdptd, the concurrent WDPT query service: a
+// dataset registry of named databases with atomic hot reload, an HTTP/JSON
+// query endpoint mapped onto the consolidated Solve API, weighted admission
+// control over the server's total in-flight parallelism, and a bounded LRU
+// cache of response bodies.
+//
+// The response body of POST /v1/query is the internal/report document —
+// byte-identical to what wdpteval -json prints for the same query, database,
+// mode, and options — and evaluation errors map onto the same guard
+// taxonomy the CLI exposes as exit codes: 504 deadline, 413 tuple budget,
+// 206 answer limit (the body carries the truncated partial answer set).
+// See docs/SERVER.md for the API reference.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"wdpt/internal/core"
+	"wdpt/internal/cq"
+	"wdpt/internal/cqeval"
+	"wdpt/internal/db"
+	"wdpt/internal/guard"
+	"wdpt/internal/obs"
+	"wdpt/internal/report"
+	"wdpt/internal/sparql"
+)
+
+// maxRequestBytes bounds the size of a /v1/query request document.
+const maxRequestBytes = 1 << 20
+
+// Config configures a Server. Registry is required; every other field has a
+// usable zero value.
+type Config struct {
+	// Registry is the dataset registry queries address by name. Required.
+	Registry *Registry
+	// MaxInFlight bounds the total parallelism of concurrently evaluating
+	// queries (each request holds a weight equal to its effective
+	// parallelism). Values < 1 default to runtime.NumCPU().
+	MaxInFlight int
+	// MaxQueue bounds the admission wait queue; a request arriving when the
+	// semaphore is exhausted and the queue is full is rejected with 429.
+	// 0 disables queueing (immediate 429 under saturation).
+	MaxQueue int
+	// WidthBound, when > 0, fast-rejects (422) queries that are not globally
+	// in TW(WidthBound) — an analysis-only check that runs before any
+	// evaluation work is admitted.
+	WidthBound int
+	// CacheSize bounds the result cache (entries); values < 1 disable it.
+	CacheSize int
+	// Stats receives the server.* counters and the engine counters of
+	// stats-carrying requests. nil allocates a private Stats.
+	Stats *obs.Stats
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
+
+// Server is the wdptd HTTP handler: it serves /v1/query, /healthz,
+// /v1/datasets, /metrics, /admin/reload, and (optionally) /debug/pprof/.
+// Create one with NewServer and shut it down with Shutdown, which drains
+// in-flight queries and cancels their contexts past the deadline.
+type Server struct {
+	cfg   Config
+	reg   *Registry
+	adm   *admission
+	cache *resultCache
+	st    *obs.Stats
+	mux   *http.ServeMux
+
+	// baseCtx parents every request's evaluation context; Shutdown cancels
+	// it to stop in-flight work past the drain deadline.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	// shutMu orders the closed flag against inflight.Add so Shutdown's Wait
+	// cannot race a request that is past the closed check.
+	shutMu   sync.RWMutex
+	closed   bool
+	inflight sync.WaitGroup
+}
+
+// NewServer builds a Server from cfg.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("server: Config.Registry is required")
+	}
+	st := cfg.Stats
+	if st == nil {
+		st = obs.NewStats()
+	}
+	capacity := int64(cfg.MaxInFlight)
+	if capacity < 1 {
+		capacity = int64(runtime.NumCPU())
+	}
+	s := &Server{
+		cfg:   cfg,
+		reg:   cfg.Registry,
+		adm:   newAdmission(capacity, cfg.MaxQueue),
+		cache: newResultCache(cfg.CacheSize, st),
+		st:    st,
+		mux:   http.NewServeMux(),
+	}
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /admin/reload", s.handleReload)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Registry returns the server's dataset registry (for SIGHUP-driven
+// reloads).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Stats returns the stats sink carrying the server.* counters.
+func (s *Server) Stats() *obs.Stats { return s.st }
+
+// Shutdown drains the server: new queries are rejected with 503, in-flight
+// queries run to completion, and — if ctx expires first — their evaluation
+// contexts are cancelled so the guard meters stop them at the next
+// checkpoint. Shutdown returns once every in-flight query has finished,
+// with ctx.Err() when the drain was forced.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutMu.Lock()
+	s.closed = true
+	s.shutMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.cancel()
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// begin registers a request against the in-flight drain group, failing when
+// the server is shutting down.
+func (s *Server) begin() bool {
+	s.shutMu.RLock()
+	defer s.shutMu.RUnlock()
+	if s.closed {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// Request is the /v1/query document.
+type Request struct {
+	// Dataset names the registered database to evaluate against.
+	Dataset string `json:"dataset"`
+	// Query is the query text: algebraic ("SELECT ?x WHERE ..."), with
+	// top-level UNION for unions of WDPTs, or the explicit tree format
+	// ("ANS(?x) { ... }").
+	Query string `json:"query"`
+	// Mode is the evaluation mode (the wdpteval -mode vocabulary plus
+	// exact-naive); empty means enumerate.
+	Mode string `json:"mode,omitempty"`
+	// Engine names the CQ engine (auto|naive|yannakakis|decomposition|
+	// hypertree); empty means auto.
+	Engine string `json:"engine,omitempty"`
+	// Mapping is the candidate mapping h for the decision modes; "?" prefixes
+	// on variable names are accepted and stripped.
+	Mapping map[string]string `json:"mapping,omitempty"`
+	// Parallelism is the Solve worker-pool bound: 1 sequential, 0 NumCPU.
+	// Effective parallelism is clamped to the server's MaxInFlight.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Budget bounds the evaluation; nil imposes no limits.
+	Budget *BudgetSpec `json:"budget,omitempty"`
+	// Fallback degrades a budget-tripped decision mode down the
+	// exact → max → partial ladder instead of failing.
+	Fallback bool `json:"fallback,omitempty"`
+	// Stats includes the engine work counters in the response. Stats
+	// responses bypass the result cache (counters vary run to run).
+	Stats bool `json:"stats,omitempty"`
+}
+
+// BudgetSpec is the wire form of guard.Budget. Zero fields impose no limit.
+type BudgetSpec struct {
+	// WallMS is the wall-clock allowance in milliseconds.
+	WallMS int64 `json:"wall_ms,omitempty"`
+	// MaxTuples caps the intermediate tuples materialized.
+	MaxTuples int64 `json:"max_tuples,omitempty"`
+	// MaxAnswers caps (and truncates) the enumerated answers.
+	MaxAnswers int64 `json:"max_answers,omitempty"`
+}
+
+// budget converts the wire form; a nil spec is the unlimited budget.
+func (b *BudgetSpec) budget() guard.Budget {
+	if b == nil {
+		return guard.Budget{}
+	}
+	return guard.Budget{
+		Wall:       time.Duration(b.WallMS) * time.Millisecond,
+		MaxTuples:  b.MaxTuples,
+		MaxAnswers: b.MaxAnswers,
+	}
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	// Error is the typed payload.
+	Error ErrorPayload `json:"error"`
+}
+
+// ErrorPayload is a typed error: a stable code from the guard taxonomy (or
+// a request-validation code), the human-readable message, and — for budget
+// trips — the progress the evaluation made before tripping, so clients can
+// size budgets from observed failures.
+type ErrorPayload struct {
+	// Code is the stable machine-readable bucket: deadline, tuple_budget,
+	// answer_limit, injected_fault, panic, canceled, error, or a
+	// request-level code (bad_request, bad_query, bad_mode, bad_engine,
+	// bad_budget, unknown_dataset, width_bound, queue_full, shutting_down,
+	// reload_failed).
+	Code string `json:"code"`
+	// Message is the human-readable error.
+	Message string `json:"message"`
+	// Tuples is the meter's tuple reading when a budget tripped.
+	Tuples int64 `json:"tuples,omitempty"`
+	// Answers is the meter's answer reading when a budget tripped.
+	Answers int64 `json:"answers,omitempty"`
+	// ElapsedMS is the attempt's elapsed wall clock at the trip.
+	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
+}
+
+// Health is the /healthz body.
+type Health struct {
+	// Status is "ok", or "draining" during shutdown.
+	Status string `json:"status"`
+	// Version is the registry generation.
+	Version int64 `json:"version"`
+	// Datasets lists the registered dataset names, sorted.
+	Datasets []string `json:"datasets"`
+	// InFlight is the admission weight currently held by evaluating queries.
+	InFlight int64 `json:"in_flight"`
+	// Queued is the admission wait-queue depth.
+	Queued int `json:"queued"`
+}
+
+// DatasetList is the /v1/datasets body.
+type DatasetList struct {
+	// Version is the registry generation.
+	Version int64 `json:"version"`
+	// Datasets are the current snapshots, sorted by name.
+	Datasets []*Dataset `json:"datasets"`
+}
+
+// ReloadResult is the /admin/reload success body.
+type ReloadResult struct {
+	// Version is the registry generation after the reload.
+	Version int64 `json:"version"`
+}
+
+// solver abstracts core.PatternTree.Solve and uwdpt.Union.Solve so the
+// query handler evaluates both through one code path.
+type solver interface {
+	Solve(ctx context.Context, d *db.Database, opts core.SolveOptions) (core.Result, error)
+}
+
+// parseRequestQuery parses the request query text into a solver (a single
+// WDPT or a union), the member trees (for the width-bound check), and the
+// canonical rendering that keys the result cache.
+func parseRequestQuery(src string) (solver, []*core.PatternTree, string, error) {
+	trimmed := strings.TrimSpace(src)
+	if trimmed == "" {
+		return nil, nil, "", fmt.Errorf("server: a query is required")
+	}
+	if strings.HasPrefix(strings.ToUpper(trimmed), "ANS") {
+		p, err := sparql.ParseWDPT(trimmed)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return p, []*core.PatternTree{p}, p.String(), nil
+	}
+	u, err := sparql.ParseUnionQuery(trimmed)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	trees := u.Trees()
+	if len(trees) == 1 {
+		return trees[0], trees, trees[0].String(), nil
+	}
+	parts := make([]string, 0, len(trees))
+	for _, t := range trees {
+		parts = append(parts, t.String())
+	}
+	return u, trees, strings.Join(parts, " UNION "), nil
+}
+
+// modeFromName resolves the wire-mode vocabulary.
+func modeFromName(name string) (core.Mode, bool) {
+	switch name {
+	case "enumerate":
+		return core.ModeEnumerate, true
+	case "maximal":
+		return core.ModeMaximal, true
+	case "exact":
+		return core.ModeExact, true
+	case "exact-naive":
+		return core.ModeExactNaive, true
+	case "partial":
+		return core.ModePartial, true
+	case "max":
+		return core.ModeMax, true
+	}
+	return 0, false
+}
+
+// engineFor resolves the wire-engine vocabulary (the wdpteval -engine
+// values).
+func engineFor(name string) (cqeval.Engine, error) {
+	switch name {
+	case "auto":
+		return cqeval.Auto(), nil
+	case "naive":
+		return cqeval.Naive(), nil
+	case "yannakakis":
+		return cqeval.Yannakakis(), nil
+	case "decomposition":
+		return cqeval.Decomposition(), nil
+	case "hypertree":
+		return cqeval.Hypertree(3), nil
+	}
+	return nil, fmt.Errorf("server: unknown engine %q", name)
+}
+
+// handleQuery is POST /v1/query.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.st.Inc(obs.CtrServerRequests)
+	if !s.begin() {
+		writeError(w, http.StatusServiceUnavailable, ErrorPayload{Code: "shutting_down", Message: "server is shutting down"})
+		return
+	}
+	defer s.inflight.Done()
+
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, ErrorPayload{Code: "bad_request", Message: err.Error()})
+		return
+	}
+	ds, ok := s.reg.Get(req.Dataset)
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrorPayload{Code: "unknown_dataset", Message: fmt.Sprintf("unknown dataset %q", req.Dataset)})
+		return
+	}
+	if req.Mode == "" {
+		req.Mode = "enumerate"
+	}
+	mode, ok := modeFromName(req.Mode)
+	if !ok {
+		writeError(w, http.StatusBadRequest, ErrorPayload{Code: "bad_mode", Message: fmt.Sprintf("unknown mode %q", req.Mode)})
+		return
+	}
+	if req.Engine == "" {
+		req.Engine = "auto"
+	}
+	eng, err := engineFor(req.Engine)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrorPayload{Code: "bad_engine", Message: err.Error()})
+		return
+	}
+	if b := req.Budget; b != nil && (b.WallMS < 0 || b.MaxTuples < 0 || b.MaxAnswers < 0) {
+		writeError(w, http.StatusBadRequest, ErrorPayload{Code: "bad_budget", Message: "budget fields must be non-negative"})
+		return
+	}
+	q, trees, canonical, err := parseRequestQuery(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrorPayload{Code: "bad_query", Message: err.Error()})
+		return
+	}
+	if s.cfg.WidthBound > 0 {
+		for _, t := range trees {
+			if !t.GloballyIn(cq.TW(s.cfg.WidthBound)) {
+				s.st.Inc(obs.CtrServerWidthRejects)
+				writeError(w, http.StatusUnprocessableEntity, ErrorPayload{
+					Code:    "width_bound",
+					Message: fmt.Sprintf("query exceeds the server treewidth bound %d", s.cfg.WidthBound),
+				})
+				return
+			}
+		}
+	}
+	par := req.Parallelism
+	if par == 0 {
+		par = runtime.NumCPU()
+	}
+	if par < 1 {
+		par = 1
+	}
+	par = int(s.adm.clamp(int64(par)))
+
+	key := cacheKey(ds, canonical, &req, par)
+	if !req.Stats {
+		if body, ok := s.cache.get(key); ok {
+			writeBody(w, http.StatusOK, body)
+			return
+		}
+	}
+
+	// The evaluation context is the request's, additionally cancelled when
+	// Shutdown forces the drain.
+	ctx, cancelReq := context.WithCancel(r.Context())
+	defer cancelReq()
+	stop := context.AfterFunc(s.baseCtx, cancelReq)
+	defer stop()
+
+	if err := s.adm.acquire(ctx, int64(par)); err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.st.Inc(obs.CtrServerAdmissionRejects)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, ErrorPayload{Code: "queue_full", Message: "admission queue full; retry later"})
+			return
+		}
+		s.writeEvalError(w, err)
+		return
+	}
+	defer s.adm.release(int64(par))
+
+	var st *obs.Stats
+	solveEng := eng
+	if req.Stats {
+		st = obs.NewStats()
+		solveEng = cqeval.WithStats(eng, st)
+	}
+	h := cq.Mapping{}
+	for k, v := range req.Mapping {
+		h[strings.TrimPrefix(k, "?")] = v
+	}
+	opts := core.SolveOptions{
+		Mode:        mode,
+		Parallelism: par,
+		Budget:      req.Budget.budget(),
+		Fallback:    req.Fallback,
+	}
+	switch mode {
+	case core.ModeEnumerate:
+		opts.Engine = solveEng
+	case core.ModeMaximal:
+		// The maximal path drives the backtracking solver, not the engine
+		// (mirroring wdpteval): Engine stays nil and counters land on Stats.
+		opts.Stats = st
+	default:
+		opts.Engine = solveEng
+		opts.Mapping = h
+	}
+
+	rep := report.Report{Mode: req.Mode, Engine: req.Engine, Parallelism: par}
+	res, err := q.Solve(ctx, ds.DB, opts)
+	var evalErr error
+	switch mode {
+	case core.ModeEnumerate, core.ModeMaximal:
+		if err != nil && !errors.Is(err, guard.ErrAnswerLimit) {
+			s.writeEvalError(w, err)
+			return
+		}
+		// An answer-limit trip still carries the truncated partial answer
+		// set; it is served as 206.
+		evalErr = err
+		rep.NoteDegraded(res)
+		rep.SetAnswers(res.Answers)
+	default:
+		if err != nil {
+			s.writeEvalError(w, err)
+			return
+		}
+		rep.NoteDegraded(res)
+		rep.SetResult(res.Holds)
+	}
+	if req.Stats {
+		rep.Counters = st.Snapshot()
+	}
+	var buf bytes.Buffer
+	if err := report.Encode(&buf, rep); err != nil {
+		writeError(w, http.StatusInternalServerError, ErrorPayload{Code: "error", Message: err.Error()})
+		return
+	}
+	status := report.HTTPStatus(evalErr)
+	writeBody(w, status, buf.Bytes())
+	if status == http.StatusOK && !req.Stats {
+		s.cache.put(key, buf.Bytes())
+	}
+}
+
+// handleHealthz is GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.shutMu.RLock()
+	status := "ok"
+	if s.closed {
+		status = "draining"
+	}
+	s.shutMu.RUnlock()
+	inUse, queued := s.adm.load()
+	list := s.reg.List()
+	names := make([]string, 0, len(list))
+	for _, ds := range list {
+		names = append(names, ds.Name)
+	}
+	writeJSON(w, http.StatusOK, Health{
+		Status:   status,
+		Version:  s.reg.Version(),
+		Datasets: names,
+		InFlight: inUse,
+		Queued:   queued,
+	})
+}
+
+// handleDatasets is GET /v1/datasets.
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, DatasetList{Version: s.reg.Version(), Datasets: s.reg.List()})
+}
+
+// handleMetrics is GET /metrics: the obs counter snapshot as one JSON
+// object, keys sorted (json.Marshal orders map keys).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.st.Snapshot())
+}
+
+// handleReload is POST /admin/reload: re-parse every dataset file and swap
+// the snapshot set atomically. A failed reload keeps the previous snapshots
+// serving and reports 500.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	version, err := s.reg.Reload()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, ErrorPayload{Code: "reload_failed", Message: err.Error()})
+		return
+	}
+	s.st.Inc(obs.CtrServerReloads)
+	writeJSON(w, http.StatusOK, ReloadResult{Version: version})
+}
+
+// writeEvalError serves an evaluation error: status from the shared report
+// taxonomy, a typed payload carrying the trip's progress readings, and a
+// shutting_down override when the error is our own drain cancellation
+// rather than the client's.
+func (s *Server) writeEvalError(w http.ResponseWriter, err error) {
+	status, code := report.HTTPStatus(err), report.ErrorCode(err)
+	if errors.Is(err, context.Canceled) && s.baseCtx.Err() != nil {
+		status, code = http.StatusServiceUnavailable, "shutting_down"
+	}
+	p := ErrorPayload{Code: code, Message: err.Error()}
+	var trip *guard.TripError
+	if errors.As(err, &trip) {
+		p.Tuples, p.Answers, p.ElapsedMS = trip.Tuples, trip.Answers, trip.Elapsed.Milliseconds()
+	}
+	writeError(w, status, p)
+}
+
+// writeError writes an ErrorResponse with the report encoder's formatting.
+func writeError(w http.ResponseWriter, status int, p ErrorPayload) {
+	writeJSON(w, status, ErrorResponse{Error: p})
+}
+
+// writeJSON writes v as a two-space-indented JSON document plus newline —
+// the same framing as report.Encode, so every body the server produces
+// renders identically.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, `{"error":{"code":"error","message":"response encoding failed"}}`, http.StatusInternalServerError)
+		return
+	}
+	writeBody(w, status, append(data, '\n'))
+}
+
+// writeBody writes a pre-encoded JSON body.
+func writeBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Repository gate: formatting, vet, wdptlint, build, tests under the race
-# detector, a -short benchmark smoke, wdptbench metrics-artifact smokes at
+# detector, a wdptd end-to-end selfcheck against the examples/data datasets,
+# a -short benchmark smoke, wdptbench metrics-artifact smokes at
 # Parallelism=1 and Parallelism=NumCPU (writes BENCH_<date>.json and
 # BENCH_<date>-pncpu.json, both uploaded by CI — same tables, elapsed_ns
 # ratio is the parallel-scaling measurement), and a bounded parser fuzz
@@ -34,6 +35,11 @@ go run ./cmd/wdptlint ./...
 
 echo "== go test -race"
 go test -race ./...
+
+echo "== wdptd selfcheck smoke (examples/data)"
+go run ./cmd/wdptd -selfcheck \
+  -dataset music=examples/data/music.txt \
+  -dataset chain=examples/data/chain.txt
 
 echo "== benchmark smoke (-race -short -benchtime=1x)"
 go test -race -short -run='^$' -bench=. -benchtime=1x .
