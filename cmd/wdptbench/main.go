@@ -30,11 +30,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
@@ -117,7 +119,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if par == 0 {
 		par = runtime.NumCPU()
 	}
-	cfg := harness.Config{Quick: *quick || *short, Repetitions: *reps, Parallelism: par}
+	// The first interrupt cancels the in-flight Solve calls (the context
+	// reaches the context-aware experiments through Config.BaseContext) and
+	// stops the sweep at the next experiment boundary; once it fires, the
+	// handler is unregistered so a second Ctrl-C terminates immediately.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+	//lint:ignore R11 watcher is joined by process lifetime: it unregisters the signal handler after the first interrupt and exits; joining it would hold main hostage to the signal it exists to release
+	go func() {
+		<-ctx.Done()
+		stopSignals()
+	}()
+	cfg := harness.Config{Quick: *quick || *short, Repetitions: *reps, Parallelism: par, BaseContext: ctx}
 	artifact := benchArtifact{
 		Date:        time.Now().Format("2006-01-02"),
 		Quick:       cfg.Quick,
@@ -125,7 +138,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Parallelism: par,
 	}
 	failed := false
+	interrupted := false
 	for _, e := range selected {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		// A fresh Stats per experiment keeps each artifact entry's counters
 		// attributable to that experiment alone.
 		cfg.Stats = obs.NewStats()
@@ -157,6 +175,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if serr := stop(); serr != nil {
 		fmt.Fprintf(stderr, "wdptbench: %v\n", serr)
 		return 2
+	}
+	if interrupted {
+		fmt.Fprintln(stderr, "wdptbench: interrupted; sweep stopped without writing artifacts")
+		return 1
 	}
 	if *jsonOut {
 		path := filepath.Join(*outDir, "BENCH_"+artifact.Date+*suffix+".json")

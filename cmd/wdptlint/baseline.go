@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// The baseline is the lint gate's ratchet. Findings recorded in the baseline
+// file are grandfathered (reported nowhere, exit code unaffected); any
+// finding NOT in the baseline fails the run, and any baseline entry that no
+// longer fires also fails the run until it is removed. The baseline can
+// therefore only shrink: pre-existing debt burns down, new debt is rejected.
+//
+// Entries are matched by (file, rule, msg) — line numbers shift with
+// unrelated edits, so they are recorded for human readers but ignored by the
+// matcher. Duplicate (file, rule, msg) findings are matched as a multiset:
+// a baseline entry grandfathers exactly one occurrence.
+
+// BaselineEntry is one grandfathered finding.
+type BaselineEntry struct {
+	File string `json:"file"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+	Line int    `json:"line,omitempty"` // informational only; not matched
+}
+
+func baselineKey(file, rule, msg string) string {
+	return file + "\x00" + rule + "\x00" + msg
+}
+
+// readBaselineFile loads the baseline; a missing file is an empty baseline.
+func readBaselineFile(path string) ([]BaselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	return entries, nil
+}
+
+// writeBaselineFile records findings as the new baseline, sorted for stable
+// diffs.
+func writeBaselineFile(path string, findings []Finding) error {
+	entries := make([]BaselineEntry, 0, len(findings))
+	for _, f := range findings {
+		entries = append(entries, BaselineEntry{File: f.File, Rule: f.Rule, Msg: f.Msg, Line: f.Line})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.Msg != b.Msg {
+			return a.Msg < b.Msg
+		}
+		return a.Line < b.Line
+	})
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// applyBaseline splits findings against the baseline: it returns the
+// findings not grandfathered (new debt) and the baseline entries that no
+// longer fire (stale entries that must be deleted to keep the ratchet
+// tight).
+func applyBaseline(findings []Finding, base []BaselineEntry) (fresh []Finding, stale []BaselineEntry) {
+	budget := make(map[string]int, len(base))
+	for _, e := range base {
+		budget[baselineKey(e.File, e.Rule, e.Msg)]++
+	}
+	for _, f := range findings {
+		k := baselineKey(f.File, f.Rule, f.Msg)
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for _, e := range base {
+		k := baselineKey(e.File, e.Rule, e.Msg)
+		if budget[k] > 0 {
+			budget[k]--
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}

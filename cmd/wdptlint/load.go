@@ -9,30 +9,73 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
+	"time"
 )
 
 // loader parses and type-checks the packages of one module. Packages of the
 // module itself are loaded from source; everything else (the standard
 // library) is resolved through go/importer's source importer, so the tool
 // needs no compiled export data and no external dependencies.
+//
+// Loading is a three-phase pipeline sized for the whole-program rules:
+//
+//  1. parse — the selected packages and their transitive module imports are
+//     parsed concurrently (one worker per package, bounded by GOMAXPROCS);
+//  2. type-check — packages are checked level by level in dependency order,
+//     packages of the same level concurrently; the shared standard-library
+//     importer is serialized behind a mutex, module dependencies are
+//     guaranteed checked by the level ordering;
+//  3. lint — per-package rules fan out again (see Lint), and the
+//     whole-program rules run once over the full type-resolved closure.
 type loader struct {
 	fset    *token.FileSet
 	root    string // absolute module root directory
 	modPath string // module path from go.mod
-	std     types.Importer
-	cache   map[string]*lintPkg
-	loading map[string]bool // import-cycle guard
+
+	std   types.Importer
+	stdMu sync.Mutex // serializes the (not concurrency-safe) std importer
+
+	mu     sync.Mutex
+	parsed map[string]*lintPkg // import path -> parsed (phase 1) package
+
+	// suppress is the global //lint:ignore index: file (module-relative
+	// slash path) -> line -> rules suppressed on that line. It is built
+	// during parsing so whole-program findings are suppressible exactly
+	// like per-file ones.
+	suppress map[string]map[int][]string
+
+	timing LoadTiming
+}
+
+// LoadTiming records the loader pipeline's wall-clock profile; run() prints
+// it so CI can assert the parallel loader is active and the gate's lint
+// step stays bounded.
+type LoadTiming struct {
+	Packages    int
+	Parallelism int
+	Parse       time.Duration
+	Check       time.Duration
+}
+
+func (t LoadTiming) String() string {
+	return fmt.Sprintf("loaded %d packages in %v (parse %v + typecheck %v, parallelism %d)",
+		t.Packages, (t.Parse + t.Check).Round(time.Millisecond),
+		t.Parse.Round(time.Millisecond), t.Check.Round(time.Millisecond), t.Parallelism)
 }
 
 // lintPkg is one parsed, type-checked package of the module.
 type lintPkg struct {
-	path  string // import path ("wdpt/internal/cq")
-	rel   string // slash path relative to the module root ("." for the root)
-	files []*ast.File
-	pkg   *types.Package
-	info  *types.Info
+	path    string // import path ("wdpt/internal/cq")
+	rel     string // slash path relative to the module root ("." for the root)
+	files   []*ast.File
+	imports []string // module-internal imports (import paths)
+	pkg     *types.Package
+	info    *types.Info
 }
 
 func newLoader(dir string) (*loader, error) {
@@ -57,12 +100,12 @@ func newLoader(dir string) (*loader, error) {
 	}
 	fset := token.NewFileSet()
 	return &loader{
-		fset:    fset,
-		root:    root,
-		modPath: modPath,
-		std:     importer.ForCompiler(fset, "source", nil),
-		cache:   make(map[string]*lintPkg),
-		loading: make(map[string]bool),
+		fset:     fset,
+		root:     root,
+		modPath:  modPath,
+		std:      importer.ForCompiler(fset, "source", nil),
+		parsed:   make(map[string]*lintPkg),
+		suppress: make(map[string]map[int][]string),
 	}, nil
 }
 
@@ -83,9 +126,72 @@ func moduleName(gomod string) (string, error) {
 	return "", fmt.Errorf("%s: no module directive", gomod)
 }
 
+// relOf maps a package import path to its module-relative slash path, or ""
+// when the package is not part of the module (standard library).
+func (l *loader) relOf(path string) string {
+	if path == l.modPath {
+		return "."
+	}
+	if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+		return rest
+	}
+	return ""
+}
+
 // load resolves the patterns ("./...", "./cmd/wdpteval", ...) to package
-// directories and loads each, returning them sorted by import path.
+// directories and loads each plus its transitive module dependencies,
+// returning the selected packages sorted by import path. The full checked
+// closure (for the whole-program rules) is available via closure().
 func (l *loader) load(patterns []string) ([]*lintPkg, error) {
+	selected, err := l.resolvePatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	l.timing.Parallelism = runtime.GOMAXPROCS(0)
+
+	start := time.Now()
+	if err := l.parseAll(selected); err != nil {
+		return nil, err
+	}
+	l.timing.Parse = time.Since(start)
+
+	levels, err := l.depLevels()
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	if err := l.checkAll(levels); err != nil {
+		return nil, err
+	}
+	l.timing.Check = time.Since(start)
+	l.timing.Packages = len(l.parsed)
+
+	pkgs := make([]*lintPkg, 0, len(selected))
+	for _, path := range selected {
+		pkgs = append(pkgs, l.parsed[path])
+	}
+	return pkgs, nil
+}
+
+// closure returns every loaded module package (the selected ones plus their
+// transitive module dependencies), sorted by import path. The whole-program
+// rules build their call graph over this set.
+func (l *loader) closure() []*lintPkg {
+	paths := make([]string, 0, len(l.parsed))
+	for path := range l.parsed {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	pkgs := make([]*lintPkg, 0, len(paths))
+	for _, path := range paths {
+		pkgs = append(pkgs, l.parsed[path])
+	}
+	return pkgs
+}
+
+// resolvePatterns expands the command-line patterns to sorted module import
+// paths.
+func (l *loader) resolvePatterns(patterns []string) ([]string, error) {
 	dirs := make(map[string]bool)
 	for _, pat := range patterns {
 		recursive := false
@@ -135,15 +241,7 @@ func (l *loader) load(patterns []string) ([]*lintPkg, error) {
 		}
 	}
 	sort.Strings(paths)
-	pkgs := make([]*lintPkg, 0, len(paths))
-	for _, path := range paths {
-		p, err := l.loadPackage(path)
-		if err != nil {
-			return nil, err
-		}
-		pkgs = append(pkgs, p)
-	}
-	return pkgs, nil
+	return paths, nil
 }
 
 func hasGoFiles(dir string) bool {
@@ -160,21 +258,69 @@ func hasGoFiles(dir string) bool {
 	return false
 }
 
-// loadPackage parses and type-checks one module package (non-test files
-// only), loading its module dependencies recursively through the importer.
-func (l *loader) loadPackage(path string) (*lintPkg, error) {
-	if p, ok := l.cache[path]; ok {
-		return p, nil
+// parseAll parses roots and their transitive module imports, fanning each
+// wave of newly discovered packages out over worker goroutines.
+func (l *loader) parseAll(roots []string) error {
+	frontier := append([]string(nil), roots...)
+	seen := make(map[string]bool, len(roots))
+	for _, p := range roots {
+		seen[p] = true
 	}
-	if l.loading[path] {
-		return nil, fmt.Errorf("import cycle through %s", path)
+	for len(frontier) > 0 {
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			firstErr error
+			next     []string
+		)
+		workers := l.timing.Parallelism
+		if workers > len(frontier) {
+			workers = len(frontier)
+		}
+		queue := make(chan string, len(frontier))
+		for _, path := range frontier {
+			queue <- path
+		}
+		close(queue)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for path := range queue {
+					p, err := l.parsePackage(path)
+					mu.Lock()
+					if err != nil {
+						if firstErr == nil {
+							firstErr = err
+						}
+					} else {
+						for _, imp := range p.imports {
+							if !seen[imp] {
+								seen[imp] = true
+								next = append(next, imp)
+							}
+						}
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return firstErr
+		}
+		sort.Strings(next)
+		frontier = next
 	}
-	l.loading[path] = true
-	defer delete(l.loading, path)
+	return nil
+}
 
-	rel := "."
-	if path != l.modPath {
-		rel = strings.TrimPrefix(path, l.modPath+"/")
+// parsePackage parses one module package (non-test files only), records its
+// module-internal imports, and indexes its //lint:ignore directives.
+func (l *loader) parsePackage(path string) (*lintPkg, error) {
+	rel := l.relOf(path)
+	if rel == "" {
+		return nil, fmt.Errorf("package %s is outside module %s", path, l.modPath)
 	}
 	dir := filepath.Join(l.root, filepath.FromSlash(rel))
 	entries, err := os.ReadDir(dir)
@@ -200,6 +346,110 @@ func (l *loader) loadPackage(path string) (*lintPkg, error) {
 		}
 		files = append(files, f)
 	}
+	p := &lintPkg{path: path, rel: rel, files: files}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			ipath, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if l.relOf(ipath) != "" {
+				p.imports = append(p.imports, ipath)
+			}
+		}
+	}
+	sort.Strings(p.imports)
+	l.mu.Lock()
+	l.parsed[path] = p
+	for _, f := range files {
+		l.indexSuppressionsLocked(f)
+	}
+	l.mu.Unlock()
+	return p, nil
+}
+
+// depLevels topologically orders the parsed packages by module-internal
+// imports and groups them into levels: every package's module dependencies
+// live in strictly earlier levels, so packages within a level type-check
+// independently.
+func (l *loader) depLevels() ([][]*lintPkg, error) {
+	depth := make(map[string]int, len(l.parsed))
+	var visit func(path string, trail []string) (int, error)
+	visit = func(path string, trail []string) (int, error) {
+		if d, ok := depth[path]; ok {
+			if d == -1 {
+				return 0, fmt.Errorf("import cycle through %s", strings.Join(append(trail, path), " -> "))
+			}
+			return d, nil
+		}
+		depth[path] = -1 // in progress
+		max := 0
+		for _, imp := range l.parsed[path].imports {
+			d, err := visit(imp, append(trail, path))
+			if err != nil {
+				return 0, err
+			}
+			if d+1 > max {
+				max = d + 1
+			}
+		}
+		depth[path] = max
+		return max, nil
+	}
+	paths := make([]string, 0, len(l.parsed))
+	for path := range l.parsed {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	maxDepth := 0
+	for _, path := range paths {
+		d, err := visit(path, nil)
+		if err != nil {
+			return nil, err
+		}
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	levels := make([][]*lintPkg, maxDepth+1)
+	for _, path := range paths {
+		d := depth[path]
+		levels[d] = append(levels[d], l.parsed[path])
+	}
+	return levels, nil
+}
+
+// checkAll type-checks the parsed packages level by level, packages within
+// a level concurrently.
+func (l *loader) checkAll(levels [][]*lintPkg) error {
+	for _, level := range levels {
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			firstErr error
+		)
+		for _, p := range level {
+			wg.Add(1)
+			go func(p *lintPkg) {
+				defer wg.Done()
+				if err := l.checkPackage(p); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}(p)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return firstErr
+		}
+	}
+	return nil
+}
+
+func (l *loader) checkPackage(p *lintPkg) error {
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -211,27 +461,33 @@ func (l *loader) loadPackage(path string) (*lintPkg, error) {
 		Importer: (*loaderImporter)(l),
 		Error:    func(err error) { typeErrs = append(typeErrs, err) },
 	}
-	pkg, _ := conf.Check(path, l.fset, files, info)
+	pkg, _ := conf.Check(p.path, l.fset, p.files, info)
 	if len(typeErrs) > 0 {
-		return nil, fmt.Errorf("type-checking %s: %v", path, typeErrs[0])
+		return fmt.Errorf("type-checking %s: %v", p.path, typeErrs[0])
 	}
-	p := &lintPkg{path: path, rel: rel, files: files, pkg: pkg, info: info}
-	l.cache[path] = p
-	return p, nil
+	p.pkg = pkg
+	p.info = info
+	return nil
 }
 
-// loaderImporter adapts the loader to types.Importer: module packages are
-// loaded from source, everything else goes to the standard-library importer.
+// loaderImporter adapts the loader to types.Importer: module packages come
+// from the checked-package table (the level ordering guarantees they are
+// ready), everything else goes to the mutex-serialized standard-library
+// importer.
 type loaderImporter loader
 
 func (li *loaderImporter) Import(path string) (*types.Package, error) {
 	l := (*loader)(li)
-	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
-		p, err := l.loadPackage(path)
-		if err != nil {
-			return nil, err
+	if l.relOf(path) != "" {
+		l.mu.Lock()
+		p := l.parsed[path]
+		l.mu.Unlock()
+		if p == nil || p.pkg == nil {
+			return nil, fmt.Errorf("module package %s not checked before its importer (dependency-order bug)", path)
 		}
 		return p.pkg, nil
 	}
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	return l.std.Import(path)
 }

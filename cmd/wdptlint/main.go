@@ -22,20 +22,49 @@
 //	    package-level http.ListenAndServe helpers (which construct a
 //	    server with no timeouts) are forbidden
 //
+// R10-R13 are whole-program rules: they run over a type-resolved
+// cross-package call graph of the full loaded closure (see graphrules.go
+// and docs/STATIC_ANALYSIS.md):
+//
+//	R10 context propagation: internal/* code must not mint
+//	    context.Background()/TODO() (outside the nil-defaulting guard at
+//	    public boundaries), and a function that transitively reaches a
+//	    cancellable sink (par fan-out, guard meter, db index scan,
+//	    net/http) must accept a context/meter/pool or a carrier type
+//	R11 goroutine hygiene: a go statement outside internal/par must be
+//	    provably joined in its function (WaitGroup Wait or a receive from
+//	    a channel the goroutine signals)
+//	R12 determinism taint: values derived from time.Now, global math/rand,
+//	    or unsorted map iteration must not flow — through any number of
+//	    calls — into internal/report, internal/cq, or internal/harness;
+//	    internal/obs and internal/guard are whitelisted at the source
+//	R13 budget-metering coverage: tuple loops in internal/cqeval and
+//	    internal/core must reach the guard meter, audited against the
+//	    .wdptlint-meterage manifest (exemptions ratchet down)
+//
 // Findings print as "file:line: [rule] message" and make the tool exit 1.
 // A finding is suppressed by a directive on the same line or the line above:
 //
 //	//lint:ignore R1 reason why the unordered iteration is safe
 //
+// With -baseline, findings recorded in the baseline file are grandfathered;
+// new findings still fail, and baseline entries that no longer fire fail
+// too (the ratchet: the baseline only shrinks). -write-baseline records the
+// current findings. -json emits findings as a JSON array for CI annotation.
+//
 // The tool is built exclusively on the standard library (go/parser, go/types,
-// go/importer); go.mod stays dependency-free.
+// go/importer); go.mod stays dependency-free. Packages are parsed and
+// type-checked in parallel (dependency-ordered levels); the timing line on
+// stderr is the gate's evidence that the parallel loader is active.
 //
 // Usage:
 //
-//	wdptlint [-rules R1,R2] [./... | ./pkg/dir ...]
+//	wdptlint [-rules R1,R2] [-json] [-baseline file [-write-baseline]] [./... | ./pkg/dir ...]
+//	wdptlint -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -52,8 +81,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("wdptlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	rulesFlag := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	listFlag := fs.Bool("list", false, "list the implemented rules and exit")
+	jsonFlag := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	baselineFlag := fs.String("baseline", "", "baseline file: recorded findings are grandfathered, stale entries fail (ratchet)")
+	writeBaseline := fs.Bool("write-baseline", false, "write the current findings to the -baseline file and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *listFlag {
+		for _, r := range allRules {
+			fmt.Fprintf(stdout, "%-4s %s\n", r.id, r.synopsis)
+		}
+		return 0
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
@@ -69,40 +108,108 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "wdptlint: %v\n", err)
 		return 2
 	}
-	findings, err := Lint(cwd, patterns, enabled)
+	findings, timing, err := lintTimed(cwd, patterns, enabled)
 	if err != nil {
 		fmt.Fprintf(stderr, "wdptlint: %v\n", err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+	fmt.Fprintf(stderr, "wdptlint: %s\n", timing)
+
+	if *baselineFlag != "" && *writeBaseline {
+		if err := writeBaselineFile(*baselineFlag, findings); err != nil {
+			fmt.Fprintf(stderr, "wdptlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "wdptlint: wrote %d baseline entr%s to %s\n",
+			len(findings), plural(len(findings), "y", "ies"), *baselineFlag)
+		return 0
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(stderr, "wdptlint: %d finding(s)\n", len(findings))
+	var stale []BaselineEntry
+	if *baselineFlag != "" {
+		base, err := readBaselineFile(*baselineFlag)
+		if err != nil {
+			fmt.Fprintf(stderr, "wdptlint: %v\n", err)
+			return 2
+		}
+		findings, stale = applyBaseline(findings, base)
+	}
+
+	if *jsonFlag {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "wdptlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	for _, e := range stale {
+		fmt.Fprintf(stderr, "wdptlint: stale baseline entry (no longer fires — remove it): %s: [%s] %s\n", e.File, e.Rule, e.Msg)
+	}
+	if len(findings) > 0 || len(stale) > 0 {
+		fmt.Fprintf(stderr, "wdptlint: %d finding(s), %d stale baseline entr%s\n",
+			len(findings), len(stale), plural(len(stale), "y", "ies"))
 		return 1
 	}
 	return 0
 }
 
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
+// ruleSpec names one rule for -list.
+type ruleSpec struct {
+	id       string
+	synopsis string
+}
+
 // allRules lists every implemented rule in report order.
-var allRules = []string{"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"}
+var allRules = []ruleSpec{
+	{"R1", "map-order determinism: no range over a map feeding an ordered sink without sorting"},
+	{"R2", "no panic / log.Fatal / os.Exit in library packages"},
+	{"R3", "no unchecked error returns in internal/*"},
+	{"R4", "no fmt.Print* / os.Stdout outside cmd/ and examples/"},
+	{"R5", "exported identifiers in the façade, internal/core, internal/cq need doc comments"},
+	{"R6", "every internal/obs counter is documented in docs/OBSERVABILITY.md"},
+	{"R7", "exported Eval* in internal/core, internal/uwdpt delegates to Solve or is Deprecated"},
+	{"R8", "fmt.Errorf with an error argument in internal/* must wrap with %w"},
+	{"R9", "http.Server must set ReadHeaderTimeout; no naked ListenAndServe"},
+	{"R10", "whole-program: internal/* reaching a cancellable sink must thread ctx/meter/pool; no context.Background in library code"},
+	{"R11", "go statements outside internal/par must be provably joined (WaitGroup/channel)"},
+	{"R12", "whole-program: time.Now / global rand / unsorted map order must not flow into report, cq, or harness"},
+	{"R13", "whole-program: tuple loops in cqeval/core must reach the guard meter (meterage manifest ratchets)"},
+}
 
 func parseRules(s string) (map[string]bool, error) {
+	known := make(map[string]bool, len(allRules))
+	for _, r := range allRules {
+		known[r.id] = true
+	}
 	enabled := make(map[string]bool, len(allRules))
 	if strings.TrimSpace(s) == "" {
 		for _, r := range allRules {
-			enabled[r] = true
+			enabled[r.id] = true
 		}
 		return enabled, nil
 	}
-	known := make(map[string]bool, len(allRules))
+	var ids []string
 	for _, r := range allRules {
-		known[r] = true
+		ids = append(ids, r.id)
 	}
 	for _, r := range strings.Split(s, ",") {
 		r = strings.TrimSpace(r)
 		if !known[r] {
-			return nil, fmt.Errorf("unknown rule %q (known: %s)", r, strings.Join(allRules, ", "))
+			return nil, fmt.Errorf("unknown rule %q (known: %s)", r, strings.Join(ids, ", "))
 		}
 		enabled[r] = true
 	}
@@ -113,18 +220,26 @@ func parseRules(s string) (map[string]bool, error) {
 // which must lie inside a module) and returns the unsuppressed findings,
 // sorted by file, line, and rule.
 func Lint(dir string, patterns []string, enabled map[string]bool) ([]Finding, error) {
+	findings, _, err := lintTimed(dir, patterns, enabled)
+	return findings, err
+}
+
+// lintTimed is Lint plus the loader's timing profile.
+func lintTimed(dir string, patterns []string, enabled map[string]bool) ([]Finding, LoadTiming, error) {
 	l, err := newLoader(dir)
 	if err != nil {
-		return nil, err
+		return nil, LoadTiming{}, err
 	}
 	pkgs, err := l.load(patterns)
 	if err != nil {
-		return nil, err
+		return nil, l.timing, err
 	}
 	var findings []Finding
 	for _, p := range pkgs {
 		findings = append(findings, lintPackage(l, p, enabled)...)
 	}
+	findings = append(findings, lintWholeProgram(l, pkgs, enabled)...)
+	findings = l.applySuppressions(findings)
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.File != b.File {
@@ -133,17 +248,20 @@ func Lint(dir string, patterns []string, enabled map[string]bool) ([]Finding, er
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
 	})
-	return findings, nil
+	return findings, l.timing, nil
 }
 
 // Finding is one rule violation at a source position.
 type Finding struct {
-	File string // path relative to the module root
-	Line int
-	Rule string
-	Msg  string
+	File string `json:"file"` // path relative to the module root
+	Line int    `json:"line"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
 }
 
 func (f Finding) String() string {

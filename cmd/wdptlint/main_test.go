@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io/fs"
 	"os"
@@ -51,6 +52,27 @@ func readMarkers(t *testing.T) map[string]int {
 	})
 	if err != nil {
 		t.Fatalf("reading markers: %v", err)
+	}
+	for k, n := range manifestMarkers(t, fixtureDir) {
+		want[k] += n
+	}
+	return want
+}
+
+// manifestMarkers collects the expected R13 manifest findings: lines of the
+// fixture .wdptlint-meterage carrying "(want R13)" in their text — the stale
+// and malformed entries the ratchet must report at those manifest lines.
+func manifestMarkers(t *testing.T, dir string) map[string]int {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, ".wdptlint-meterage"))
+	if err != nil {
+		t.Fatalf("reading manifest: %v", err)
+	}
+	want := make(map[string]int)
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, "(want R13)") {
+			want[fmt.Sprintf(".wdptlint-meterage:%d:R13", i+1)]++
+		}
 	}
 	return want
 }
@@ -190,6 +212,14 @@ func TestRunExitCodes(t *testing.T) {
 	if code := run([]string{"./..."}, &stdout, &stderr); code != 1 {
 		t.Fatalf("run(./...) = %d, want 1 (stderr: %s)", code, stderr.String())
 	}
+	// The stderr timing line is the gate's evidence that the parallel loader
+	// ran (CI greps for it).
+	if !strings.Contains(stderr.String(), "loaded ") || !strings.Contains(stderr.String(), "parallelism ") {
+		t.Errorf("stderr missing the loader timing line: %s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("stderr missing the findings summary line: %s", stderr.String())
+	}
 	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
 	want := 0
 	for _, n := range readMarkersFrom(t, ".") {
@@ -244,5 +274,168 @@ func readMarkersFrom(t *testing.T, dir string) map[string]int {
 	if err != nil {
 		t.Fatalf("reading markers: %v", err)
 	}
+	for k, n := range manifestMarkers(t, dir) {
+		want[k] += n
+	}
 	return want
+}
+
+// TestListRules checks -list: one line per implemented rule, in order.
+func TestListRules(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-list) = %d, want 0", code)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != len(allRules) {
+		t.Fatalf("-list printed %d lines, want %d:\n%s", len(lines), len(allRules), stdout.String())
+	}
+	for i, r := range allRules {
+		if !strings.HasPrefix(lines[i], r.id) {
+			t.Errorf("-list line %d = %q, want prefix %q", i, lines[i], r.id)
+		}
+	}
+}
+
+// TestJSONFindings checks -json: stdout is a JSON array holding exactly the
+// marker findings, machine-readable for CI annotation.
+func TestJSONFindings(t *testing.T) {
+	t.Chdir(fixtureDir)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("run(-json ./...) = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	var findings []Finding
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output is not a findings array: %v\n%s", err, stdout.String())
+	}
+	diffKeys(t, readMarkersFrom(t, "."), findingKeys(findings))
+}
+
+// TestBaselineRoundTrip exercises the baseline matcher directly: write/read
+// round-trips, grandfathering ignores line drift, matching is a multiset,
+// and fixed findings surface as stale entries.
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []Finding{
+		{File: "a.go", Line: 3, Rule: "R1", Msg: "m"},
+		{File: "a.go", Line: 9, Rule: "R1", Msg: "m"}, // duplicate key: multiset budget of 2
+		{File: "b.go", Line: 1, Rule: "R2", Msg: "n"},
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := writeBaselineFile(path, findings); err != nil {
+		t.Fatal(err)
+	}
+	base, err := readBaselineFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != len(findings) {
+		t.Fatalf("round-trip: %d entries, want %d", len(base), len(findings))
+	}
+
+	if fresh, stale := applyBaseline(findings, base); len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("identical findings: fresh=%v stale=%v, want none", fresh, stale)
+	}
+	// Line drift must not break the match: entries match on (file, rule, msg).
+	moved := []Finding{
+		{File: "a.go", Line: 30, Rule: "R1", Msg: "m"},
+		{File: "a.go", Line: 90, Rule: "R1", Msg: "m"},
+		{File: "b.go", Line: 5, Rule: "R2", Msg: "n"},
+	}
+	if fresh, stale := applyBaseline(moved, base); len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("line drift: fresh=%v stale=%v, want none", fresh, stale)
+	}
+	// A third occurrence of a key budgeted twice is fresh.
+	extra := append(moved[:len(moved):len(moved)], Finding{File: "a.go", Line: 99, Rule: "R1", Msg: "m"})
+	if fresh, _ := applyBaseline(extra, base); len(fresh) != 1 || fresh[0].Line != 99 {
+		t.Errorf("multiset overflow: fresh=%v, want the one extra occurrence", fresh)
+	}
+	// A brand-new finding is fresh.
+	novel := append(moved[:len(moved):len(moved)], Finding{File: "c.go", Line: 2, Rule: "R3", Msg: "x"})
+	if fresh, stale := applyBaseline(novel, base); len(fresh) != 1 || fresh[0].File != "c.go" || len(stale) != 0 {
+		t.Errorf("new finding: fresh=%v stale=%v, want just c.go", fresh, stale)
+	}
+	// A fixed finding leaves its baseline entry stale — the ratchet.
+	if fresh, stale := applyBaseline(moved[:2], base); len(fresh) != 0 || len(stale) != 1 || stale[0].File != "b.go" {
+		t.Errorf("fixed finding: fresh=%v stale=%v, want one stale b.go entry", fresh, stale)
+	}
+
+	// A missing baseline file is an empty baseline, not an error.
+	if entries, err := readBaselineFile(filepath.Join(t.TempDir(), "absent.json")); err != nil || entries != nil {
+		t.Errorf("missing baseline: entries=%v err=%v, want nil/nil", entries, err)
+	}
+}
+
+// TestBaselineRatchet drives the CLI ratchet end to end: record a baseline,
+// verify the same tree is green against it, then verify both failure modes —
+// stale entries (findings fixed but still listed) and fresh findings (new
+// debt the baseline does not cover).
+func TestBaselineRatchet(t *testing.T) {
+	t.Chdir(fixtureDir)
+	full := filepath.Join(t.TempDir(), "full.json")
+	subset := filepath.Join(t.TempDir(), "subset.json")
+	var stdout, stderr bytes.Buffer
+
+	if code := run([]string{"-baseline", full, "-write-baseline", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("write-baseline = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", full, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("grandfathered run = %d, want 0 (stdout: %s stderr: %s)", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("grandfathered run printed findings:\n%s", stdout.String())
+	}
+
+	// Ratchet: with only R2 firing, every non-R2 baseline entry is stale.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-rules", "R2", "-baseline", full, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("stale-baseline run = %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "stale baseline entry") {
+		t.Errorf("stale run stderr missing stale-entry report: %s", stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("stale run printed fresh findings:\n%s", stdout.String())
+	}
+
+	// New debt: a baseline recorded under R2 only does not grandfather the
+	// other rules' findings.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-rules", "R2", "-baseline", subset, "-write-baseline", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("subset write-baseline = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", subset, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("fresh-findings run = %d, want 1", code)
+	}
+	if !strings.Contains(stdout.String(), "[R1]") {
+		t.Errorf("fresh-findings run should report non-R2 findings:\n%s", stdout.String())
+	}
+	if strings.Contains(stdout.String(), "[R2]") {
+		t.Errorf("fresh-findings run should grandfather the R2 findings:\n%s", stdout.String())
+	}
+}
+
+// TestSelfHost lints the linter's own package with every rule enabled:
+// wdptlint must hold itself to the standard it enforces.
+func TestSelfHost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-hosting lint type-checks the real module closure")
+	}
+	enabled, err := parseRules("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Lint(".", []string{"./cmd/wdptlint"}, enabled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("self-hosting finding: %s", f)
+	}
 }

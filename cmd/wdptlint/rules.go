@@ -36,40 +36,45 @@ func counterRegistryPkg(rel string) bool {
 	return rel == "internal/obs"
 }
 
-// lintPackage runs the enabled rules over one package and returns the
-// unsuppressed findings.
+// lintPackage runs the enabled per-file rules over one package and returns
+// the findings (suppressions are applied centrally by Lint, so whole-program
+// findings get the same treatment).
 func lintPackage(l *loader, p *lintPkg, enabled map[string]bool) []Finding {
 	var out []Finding
 	for _, f := range p.files {
-		var fs []Finding
 		if enabled["R1"] {
-			fs = append(fs, lintMapOrder(l, p, f)...)
+			out = append(out, lintMapOrder(l, p, f)...)
 		}
 		if enabled["R2"] && !isBinaryPkg(p.rel) {
-			fs = append(fs, lintNoPanic(l, p, f)...)
+			out = append(out, lintNoPanic(l, p, f)...)
 		}
 		if enabled["R3"] && isInternalPkg(p.rel) {
-			fs = append(fs, lintUncheckedErrors(l, p, f)...)
+			out = append(out, lintUncheckedErrors(l, p, f)...)
 		}
 		if enabled["R4"] && !isBinaryPkg(p.rel) {
-			fs = append(fs, lintNoStdout(l, p, f)...)
+			out = append(out, lintNoStdout(l, p, f)...)
 		}
 		if enabled["R5"] && docRequiredPkg(p.rel) {
-			fs = append(fs, lintDocComments(l, p, f)...)
+			out = append(out, lintDocComments(l, p, f)...)
 		}
 		if enabled["R6"] && counterRegistryPkg(p.rel) {
-			fs = append(fs, lintCounterGlossary(l, f)...)
+			out = append(out, lintCounterGlossary(l, f)...)
 		}
 		if enabled["R7"] && solveSurfacePkg(p.rel) {
-			fs = append(fs, lintSolveSurface(l, f)...)
+			out = append(out, lintSolveSurface(l, f)...)
 		}
 		if enabled["R8"] && isInternalPkg(p.rel) {
-			fs = append(fs, lintErrorWrapping(l, p, f)...)
+			out = append(out, lintErrorWrapping(l, p, f)...)
 		}
 		if enabled["R9"] {
-			fs = append(fs, lintHTTPServer(l, p, f)...)
+			out = append(out, lintHTTPServer(l, p, f)...)
 		}
-		out = append(out, applySuppressions(l, f, fs)...)
+		if enabled["R10"] && isInternalPkg(p.rel) {
+			out = append(out, lintBackgroundContext(l, p, f)...)
+		}
+		if enabled["R11"] && p.rel != "internal/par" {
+			out = append(out, lintGoroutineJoin(l, p, f)...)
+		}
 	}
 	return out
 }
@@ -690,6 +695,202 @@ func isHTTPServerType(t types.Type) bool {
 		return false
 	}
 	return named.Obj().Pkg().Path() == "net/http" && named.Obj().Name() == "Server"
+}
+
+// ---------------------------------------------------------------------------
+// R10 (per-file half) — no context.Background / context.TODO in library
+// code.
+//
+// Library packages receive their context from the caller; minting a fresh
+// background context severs the cancellation chain at that point, which is
+// exactly how a Solve deadline stops being enforceable three frames down.
+// Two idioms are exempt: the nil-context defaulting guard at a public
+// boundary (`if ctx == nil { ctx = context.Background() }` — the Solve
+// entry points accept nil for convenience), and frozen Deprecated wrappers
+// (their missing ctx parameter is the reason they are deprecated).
+
+func lintBackgroundContext(l *loader, p *lintPkg, f *ast.File) []Finding {
+	var out []Finding
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || isDeprecated(fd) {
+			continue
+		}
+		var stack []ast.Node
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				return true
+			}
+			if fn.Name() != "Background" && fn.Name() != "TODO" {
+				return true
+			}
+			if insideNilContextGuard(p, stack) {
+				return true
+			}
+			out = append(out, l.finding(call.Pos(), "R10",
+				"context.%s in library package %s severs the cancellation chain: thread the caller's context instead", fn.Name(), p.path))
+			return true
+		})
+	}
+	return out
+}
+
+// insideNilContextGuard reports whether the node at the top of stack lies
+// inside an if statement whose condition tests a context.Context expression
+// against nil — the defaulting idiom at nil-tolerant public boundaries.
+func insideNilContextGuard(p *lintPkg, stack []ast.Node) bool {
+	isContext := func(e ast.Expr) bool {
+		t := p.info.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		named, ok := t.(*types.Named)
+		return ok && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifStmt, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		cond, ok := ifStmt.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.EQL {
+			continue
+		}
+		if isNilIdent(cond.Y) && isContext(cond.X) {
+			return true
+		}
+		if isNilIdent(cond.X) && isContext(cond.Y) {
+			return true
+		}
+	}
+	return false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// ---------------------------------------------------------------------------
+// R11 — goroutine hygiene.
+//
+// Outside the worker pool, a `go` statement must be provably joined in the
+// function that spawns it: the goroutine signals a sync.WaitGroup the
+// function Waits on, or sends on / closes a channel the function receives
+// from. Anything else is a potential leak — the chaos suite's
+// goroutine-leak checks only stay meaningful if spawn sites are joined by
+// construction, and a leaked scatter goroutine under wdptd load is a slow
+// memory death. Fan-out belongs on par.Pool (which is exempt, and whose
+// helpers are joined by its own WaitGroup).
+
+func lintGoroutineJoin(l *loader, p *lintPkg, f *ast.File) []Finding {
+	var out []Finding
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goroutineJoined(p, fd, gs) {
+				return true
+			}
+			out = append(out, l.finding(gs.Pos(), "R11",
+				"goroutine is not provably joined in %s (no WaitGroup Wait, no receive from a channel it signals): leaked goroutines outlive their query — fan out on par.Pool or join before returning", fd.Name.Name))
+			return true
+		})
+	}
+	return out
+}
+
+// goroutineJoined recognizes the two join protocols: WaitGroup (goroutine
+// calls Done on a WaitGroup the function Waits on) and channel (goroutine
+// sends on or closes a channel the function receives from or ranges over).
+// Matching is by printed expression of the synchronization target, so
+// "s.inflight" and "wg" both work.
+func goroutineJoined(p *lintPkg, fd *ast.FuncDecl, gs *ast.GoStmt) bool {
+	lit, ok := gs.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false // goroutine body is out of sight: not provable here
+	}
+	signals := make(map[string]bool) // exprs the goroutine Done()s, sends on, or closes
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			signals[exprString(n.Chan)] = true
+		case *ast.CallExpr:
+			if isBuiltin(p.info, n.Fun, "close") && len(n.Args) == 1 {
+				signals[exprString(n.Args[0])] = true
+			}
+			if fn := calleeFunc(p.info, n); fn != nil && fn.Name() == "Done" && isWaitGroupMethod(fn) {
+				if sel, ok := unparen(n.Fun).(*ast.SelectorExpr); ok {
+					signals[exprString(sel.X)] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(signals) == 0 {
+		return false
+	}
+	joined := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if n == gs {
+				return false // the goroutine's own body does not join itself
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && signals[exprString(n.X)] {
+				joined = true
+			}
+		case *ast.RangeStmt:
+			if t := p.info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan && signals[exprString(n.X)] {
+					joined = true
+				}
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(p.info, n); fn != nil && fn.Name() == "Wait" && isWaitGroupMethod(fn) {
+				if sel, ok := unparen(n.Fun).(*ast.SelectorExpr); ok && signals[exprString(sel.X)] {
+					joined = true
+				}
+			}
+		}
+		return true
+	})
+	return joined
+}
+
+func isWaitGroupMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
 }
 
 // ---------------------------------------------------------------------------

@@ -2,6 +2,7 @@ package main
 
 import (
 	"go/ast"
+	"path/filepath"
 	"strings"
 )
 
@@ -12,16 +13,16 @@ import (
 //
 // The directive names one rule or a comma-separated list of rules and must
 // give a non-empty reason; a directive without a reason suppresses nothing.
+//
+// Directives are indexed globally at parse time (loader.suppress), so the
+// whole-program rules — whose findings are produced far from any single
+// file walk — honor them exactly like the per-file rules do.
 
 const ignorePrefix = "//lint:ignore "
 
-// applySuppressions drops the findings covered by a lint:ignore directive in
-// the file they were reported in.
-func applySuppressions(l *loader, f *ast.File, findings []Finding) []Finding {
-	if len(findings) == 0 {
-		return nil
-	}
-	byLine := make(map[int][]string) // line -> rules suppressed on that line
+// indexSuppressionsLocked records f's lint:ignore directives in the global
+// index. Called with l.mu held (from parsePackage).
+func (l *loader) indexSuppressionsLocked(f *ast.File) {
 	for _, group := range f.Comments {
 		for _, c := range group.List {
 			rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
@@ -32,24 +33,43 @@ func applySuppressions(l *loader, f *ast.File, findings []Finding) []Finding {
 			if len(fields) < 2 {
 				continue // no reason given: directive is inert
 			}
-			line := l.fset.Position(c.Pos()).Line
-			byLine[line] = append(byLine[line], strings.Split(fields[0], ",")...)
+			position := l.fset.Position(c.Pos())
+			file := position.Filename
+			if rel, err := filepath.Rel(l.root, file); err == nil {
+				file = filepath.ToSlash(rel)
+			}
+			byLine := l.suppress[file]
+			if byLine == nil {
+				byLine = make(map[int][]string)
+				l.suppress[file] = byLine
+			}
+			byLine[position.Line] = append(byLine[position.Line], strings.Split(fields[0], ",")...)
 		}
 	}
-	if len(byLine) == 0 {
-		return findings
+}
+
+// suppressed reports whether a finding for rule at file:line is covered by
+// a directive on that line or the line above.
+func (l *loader) suppressed(file string, line int, rule string) bool {
+	byLine := l.suppress[file]
+	if byLine == nil {
+		return false
 	}
-	matches := func(line int, rule string) bool {
-		for _, r := range byLine[line] {
+	for _, at := range []int{line, line - 1} {
+		for _, r := range byLine[at] {
 			if r == rule {
 				return true
 			}
 		}
-		return false
 	}
+	return false
+}
+
+// applySuppressions drops the findings covered by a lint:ignore directive.
+func (l *loader) applySuppressions(findings []Finding) []Finding {
 	out := findings[:0]
 	for _, fd := range findings {
-		if matches(fd.Line, fd.Rule) || matches(fd.Line-1, fd.Rule) {
+		if l.suppressed(fd.File, fd.Line, fd.Rule) {
 			continue
 		}
 		out = append(out, fd)

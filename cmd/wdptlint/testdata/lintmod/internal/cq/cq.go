@@ -1,0 +1,11 @@
+// Package cq is the fixture stand-in for the conjunctive-query layer: R13
+// matches []cq.Mapping collections, R5 requires doc comments on its
+// exported surface, and the package is one of the R12 determinism-sensitive
+// sinks.
+package cq
+
+// Mapping is one candidate answer: variable name to constant.
+type Mapping map[string]string
+
+// Arity reports the number of bound variables.
+func (m Mapping) Arity() int { return len(m) }

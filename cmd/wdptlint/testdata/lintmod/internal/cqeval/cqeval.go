@@ -1,0 +1,62 @@
+// Package cqeval exercises R13: tuple loops in the evaluation kernels must
+// reach the guard meter through the call graph, or be declared — with a
+// reason — in the .wdptlint-meterage manifest at the module root.
+package cqeval
+
+import (
+	"lintmod/internal/cq"
+	"lintmod/internal/db"
+	"lintmod/internal/guard"
+)
+
+// Unmetered loops over candidate mappings with no path to the meter.
+func Unmetered(ms []cq.Mapping) int {
+	n := 0
+	for range ms { // want R13
+		n++
+	}
+	return n
+}
+
+// Metered charges the loop's tuples before scanning; clean.
+func Metered(m *guard.Meter, ms []cq.Mapping) int {
+	m.ChargeTuples(int64(len(ms)))
+	n := 0
+	for range ms {
+		n++
+	}
+	return n
+}
+
+// charge is the indirect metering helper.
+func charge(m *guard.Meter, n int) { m.ChargeTuples(int64(n)) }
+
+// MeteredIndirect reaches the meter through a helper call, over a
+// len()-bounded for loop; call-graph reachability sees through both.
+func MeteredIndirect(m *guard.Meter, ts []db.Tuple) int {
+	charge(m, len(ts))
+	total := 0
+	for i := 0; i < len(ts); i++ {
+		total += len(ts[i])
+	}
+	return total
+}
+
+// ColdPath is deliberately unmetered and declared in the manifest; clean.
+func ColdPath(ts []db.Tuple) int {
+	n := 0
+	for range ts {
+		n++
+	}
+	return n
+}
+
+// SuppressedScan documents a reviewed unmetered scan inline.
+func SuppressedScan(ms []cq.Mapping) int {
+	n := 0
+	//lint:ignore R13 fixture: bounded by the fixture's own input
+	for range ms {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,17 @@
+// Package guard is the fixture stand-in for the budget meter: R10 and R13
+// match guard.(*Meter) methods as sinks by module-relative path, a *Meter
+// parameter marks a cancellation carrier, and the package is whitelisted as
+// an R12 taint boundary.
+package guard
+
+// Meter is the fixture budget meter.
+type Meter struct{ spent int64 }
+
+// ChargeTuples records n tuples against the budget.
+func (m *Meter) ChargeTuples(n int64) { m.spent += n }
+
+// Checkpoint is the periodic budget check.
+func (m *Meter) Checkpoint() {}
+
+// TryAnswer reports whether another answer fits the budget.
+func (m *Meter) TryAnswer() bool { return m.spent >= 0 }

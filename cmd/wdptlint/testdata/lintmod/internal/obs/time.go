@@ -1,0 +1,7 @@
+package obs
+
+import "time"
+
+// ElapsedNS reads the wall clock inside the whitelisted observability
+// package: R12 taint stops at this boundary, so sink packages may call it.
+func ElapsedNS() int64 { return time.Now().UnixNano() }

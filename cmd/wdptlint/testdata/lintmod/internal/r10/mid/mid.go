@@ -1,0 +1,26 @@
+// Package mid is the middle frame of the R10 cross-package chain: Step
+// reaches the pool sink without a carrier (a finding), StepCtx threads the
+// caller's context (a carrier, where propagation stops).
+package mid
+
+import (
+	"context"
+
+	"lintmod/internal/par"
+)
+
+// Step reaches the fan-out sink with no way to thread cancellation.
+func Step() { // want R10
+	pool := par.New(1)
+	pool.Run(func() {})
+}
+
+// StepCtx carries the caller's context down to the fan-out; propagation
+// stops here, so callers above this frame are not implicated through it.
+func StepCtx(ctx context.Context) {
+	if ctx == nil {
+		return
+	}
+	pool := par.New(1)
+	pool.Run(func() {})
+}

@@ -1,0 +1,55 @@
+// Package r11 exercises goroutine hygiene: a go statement must be provably
+// joined in its function by a WaitGroup Wait or a receive from a channel
+// the goroutine signals.
+package r11
+
+import "sync"
+
+var counter int
+
+func work() { counter++ }
+
+// Leak spawns and forgets; nothing joins the goroutine.
+func Leak() {
+	go func() { work() }() // want R11
+}
+
+// LeakNamed spawns a named function: the body is out of sight, so the join
+// cannot be proven here.
+func LeakNamed() {
+	go work() // want R11
+}
+
+// JoinedWait joins through a WaitGroup.
+func JoinedWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// JoinedClose joins by receiving from the channel the goroutine closes.
+func JoinedClose() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+// JoinedSend joins by receiving the value the goroutine sends.
+func JoinedSend() int {
+	out := make(chan int, 1)
+	go func() { out <- 1 }()
+	return <-out
+}
+
+// SuppressedHandoff documents a joined-by-protocol case.
+func SuppressedHandoff() {
+	//lint:ignore R11 fixture: joined by the consumer's drain protocol
+	go func() { work() }()
+}

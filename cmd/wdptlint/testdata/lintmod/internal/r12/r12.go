@@ -1,0 +1,34 @@
+// Package r12 supplies nondeterminism sources for the R12 taint rule: the
+// taint findings appear at the call edges inside the sink package
+// (internal/report), not here. The unsorted map iteration in Keys is also
+// an ordinary local R1 finding.
+package r12
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock: a direct taint source.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Wrapped launders Stamp through one extra call; taint propagates.
+func Wrapped() int64 { return Stamp() }
+
+// Jitter draws from the global (unseeded) source: a direct taint source.
+func Jitter() float64 { return rand.Float64() }
+
+// Seeded draws from an explicit seeded generator; exempt.
+func Seeded(r *rand.Rand) float64 { return r.Float64() }
+
+// Keys returns map keys in iteration order: the unsorted-map-order source.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want R1
+	}
+	return out
+}
+
+// Fixed uses none of the sources; calls to it from sink packages are clean.
+func Fixed() int64 { return 42 }

@@ -1,0 +1,55 @@
+// Package report is the fixture determinism-sensitive sink: R12 reports
+// the call edges that carry wall-clock, global-rand, or map-order values
+// into it.
+package report
+
+import (
+	"strconv"
+	"time"
+
+	"lintmod/internal/obs"
+	"lintmod/internal/r12"
+)
+
+// Render stamps the artifact from a taint source one call away.
+func Render() string {
+	return strconv.FormatInt(r12.Stamp(), 10) // want R12
+}
+
+// RenderWrapped reaches the same source two calls away; the taint
+// propagates through the interprocedural chain.
+func RenderWrapped() string {
+	return strconv.FormatInt(r12.Wrapped(), 10) // want R12
+}
+
+// RenderDirect reads the clock inside the sink package itself.
+func RenderDirect() string {
+	return time.Now().Format(time.RFC3339) // want R12
+}
+
+// RenderJitter carries a global-rand draw into the sink.
+func RenderJitter() float64 {
+	return r12.Jitter() // want R12
+}
+
+// RenderKeys carries unsorted map-iteration order into the sink.
+func RenderKeys(m map[string]int) []string {
+	return r12.Keys(m) // want R12
+}
+
+// RenderFixed uses only deterministic inputs; clean.
+func RenderFixed() string {
+	return strconv.FormatInt(r12.Fixed(), 10)
+}
+
+// RenderElapsed reads the run's elapsed time through the whitelisted
+// observability layer: a measurement about the run, not answer bytes.
+func RenderElapsed() string {
+	return strconv.FormatInt(obs.ElapsedNS(), 10)
+}
+
+// RenderSuppressed documents a reviewed wall-clock use.
+func RenderSuppressed() string {
+	//lint:ignore R12 fixture: timestamp reviewed as metadata, not answer bytes
+	return strconv.FormatInt(r12.Stamp(), 10)
+}

@@ -235,6 +235,7 @@ func ApproximateAll(p *core.PatternTree, c cq.Class, opts Options) []*core.Patte
 func candidateStream(p *core.PatternTree, opts Options) (<-chan *core.PatternTree, chan struct{}) {
 	out := make(chan *core.PatternTree)
 	quit := make(chan struct{})
+	//lint:ignore R11 joined by protocol across functions: collectParallel always drains out or closes quit, either of which unblocks the pending send so the deferred close(out) runs — the goroutine cannot outlive its consumer
 	go func() {
 		defer close(out)
 		Candidates(p, opts, func(t *core.PatternTree) bool {

@@ -68,11 +68,11 @@ func (p *PatternTree) extensionUnits(s Subtree) []extUnit {
 // isMaximalHom reports whether the homomorphism h on subtree s (defined on
 // exactly the variables of s) is maximal: no extension unit of s can be
 // satisfied consistently with h.
-func (p *PatternTree) isMaximalHom(s Subtree, d *db.Database, h cq.Mapping, st *obs.Stats) bool {
+func (p *PatternTree) isMaximalHom(s Subtree, d *db.Database, h cq.Mapping, st *obs.Stats, m *guard.Meter) bool {
 	st.Inc(obs.CtrMaximalityChecks)
 	for _, u := range p.extensionUnits(s) {
 		st.Inc(obs.CtrExtensionUnits)
-		if cq.SatisfiableObs(u.atoms, d, h, st) {
+		if cq.SatisfiableObs(u.atoms, d, h, st, m) {
 			return false
 		}
 	}
@@ -171,10 +171,10 @@ func (p *PatternTree) evalNaive(d *db.Database, h cq.Mapping, st *obs.Stats, m *
 	p.enumerateBand(tmin, tmax, func(s Subtree) bool {
 		m.Checkpoint()
 		st.Inc(obs.CtrBandsEnumerated)
-		cq.HomomorphismsObs(p.SubtreeAtoms(s), d, h, st, func(g cq.Mapping) bool {
+		cq.HomomorphismsObs(p.SubtreeAtoms(s), d, h, st, m, func(g cq.Mapping) bool {
 			// g is defined on vars(s) ⊆ the allowed region, so its free
 			// projection is exactly h; it remains to check maximality.
-			if p.isMaximalHom(s, d, g, st) {
+			if p.isMaximalHom(s, d, g, st, m) {
 				found = true
 				return false
 			}

@@ -276,7 +276,7 @@ func (p *PatternTree) solveAttempt(ctx context.Context, d *db.Database, mode Mod
 func (p *PatternTree) enumerateSolve(ctx context.Context, d *db.Database, eng cqeval.Engine, st *obs.Stats, pool *par.Pool, m *guard.Meter) (*cq.MappingSet, error) {
 	var roots []cq.Mapping
 	if eng == nil {
-		cq.HomomorphismsObs(p.root.atoms, d, nil, st, func(h cq.Mapping) bool {
+		cq.HomomorphismsObs(p.root.atoms, d, nil, st, m, func(h cq.Mapping) bool {
 			m.ChargeTuples(1)
 			roots = append(roots, h.Clone())
 			return true
@@ -340,7 +340,7 @@ func (p *PatternTree) expandSolve(d *db.Database, eng cqeval.Engine, st *obs.Sta
 		st.Inc(obs.CtrExtensionUnits)
 		var exts []cq.Mapping
 		if eng == nil {
-			cq.HomomorphismsObs(u.atoms, d, h, st, func(g cq.Mapping) bool {
+			cq.HomomorphismsObs(u.atoms, d, h, st, m, func(g cq.Mapping) bool {
 				m.ChargeTuples(1)
 				exts = append(exts, g.Clone())
 				return true

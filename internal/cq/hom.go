@@ -2,6 +2,7 @@ package cq
 
 import (
 	"wdpt/internal/db"
+	"wdpt/internal/guard"
 	"wdpt/internal/obs"
 )
 
@@ -15,14 +16,18 @@ import (
 // atom with the fewest candidate tuples under the current partial assignment
 // is expanded next, using per-position hash indexes of the database.
 func Homomorphisms(atoms []Atom, d *db.Database, fixed Mapping, visit func(Mapping) bool) {
-	HomomorphismsObs(atoms, d, fixed, nil, visit)
+	HomomorphismsObs(atoms, d, fixed, nil, nil, visit)
 }
 
-// HomomorphismsObs is Homomorphisms with observability: tuples scanned and
-// homomorphisms found are recorded on st (nil st disables recording at the
-// cost of one branch per solved component — the hot loop itself only
-// touches plain solver-local accumulators).
-func HomomorphismsObs(atoms []Atom, d *db.Database, fixed Mapping, st *obs.Stats, visit func(Mapping) bool) {
+// HomomorphismsObs is Homomorphisms with observability and budgeting:
+// tuples scanned and homomorphisms found are recorded on st (nil st
+// disables recording at the cost of one branch per solved component — the
+// hot loop itself only touches plain solver-local accumulators), and the
+// candidate tuples of every expanded atom are charged to gm before they
+// are scanned, so a budget bounds the backtracking search itself. A nil gm
+// is the unbudgeted state. A charge past the budget aborts by the guard
+// layer's *TripError panic, which the public Solve boundaries recover.
+func HomomorphismsObs(atoms []Atom, d *db.Database, fixed Mapping, st *obs.Stats, gm *guard.Meter, visit func(Mapping) bool) {
 	// Decompose the atoms into components connected by unfixed variables:
 	// solutions of different components are independent, so each component
 	// is solved once and the results are combined, instead of re-solving a
@@ -33,7 +38,7 @@ func HomomorphismsObs(atoms []Atom, d *db.Database, fixed Mapping, st *obs.Stats
 		visit(Mapping{})
 		return
 	case 1:
-		solveComponent(comps[0], d, fixed, st, visit)
+		solveComponent(comps[0], d, fixed, st, gm, visit)
 		return
 	}
 	// Materialize all components after the first; abort early if any is
@@ -41,7 +46,7 @@ func HomomorphismsObs(atoms []Atom, d *db.Database, fixed Mapping, st *obs.Stats
 	rest := make([][]Mapping, len(comps)-1)
 	for i, comp := range comps[1:] {
 		var sols []Mapping
-		solveComponent(comp, d, fixed, st, func(h Mapping) bool {
+		solveComponent(comp, d, fixed, st, gm, func(h Mapping) bool {
 			sols = append(sols, h)
 			return true
 		})
@@ -51,7 +56,7 @@ func HomomorphismsObs(atoms []Atom, d *db.Database, fixed Mapping, st *obs.Stats
 		rest[i] = sols
 	}
 	stopped := false
-	solveComponent(comps[0], d, fixed, st, func(h0 Mapping) bool {
+	solveComponent(comps[0], d, fixed, st, gm, func(h0 Mapping) bool {
 		var cross func(i int, acc Mapping) bool
 		cross = func(i int, acc Mapping) bool {
 			if i == len(rest) {
@@ -121,9 +126,10 @@ func atomComponents(atoms []Atom, fixed Mapping) [][]Atom {
 // Work counts accumulate in plain solver fields and flush to st once per
 // component, keeping the per-tuple cost of instrumentation to one integer
 // increment whether or not st is nil.
-func solveComponent(atoms []Atom, d *db.Database, fixed Mapping, st *obs.Stats, visit func(Mapping) bool) {
+func solveComponent(atoms []Atom, d *db.Database, fixed Mapping, st *obs.Stats, gm *guard.Meter, visit func(Mapping) bool) {
 	s := &homSolver{
 		d:      d,
+		gm:     gm,
 		atoms:  atoms,
 		done:   make([]bool, len(atoms)),
 		assign: make(Mapping),
@@ -147,13 +153,14 @@ func solveComponent(atoms []Atom, d *db.Database, fixed Mapping, st *obs.Stats, 
 // Satisfiable reports whether some homomorphism from atoms to D consistent
 // with fixed exists.
 func Satisfiable(atoms []Atom, d *db.Database, fixed Mapping) bool {
-	return SatisfiableObs(atoms, d, fixed, nil)
+	return SatisfiableObs(atoms, d, fixed, nil, nil)
 }
 
-// SatisfiableObs is Satisfiable with work counts recorded on st.
-func SatisfiableObs(atoms []Atom, d *db.Database, fixed Mapping, st *obs.Stats) bool {
+// SatisfiableObs is Satisfiable with work counts recorded on st and scan
+// work charged to gm (both may be nil).
+func SatisfiableObs(atoms []Atom, d *db.Database, fixed Mapping, st *obs.Stats, gm *guard.Meter) bool {
 	found := false
-	HomomorphismsObs(atoms, d, fixed, st, func(Mapping) bool {
+	HomomorphismsObs(atoms, d, fixed, st, gm, func(Mapping) bool {
 		found = true
 		return false
 	})
@@ -174,13 +181,14 @@ func ExtendToHom(atoms []Atom, d *db.Database, fixed Mapping) (Mapping, bool) {
 // Projections enumerates the distinct restrictions to proj of the
 // homomorphisms from atoms to D consistent with fixed.
 func Projections(atoms []Atom, d *db.Database, fixed Mapping, proj []string) []Mapping {
-	return ProjectionsObs(atoms, d, fixed, nil, proj)
+	return ProjectionsObs(atoms, d, fixed, nil, nil, proj)
 }
 
-// ProjectionsObs is Projections with work counts recorded on st.
-func ProjectionsObs(atoms []Atom, d *db.Database, fixed Mapping, st *obs.Stats, proj []string) []Mapping {
+// ProjectionsObs is Projections with work counts recorded on st and scan
+// work charged to gm (both may be nil).
+func ProjectionsObs(atoms []Atom, d *db.Database, fixed Mapping, st *obs.Stats, gm *guard.Meter, proj []string) []Mapping {
 	set := NewMappingSet()
-	HomomorphismsObs(atoms, d, fixed, st, func(h Mapping) bool {
+	HomomorphismsObs(atoms, d, fixed, st, gm, func(h Mapping) bool {
 		set.Add(h.Restrict(proj))
 		return true
 	})
@@ -189,6 +197,7 @@ func ProjectionsObs(atoms []Atom, d *db.Database, fixed Mapping, st *obs.Stats, 
 
 type homSolver struct {
 	d       *db.Database
+	gm      *guard.Meter // nil: unbudgeted
 	atoms   []Atom
 	done    []bool
 	assign  Mapping
@@ -259,13 +268,17 @@ func (s *homSolver) solve(nDone int) {
 		}
 		return !s.stopped
 	}
+	// Charge the candidates of this expansion up front: the budget trips
+	// before the scan runs, not after, so MaxTuples bounds the search.
 	if offsets != nil {
+		s.gm.ChargeTuples(int64(len(offsets)))
 		for _, i := range offsets {
 			if !iterate(i) {
 				break
 			}
 		}
 	} else if pos < 0 {
+		s.gm.ChargeTuples(int64(n))
 		for i := 0; i < n; i++ {
 			if !iterate(i) {
 				break

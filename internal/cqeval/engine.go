@@ -154,13 +154,13 @@ func (e naiveEngine) meter() *guard.Meter              { return e.gm }
 func (e naiveEngine) Satisfiable(atoms []cq.Atom, d *db.Database, fixed cq.Mapping) bool {
 	e.st.Inc(obs.CtrSatisfiableCalls)
 	e.gm.Checkpoint()
-	return cq.SatisfiableObs(atoms, d, fixed, e.st)
+	return cq.SatisfiableObs(atoms, d, fixed, e.st, e.gm)
 }
 
 func (e naiveEngine) Project(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, proj []string) []cq.Mapping {
 	e.st.Inc(obs.CtrProjectCalls)
 	out := cq.NewMappingSet()
-	cq.HomomorphismsObs(atoms, d, fixed, e.st, func(h cq.Mapping) bool {
+	cq.HomomorphismsObs(atoms, d, fixed, e.st, e.gm, func(h cq.Mapping) bool {
 		e.gm.ChargeTuples(1)
 		row := h.Restrict(proj)
 		for _, v := range proj {
@@ -448,7 +448,7 @@ func prepareJoinTree(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st *obs.
 	p.rels = par.Map(pl, len(inst), func(i int) *varRel {
 		guard.Fault(guard.SiteCQEvalBag)
 		r := newVarRel(inst[i].Vars())
-		r.rows = cq.ProjectionsObs([]cq.Atom{inst[i]}, d, nil, st, r.vars)
+		r.rows = cq.ProjectionsObs([]cq.Atom{inst[i]}, d, nil, st, gm, r.vars)
 		gm.ChargeTuples(int64(len(r.rows)))
 		return r
 	})
@@ -531,7 +531,7 @@ func prepareDecomposition(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st 
 				uncovered = append(uncovered, v)
 			}
 		}
-		base := cq.ProjectionsObs(assigned[i], d, nil, st, r.vars)
+		base := cq.ProjectionsObs(assigned[i], d, nil, st, gm, r.vars)
 		gm.ChargeTuples(int64(len(base)))
 		rows := extendOverDomains(base, uncovered, cand, gm)
 		if len(uncovered) > 0 {

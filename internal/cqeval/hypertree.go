@@ -155,7 +155,7 @@ func (e hypertreeEngine) prepare(atoms []cq.Atom, d *db.Database, fixed cq.Mappi
 			local = append(local, inst[ei])
 		}
 		r := newVarRel(bags[i])
-		r.rows = cq.ProjectionsObs(cq.DedupAtoms(local), d, nil, st, r.vars)
+		r.rows = cq.ProjectionsObs(cq.DedupAtoms(local), d, nil, st, gm, r.vars)
 		gm.ChargeTuples(int64(len(r.rows)))
 		return r
 	})

@@ -1,7 +1,6 @@
 package harness
 
 import (
-	"context"
 	"fmt"
 
 	"wdpt/internal/core"
@@ -17,7 +16,7 @@ import (
 // parallelism — the single entry point all evaluation experiments now go
 // through, exercising the same code path wdpteval serves.
 func solveHolds(cfg Config, p *core.PatternTree, d *db.Database, mode core.Mode, h cq.Mapping, eng cqeval.Engine) bool {
-	res, _ := p.Solve(context.Background(), d, core.SolveOptions{
+	res, _ := p.Solve(cfg.Context(), d, core.SolveOptions{
 		Mode:        mode,
 		Mapping:     h,
 		Engine:      eng,

@@ -1,7 +1,6 @@
 package harness
 
 import (
-	"context"
 	"fmt"
 
 	"wdpt/internal/core"
@@ -32,7 +31,7 @@ func runE14(cfg Config) *Table {
 		Columns: []string{"workload", "|D|", "mode", "answers", "parallelism", "t(solve)"},
 	}
 	eng := cfg.Engine()
-	ctx := context.Background()
+	ctx := cfg.Context()
 
 	// Sweep 1: chain WDPTs over layered graphs — many root candidates
 	// (perLayer*outDeg edge homomorphisms), each spawning an independent

@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -34,6 +35,20 @@ type Config struct {
 	// are byte-identical at any value (only timings and par.* counters
 	// move), which the determinism suite pins.
 	Parallelism int
+	// BaseContext, when non-nil, is threaded into every Solve call the
+	// experiments make, so the driver's cancellation (a Ctrl-C in
+	// wdptbench) interrupts a sweep mid-experiment instead of after it.
+	BaseContext context.Context
+}
+
+// Context returns the run's base context, defaulting to Background when the
+// driver did not provide one.
+func (c Config) Context() context.Context {
+	ctx := c.BaseContext
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
 }
 
 func (c Config) reps() int {

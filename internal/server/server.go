@@ -62,6 +62,11 @@ type Config struct {
 	Stats *obs.Stats
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// BaseContext, when non-nil, parents every request's evaluation
+	// context in addition to Shutdown: cancelling it (the process's
+	// signal context in wdptd) drains the server exactly like Shutdown
+	// does. nil defaults to Background.
+	BaseContext context.Context
 }
 
 // Server is the wdptd HTTP handler: it serves /v1/query, /healthz,
@@ -109,7 +114,11 @@ func NewServer(cfg Config) (*Server, error) {
 		st:    st,
 		mux:   http.NewServeMux(),
 	}
-	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	base := cfg.BaseContext
+	if base == nil {
+		base = context.Background()
+	}
+	s.baseCtx, s.cancel = context.WithCancel(base)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)

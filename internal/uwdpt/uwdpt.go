@@ -330,15 +330,16 @@ func (u *Union) CQTranslationObs(maxCQs int, st *obs.Stats) []*cq.CQ {
 }
 
 // CQTranslationParallel is CQTranslationObs with the per-member subtree
-// enumeration fanned out over parallelism workers. The fan-out only applies
-// to the uncapped translation (maxCQs == 0): members enumerate with private
+// enumeration fanned out over the caller's pool (a nil pool runs
+// sequentially, and cancelling the pool's context stops the fan-out — the
+// pool is the cancellation carrier here). The fan-out only applies to the
+// uncapped translation (maxCQs == 0): members enumerate with private
 // dedup and the results merge in member order under the global dedup, which
 // reproduces the sequential output and its uwdpt.translation_cqs count
 // byte for byte (each CQ is counted when it first survives the global
 // dedup, exactly as the sequential pass counts it). A capped translation
 // short-circuits mid-member, so it always runs sequentially.
-func (u *Union) CQTranslationParallel(maxCQs int, st *obs.Stats, parallelism int) []*cq.CQ {
-	pool := par.New(parallelism, st)
+func (u *Union) CQTranslationParallel(maxCQs int, st *obs.Stats, pool *par.Pool) []*cq.CQ {
 	if maxCQs != 0 || !pool.Parallel() {
 		return u.CQTranslationObs(maxCQs, st)
 	}

@@ -30,8 +30,33 @@ go vet ./...
 echo "== go build"
 go build ./...
 
-echo "== wdptlint"
-go run ./cmd/wdptlint ./...
+# wdptlint runs against the committed ratcheting baseline
+# (.wdptlint-baseline.json — currently empty, so any finding fails), writes
+# the JSON findings artifact CI uploads, and is held to a wall-time budget;
+# the stderr timing line is asserted as evidence the parallel loader ran.
+echo "== wdptlint (baseline-gated, JSON artifact, timed)"
+lint_start=$(date +%s)
+lint_status=0
+go run ./cmd/wdptlint -json -baseline .wdptlint-baseline.json ./... \
+  >wdptlint-findings.json 2>wdptlint-timing.log || lint_status=$?
+lint_elapsed=$(( $(date +%s) - lint_start ))
+grep -E 'loaded [0-9]+ packages in .+ parallelism [0-9]+' wdptlint-timing.log || {
+  echo "wdptlint timing line missing (parallel loader not proven):" >&2
+  cat wdptlint-timing.log >&2
+  exit 1
+}
+if [[ "$lint_status" -ne 0 ]]; then
+  echo "wdptlint failed (exit $lint_status); findings:" >&2
+  cat wdptlint-findings.json >&2
+  cat wdptlint-timing.log >&2
+  exit "$lint_status"
+fi
+lint_budget="${WDPT_LINT_BUDGET:-120}"
+if (( lint_elapsed > lint_budget )); then
+  echo "wdptlint took ${lint_elapsed}s, over the ${lint_budget}s budget" >&2
+  exit 1
+fi
+echo "wdptlint clean in ${lint_elapsed}s (budget ${lint_budget}s)"
 
 echo "== go test -race"
 go test -race ./...
