@@ -1,0 +1,177 @@
+// Command benchdiff compares two BENCH_<date>.json artifacts written by
+// wdptbench -json and fails on performance regressions.
+//
+//	benchdiff old.json new.json
+//
+// Experiments are matched by id and their timing points by position (the
+// points are recorded in measurement-call order, which is deterministic for
+// a given experiment). For every matched point the minimum and the p95 are
+// compared; a point regresses when the new value exceeds the old by more
+// than the tolerance (default 20%, overridable with WDPT_BENCH_TOLERANCE,
+// e.g. 0.35). Points faster than WDPT_BENCH_MIN_NS in the old artifact
+// (default 100µs) are skipped — at that scale scheduler jitter dominates
+// and a ratio is noise, not signal.
+//
+// Exit codes: 0 no regression, 1 regression found, 2 usage/parse error.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// timingPoint mirrors harness.TimingPoint's JSON shape.
+type timingPoint struct {
+	MinNS int64 `json:"min_ns"`
+	P50NS int64 `json:"p50_ns"`
+	P95NS int64 `json:"p95_ns"`
+	P99NS int64 `json:"p99_ns"`
+	Reps  int   `json:"reps"`
+}
+
+// experiment is the slice of the artifact benchdiff reads.
+type experiment struct {
+	ID        string        `json:"id"`
+	ElapsedNS int64         `json:"elapsed_ns"`
+	Timings   []timingPoint `json:"timings"`
+}
+
+// artifact is the BENCH_<date>.json shape benchdiff reads.
+type artifact struct {
+	Date        string       `json:"date"`
+	Commit      string       `json:"commit"`
+	GoVersion   string       `json:"go_version"`
+	Quick       bool         `json:"quick"`
+	Parallelism int          `json:"parallelism"`
+	Experiments []experiment `json:"experiments"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) != 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff <old.json> <new.json>")
+		return 2
+	}
+	tolerance := 0.20
+	if v := os.Getenv("WDPT_BENCH_TOLERANCE"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 {
+			fmt.Fprintf(stderr, "benchdiff: bad WDPT_BENCH_TOLERANCE %q\n", v)
+			return 2
+		}
+		tolerance = f
+	}
+	var minNS int64 = 100_000
+	if v := os.Getenv("WDPT_BENCH_MIN_NS"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			fmt.Fprintf(stderr, "benchdiff: bad WDPT_BENCH_MIN_NS %q\n", v)
+			return 2
+		}
+		minNS = n
+	}
+	oldArt, err := load(args[0])
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	newArt, err := load(args[1])
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "benchdiff: old %s (commit %s, %s) vs new %s (commit %s, %s), tolerance %.0f%%\n",
+		oldArt.Date, orUnknown(oldArt.Commit), orUnknown(oldArt.GoVersion),
+		newArt.Date, orUnknown(newArt.Commit), orUnknown(newArt.GoVersion), tolerance*100)
+
+	newByID := make(map[string]experiment, len(newArt.Experiments))
+	for _, e := range newArt.Experiments {
+		newByID[e.ID] = e
+	}
+	compared, skipped, regressions := 0, 0, 0
+	for _, oe := range oldArt.Experiments {
+		ne, ok := newByID[oe.ID]
+		if !ok {
+			fmt.Fprintf(stdout, "  %s: missing from new artifact, skipped\n", oe.ID)
+			skipped++
+			continue
+		}
+		n := len(oe.Timings)
+		if len(ne.Timings) < n {
+			n = len(ne.Timings)
+		}
+		if n == 0 {
+			// Old artifacts (pre-timings) still diff as a whole-experiment
+			// wall-clock check rather than silently passing.
+			if bad, msg := compare(oe.ID, "elapsed", oe.ElapsedNS, ne.ElapsedNS, tolerance, minNS); bad {
+				fmt.Fprintln(stdout, msg)
+				regressions++
+			}
+			compared++
+			continue
+		}
+		for i := 0; i < n; i++ {
+			op, np := oe.Timings[i], ne.Timings[i]
+			point := fmt.Sprintf("point %d/min", i)
+			if bad, msg := compare(oe.ID, point, op.MinNS, np.MinNS, tolerance, minNS); bad {
+				fmt.Fprintln(stdout, msg)
+				regressions++
+			}
+			point = fmt.Sprintf("point %d/p95", i)
+			if bad, msg := compare(oe.ID, point, op.P95NS, np.P95NS, tolerance, minNS); bad {
+				fmt.Fprintln(stdout, msg)
+				regressions++
+			}
+			compared++
+		}
+	}
+	fmt.Fprintf(stdout, "benchdiff: %d point(s) compared, %d experiment(s) skipped, %d regression(s)\n",
+		compared, skipped, regressions)
+	if regressions > 0 {
+		return 1
+	}
+	return 0
+}
+
+// compare reports whether newV regressed past oldV by more than tolerance.
+// Points below the minNS noise floor in the old artifact never regress.
+func compare(id, point string, oldV, newV int64, tolerance float64, minNS int64) (bool, string) {
+	if oldV < minNS || oldV <= 0 {
+		return false, ""
+	}
+	ratio := float64(newV)/float64(oldV) - 1
+	if ratio <= tolerance {
+		return false, ""
+	}
+	return true, fmt.Sprintf("  REGRESSION %s %s: %dns -> %dns (+%.0f%%)", id, point, oldV, newV, ratio*100)
+}
+
+// load parses one artifact file.
+func load(path string) (*artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(a.Experiments) == 0 {
+		return nil, fmt.Errorf("%s: no experiments in artifact", path)
+	}
+	return &a, nil
+}
+
+// orUnknown substitutes a placeholder for empty metadata.
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
+}

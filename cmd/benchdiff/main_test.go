@@ -1,0 +1,116 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeArtifact drops a minimal artifact JSON into a temp dir.
+func writeArtifact(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldArtifact = `{
+  "date": "2026-08-01", "commit": "aaaa", "go_version": "go1.22",
+  "experiments": [
+    {"id": "exp1", "elapsed_ns": 900000,
+     "timings": [{"min_ns": 1000000, "p50_ns": 1100000, "p95_ns": 1200000, "p99_ns": 1300000, "reps": 5}]},
+    {"id": "exp2", "elapsed_ns": 500000, "timings": []}
+  ]
+}`
+
+func TestBenchdiffIdentityPasses(t *testing.T) {
+	p := writeArtifact(t, "old.json", oldArtifact)
+	var out, errb strings.Builder
+	if code := run([]string{p, p}, &out, &errb); code != 0 {
+		t.Fatalf("identity diff exited %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "0 regression(s)") {
+		t.Fatalf("summary missing: %s", out.String())
+	}
+}
+
+func TestBenchdiffFlagsRegression(t *testing.T) {
+	oldP := writeArtifact(t, "old.json", oldArtifact)
+	newP := writeArtifact(t, "new.json", `{
+  "date": "2026-08-02", "commit": "bbbb", "go_version": "go1.22",
+  "experiments": [
+    {"id": "exp1", "elapsed_ns": 900000,
+     "timings": [{"min_ns": 2000000, "p50_ns": 2100000, "p95_ns": 2200000, "p99_ns": 2300000, "reps": 5}]},
+    {"id": "exp2", "elapsed_ns": 500000, "timings": []}
+  ]
+}`)
+	var out, errb strings.Builder
+	if code := run([]string{oldP, newP}, &out, &errb); code != 1 {
+		t.Fatalf("regression diff exited %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION exp1 point 0/min") ||
+		!strings.Contains(out.String(), "REGRESSION exp1 point 0/p95") {
+		t.Fatalf("regression rows missing: %s", out.String())
+	}
+
+	// A generous tolerance lets the same pair pass.
+	t.Setenv("WDPT_BENCH_TOLERANCE", "1.5")
+	out.Reset()
+	if code := run([]string{oldP, newP}, &out, &errb); code != 0 {
+		t.Fatalf("tolerant diff exited %d\n%s", code, out.String())
+	}
+}
+
+func TestBenchdiffNoiseFloorAndFallback(t *testing.T) {
+	// exp1 sits below the 100µs noise floor; exp2 has no timings so the
+	// whole-experiment elapsed fallback applies and regresses.
+	oldP := writeArtifact(t, "old.json", `{
+  "date": "2026-08-01",
+  "experiments": [
+    {"id": "exp1", "elapsed_ns": 1000,
+     "timings": [{"min_ns": 1000, "p50_ns": 1000, "p95_ns": 1000, "p99_ns": 1000, "reps": 3}]},
+    {"id": "exp2", "elapsed_ns": 1000000, "timings": []}
+  ]
+}`)
+	newP := writeArtifact(t, "new.json", `{
+  "date": "2026-08-02",
+  "experiments": [
+    {"id": "exp1", "elapsed_ns": 9000,
+     "timings": [{"min_ns": 9000, "p50_ns": 9000, "p95_ns": 9000, "p99_ns": 9000, "reps": 3}]},
+    {"id": "exp2", "elapsed_ns": 3000000, "timings": []}
+  ]
+}`)
+	var out, errb strings.Builder
+	if code := run([]string{oldP, newP}, &out, &errb); code != 1 {
+		t.Fatalf("exited %d, want 1\n%s", code, out.String())
+	}
+	if strings.Contains(out.String(), "REGRESSION exp1") {
+		t.Fatalf("noise-floor point flagged: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION exp2 elapsed") {
+		t.Fatalf("elapsed fallback not flagged: %s", out.String())
+	}
+}
+
+func TestBenchdiffUsageAndParseErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("no-args exited %d, want 2", code)
+	}
+	bad := writeArtifact(t, "bad.json", "{not json")
+	if code := run([]string{bad, bad}, &out, &errb); code != 2 {
+		t.Fatalf("bad-json exited %d, want 2", code)
+	}
+	empty := writeArtifact(t, "empty.json", `{"experiments": []}`)
+	if code := run([]string{empty, empty}, &out, &errb); code != 2 {
+		t.Fatalf("empty artifact exited %d, want 2", code)
+	}
+	t.Setenv("WDPT_BENCH_TOLERANCE", "zero")
+	good := writeArtifact(t, "good.json", oldArtifact)
+	if code := run([]string{good, good}, &out, &errb); code != 2 {
+		t.Fatalf("bad tolerance exited %d, want 2", code)
+	}
+}

@@ -12,11 +12,15 @@
 //
 // With -json, the run additionally writes a BENCH_<date><suffix>.json
 // metrics artifact into -out (default "."): per-experiment wall-clock time,
-// the engine work counters of docs/OBSERVABILITY.md, and the rendered
-// rows — the machine-readable companion to EXPERIMENTS.md. The -suffix flag
+// the engine work counters of docs/OBSERVABILITY.md, per-measured-point
+// latency summaries (min plus p50/p95/p99 over the repetitions), and the
+// rendered rows — the machine-readable companion to EXPERIMENTS.md. The
+// artifact is stamped with the commit (WDPT_COMMIT, falling back to
+// git rev-parse HEAD, empty if unavailable) and the Go version, so
+// scripts/benchdiff.sh can label what it compares. The -suffix flag
 // distinguishes artifacts of the same day (CI writes one per parallelism
-// level). The -cpuprofile, -memprofile, and -trace flags capture pprof
-// artifacts of the whole run.
+// level). The -cpuprofile, -memprofile, and -exectrace flags capture
+// pprof/runtime-trace artifacts of the whole run.
 //
 // -parallelism sets the Solve worker pool the experiments run under:
 // 1 (the default) is the exact sequential engine, 0 means runtime.NumCPU,
@@ -36,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"os/signal"
 	"path/filepath"
 	"runtime"
@@ -53,23 +58,40 @@ func main() {
 // benchExperiment is one experiment's slice of the BENCH_<date>.json
 // artifact: identity, wall-clock cost, work counters, and the table rows.
 type benchExperiment struct {
-	ID        string           `json:"id"`
-	Title     string           `json:"title"`
-	Paper     string           `json:"paper"`
-	ElapsedNS int64            `json:"elapsed_ns"`
-	Counters  map[string]int64 `json:"counters"`
-	Columns   []string         `json:"columns"`
-	Rows      [][]string       `json:"rows"`
-	Notes     []string         `json:"notes,omitempty"`
+	ID        string                `json:"id"`
+	Title     string                `json:"title"`
+	Paper     string                `json:"paper"`
+	ElapsedNS int64                 `json:"elapsed_ns"`
+	Counters  map[string]int64      `json:"counters"`
+	Columns   []string              `json:"columns"`
+	Rows      [][]string            `json:"rows"`
+	Notes     []string              `json:"notes,omitempty"`
+	Timings   []harness.TimingPoint `json:"timings,omitempty"`
 }
 
 // benchArtifact is the top-level BENCH_<date><suffix>.json document.
 type benchArtifact struct {
 	Date        string            `json:"date"`
+	Commit      string            `json:"commit"`
+	GoVersion   string            `json:"go_version"`
 	Quick       bool              `json:"quick"`
 	Repetitions int               `json:"repetitions"`
 	Parallelism int               `json:"parallelism"`
 	Experiments []benchExperiment `json:"experiments"`
+}
+
+// commitStamp identifies the benchmarked commit: WDPT_COMMIT when set (CI
+// passes the exact SHA it checked out), otherwise git rev-parse HEAD, and
+// the empty string when neither is available (tarball builds).
+func commitStamp() string {
+	if c := strings.TrimSpace(os.Getenv("WDPT_COMMIT")); c != "" {
+		return c
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -87,7 +109,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	suffix := fs.String("suffix", "", "artifact filename suffix, e.g. -p8 -> BENCH_<date>-p8.json")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
-	traceFile := fs.String("trace", "", "write a runtime execution trace to this file")
+	traceFile := fs.String("exectrace", "", "write a runtime execution trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -133,6 +155,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg := harness.Config{Quick: *quick || *short, Repetitions: *reps, Parallelism: par, BaseContext: ctx}
 	artifact := benchArtifact{
 		Date:        time.Now().Format("2006-01-02"),
+		Commit:      commitStamp(),
+		GoVersion:   runtime.Version(),
 		Quick:       cfg.Quick,
 		Repetitions: *reps,
 		Parallelism: par,
@@ -144,9 +168,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			interrupted = true
 			break
 		}
-		// A fresh Stats per experiment keeps each artifact entry's counters
-		// attributable to that experiment alone.
+		// A fresh Stats and TimingLog per experiment keep each artifact
+		// entry's counters and latency summaries attributable to that
+		// experiment alone.
 		cfg.Stats = obs.NewStats()
+		cfg.Timings = &harness.TimingLog{}
 		start := time.Now()
 		tbl := e.Run(cfg)
 		elapsed := time.Since(start)
@@ -170,6 +196,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Columns:   tbl.Columns,
 			Rows:      tbl.Rows,
 			Notes:     tbl.Notes,
+			Timings:   cfg.Timings.Points(),
 		})
 	}
 	if serr := stop(); serr != nil {

@@ -20,8 +20,21 @@
 //	-cache n                result-cache entries (0 disables)
 //	-pprof                  mount net/http/pprof under /debug/pprof/
 //	-shutdown-timeout d     drain deadline for graceful shutdown
+//	-query-log dest         structured JSON-lines query log: stderr (default),
+//	                        stdout, off, or a file path
+//	-slow-query-threshold d promote queries at or above d to WARN with their
+//	                        span tree inline (0 disables)
 //	-selfcheck              start on an ephemeral port, probe the API once
-//	                        (health, datasets, one query per dataset), exit
+//	                        (health, datasets, one query per dataset, both
+//	                        metrics endpoints), exit
+//	-metrics-out path       with -selfcheck, write the scraped /metrics
+//	                        exposition to this file
+//
+// Observability: GET /metrics serves Prometheus text exposition 0.0.4
+// (latency histograms, gauges, counters, Go runtime metrics); the JSON
+// counter snapshot stays at GET /metrics.json; POST /v1/query?trace=1
+// returns the request's span tree in the report body. See
+// docs/OBSERVABILITY.md and docs/SERVER.md.
 package main
 
 import (
@@ -29,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -94,7 +108,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cacheSize := fs.Int("cache", 256, "result-cache entries (0 disables caching)")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "drain deadline for graceful shutdown")
+	queryLogDest := fs.String("query-log", "stderr", "query log destination: stderr, stdout, off, or a file path")
+	slowQuery := fs.Duration("slow-query-threshold", 0, "promote queries at or above this wall time to WARN with their span tree (0 disables)")
 	selfcheck := fs.Bool("selfcheck", false, "start on an ephemeral port, probe the API once, and exit")
+	metricsOut := fs.String("metrics-out", "", "with -selfcheck, write the scraped /metrics exposition to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -102,18 +119,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "wdptd: at least one -dataset name=path is required")
 		return 2
 	}
+	queryLog, logClose, err := openQueryLog(*queryLogDest, stdout, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "wdptd: %v\n", err)
+		return 2
+	}
+	defer logClose()
 	reg, err := server.NewRegistry(datasets.specs)
 	if err != nil {
 		fmt.Fprintf(stderr, "wdptd: %v\n", err)
 		return 2
 	}
 	srv, err := server.NewServer(server.Config{
-		Registry:    reg,
-		MaxInFlight: *maxInflight,
-		MaxQueue:    *maxQueue,
-		WidthBound:  *widthBound,
-		CacheSize:   *cacheSize,
-		EnablePprof: *enablePprof,
+		Registry:           reg,
+		MaxInFlight:        *maxInflight,
+		MaxQueue:           *maxQueue,
+		WidthBound:         *widthBound,
+		CacheSize:          *cacheSize,
+		EnablePprof:        *enablePprof,
+		QueryLog:           queryLog,
+		SlowQueryThreshold: *slowQuery,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "wdptd: %v\n", err)
@@ -135,7 +160,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	go func() { serveErr <- hs.Serve(ln) }()
 
 	if *selfcheck {
-		err := selfCheck(fmt.Sprintf("http://%s", ln.Addr()), stdout)
+		err := selfCheck(fmt.Sprintf("http://%s", ln.Addr()), stdout, *metricsOut)
 		shutdown(srv, hs, *shutdownTimeout)
 		if err != nil {
 			fmt.Fprintf(stderr, "wdptd: selfcheck: %v\n", err)
@@ -179,10 +204,34 @@ func shutdown(srv *server.Server, hs *http.Server, timeout time.Duration) {
 	_ = hs.Shutdown(context.Background())
 }
 
+// openQueryLog resolves the -query-log destination into a JSON-lines slog
+// logger: "off" disables it, "stderr"/"stdout" write to the process
+// streams, anything else is an append-mode file path.
+func openQueryLog(dest string, stdout, stderr io.Writer) (*slog.Logger, func(), error) {
+	noop := func() {}
+	switch dest {
+	case "off", "":
+		return nil, noop, nil
+	case "stderr":
+		return slog.New(slog.NewJSONHandler(stderr, nil)), noop, nil
+	case "stdout":
+		return slog.New(slog.NewJSONHandler(stdout, nil)), noop, nil
+	}
+	f, err := os.OpenFile(dest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, noop, fmt.Errorf("opening query log: %w", err)
+	}
+	return slog.New(slog.NewJSONHandler(f, nil)), func() { _ = f.Close() }, nil
+}
+
 // selfCheck probes a freshly started server end to end: health, the dataset
-// listing, and one enumeration query per dataset built from its first
-// relation. It is the smoke test scripts/check.sh runs against examples/.
-func selfCheck(base string, stdout io.Writer) error {
+// listing, one enumeration query per dataset built from its first relation,
+// and both metrics endpoints — the Prometheus exposition must parse with
+// cumulative, monotone histogram buckets and carry the per-request
+// histogram, and the JSON snapshot must report the probe requests. It is
+// the smoke test scripts/check.sh runs against examples/. When metricsOut
+// is non-empty, the scraped exposition is written there (the CI artifact).
+func selfCheck(base string, stdout io.Writer, metricsOut string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	c := client.New(base, nil)
@@ -220,8 +269,44 @@ func selfCheck(base string, stdout io.Writer) error {
 		}
 		queries++
 	}
-	fmt.Fprintf(stdout, "wdptd: selfcheck ok (%d dataset(s), %d probe quer%s, registry version %d)\n",
+	if err := checkMetrics(ctx, c, queries, metricsOut); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wdptd: selfcheck ok (%d dataset(s), %d probe quer%s, registry version %d, metrics endpoints ok)\n",
 		len(list.Datasets), queries, pluralIES(queries), h.Version)
+	return nil
+}
+
+// checkMetrics sanity-checks both metrics endpoints after the probe
+// queries ran.
+func checkMetrics(ctx context.Context, c *client.Client, queries int, metricsOut string) error {
+	text, err := c.MetricsText(ctx)
+	if err != nil {
+		return err
+	}
+	fams, err := obs.ParsePromText(text)
+	if err != nil {
+		return fmt.Errorf("/metrics does not parse as Prometheus exposition: %w", err)
+	}
+	if err := obs.CheckHistograms(fams); err != nil {
+		return err
+	}
+	qd := fams[obs.HistQueryDuration.String()]
+	if qd == nil || qd.Type != "histogram" || len(qd.Samples) == 0 {
+		return fmt.Errorf("/metrics is missing the %s histogram", obs.HistQueryDuration)
+	}
+	snap, err := c.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	if got := snap["server.requests"]; got < int64(queries) {
+		return fmt.Errorf("/metrics.json reports %d requests, want at least %d", got, queries)
+	}
+	if metricsOut != "" {
+		if err := os.WriteFile(metricsOut, []byte(text), 0o644); err != nil {
+			return fmt.Errorf("writing -metrics-out: %w", err)
+		}
+	}
 	return nil
 }
 

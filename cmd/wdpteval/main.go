@@ -34,9 +34,12 @@
 //	-explain       print the plan the engine chose for each tree node
 //	-stats         print the engine work counters after evaluating
 //	-json          emit one JSON document (answers, plans, counters)
+//	-trace         collect per-evaluation spans and print the span tree
+//	               (with -json, embed it in the document under "trace" —
+//	               the same shape wdptd serves for ?trace=1)
 //	-cpuprofile f  write a pprof CPU profile to f
 //	-memprofile f  write a pprof heap profile to f
-//	-trace f       write a runtime execution trace to f
+//	-exectrace f   write a runtime execution trace to f
 //
 // Example:
 //
@@ -75,6 +78,7 @@ type options struct {
 	classify                 bool
 	explain                  bool
 	stats                    bool
+	trace                    bool
 	jsonOut                  bool
 	optimize                 int
 	parallelism              int
@@ -97,6 +101,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&o.classify, "classify", false, "print the structural classification before evaluating")
 	fs.BoolVar(&o.explain, "explain", false, "print the chosen evaluation plan for each tree node")
 	fs.BoolVar(&o.stats, "stats", false, "print the engine work counters after evaluating")
+	fs.BoolVar(&o.trace, "trace", false, "collect per-evaluation spans and print the span tree (with -json, embed it under \"trace\")")
 	fs.BoolVar(&o.jsonOut, "json", false, "emit one JSON document instead of text")
 	fs.IntVar(&o.optimize, "optimize", 0, "k > 0: route partial/max modes through the Corollary 2 M(WB(k)) witness when one exists")
 	fs.IntVar(&o.parallelism, "parallelism", 1, "Solve worker pool size (1 = sequential, 0 = NumCPU)")
@@ -106,7 +111,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&o.fallback, "fallback", false, "on a tripped budget, degrade exact→maximal→partial instead of failing")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
-	traceFile := fs.String("trace", "", "write a runtime execution trace to this file")
+	traceFile := fs.String("exectrace", "", "write a runtime execution trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -146,9 +151,14 @@ func evalMain(out io.Writer, o options) error {
 		return err
 	}
 	var st *wdpt.Stats
-	if o.stats || o.jsonOut {
+	if o.stats || o.jsonOut || o.trace {
 		st = wdpt.NewStats()
 		eng = wdpt.WithStats(eng, st)
+	}
+	var tr *obs.Collector
+	if o.trace {
+		tr = &obs.Collector{}
+		st.WithTrace(tr)
 	}
 	par := o.parallelism
 	if par == 0 {
@@ -160,6 +170,9 @@ func evalMain(out io.Writer, o options) error {
 		ctx, cancel = context.WithTimeout(ctx, o.timeout)
 		defer cancel()
 	}
+	// The root span covers everything after loading: classification,
+	// explain, and the evaluation itself. Inert unless -trace is on.
+	root := st.StartSpan("eval")
 	rep := report.Report{Mode: o.mode, Engine: o.engine, Parallelism: par}
 	if o.classify {
 		rep.Classification = p.Classify().String()
@@ -172,7 +185,9 @@ func evalMain(out io.Writer, o options) error {
 		// Explain before evaluating, so the plan cache the diagnostic pass
 		// leaves warm mirrors what evaluation will reuse; Explain itself
 		// records no counters.
+		explainSpan := root.Child("explain")
 		rep.Plans = p.ExplainNodes(d, eng)
+		explainSpan.End()
 		if !o.jsonOut {
 			fmt.Fprintf(out, "EXPLAIN (%d node(s)):\n", len(rep.Plans))
 			for _, plan := range rep.Plans {
@@ -185,6 +200,7 @@ func evalMain(out io.Writer, o options) error {
 	// evalErr carries a trip (e.g. the answer limit) whose partial result is
 	// still emitted below; run maps it to the documented exit code.
 	var evalErr error
+	solveSpan := root.Child("solve")
 	switch o.mode {
 	case "enumerate":
 		res, err := p.Solve(ctx, d, wdpt.SolveOptions{
@@ -273,10 +289,20 @@ func evalMain(out io.Writer, o options) error {
 	default:
 		return fmt.Errorf("unknown mode %q", o.mode)
 	}
+	solveSpan.End()
 	if o.stats {
 		rep.Counters = st.Snapshot()
 		if !o.jsonOut {
 			fmt.Fprintf(out, "\ncounters:\n%s", st.Format())
+		}
+	}
+	if o.trace {
+		// Close the root before reconstructing, so its duration covers the
+		// whole evaluation — the same contract as wdptd's ?trace=1.
+		root.End()
+		rep.Trace = obs.BuildSpanTree(tr.Spans())
+		if !o.jsonOut {
+			fmt.Fprintf(out, "\ntrace:\n%s", obs.FormatSpanTree(rep.Trace))
 		}
 	}
 	if o.jsonOut {

@@ -21,6 +21,11 @@
 //	R9  every http.Server literal must set ReadHeaderTimeout, and the
 //	    package-level http.ListenAndServe helpers (which construct a
 //	    server with no timeouts) are forbidden
+//	R14 metric-name registry hygiene: every name in the internal/obs
+//	    registries (counterNames, histNames, gaugeNames,
+//	    runtimeMetricNames) is snake_case, globally unique, and — for the
+//	    exposition-facing registries — documented in the
+//	    docs/OBSERVABILITY.md glossary
 //
 // R10-R13 are whole-program rules: they run over a type-resolved
 // cross-package call graph of the full loaded closure (see graphrules.go
@@ -188,6 +193,7 @@ var allRules = []ruleSpec{
 	{"R11", "go statements outside internal/par must be provably joined (WaitGroup/channel)"},
 	{"R12", "whole-program: time.Now / global rand / unsorted map order must not flow into report, cq, or harness"},
 	{"R13", "whole-program: tuple loops in cqeval/core must reach the guard meter (meterage manifest ratchets)"},
+	{"R14", "internal/obs metric-name registries: snake_case, unique, exposition names documented in the glossary"},
 }
 
 func parseRules(s string) (map[string]bool, error) {

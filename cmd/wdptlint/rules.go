@@ -76,6 +76,11 @@ func lintPackage(l *loader, p *lintPkg, enabled map[string]bool) []Finding {
 			out = append(out, lintGoroutineJoin(l, p, f)...)
 		}
 	}
+	// R14 spans the registry variables of the whole package (uniqueness is
+	// cross-file), so it runs once after the per-file rules.
+	if enabled["R14"] && counterRegistryPkg(p.rel) {
+		out = append(out, lintMetricRegistry(l, p)...)
+	}
 	return out
 }
 
@@ -521,6 +526,129 @@ func checkGlossary(l *loader, lit *ast.CompositeLit) []Finding {
 		}
 	}
 	return out
+}
+
+// ---------------------------------------------------------------------------
+// R14 — metric-name registry hygiene.
+//
+// internal/obs carries every observable name in a handful of registry
+// variables: counterNames (engine counters, R6's glossary rule), histNames
+// and gaugeNames (the Prometheus histogram/gauge families wdptd exposes),
+// and runtimeMetricNames (the Go runtime gauges sampled on scrape). A name
+// that escapes into a /metrics scrape or a BENCH artifact is an API: dashboards
+// and benchdiff comparisons key on it. The rule pins three properties:
+//
+//   - shape: every dot-separated segment of every name is snake_case
+//     ([a-z][a-z0-9_]*), so exposition mangling ("." -> "_") can never
+//     produce an invalid or colliding Prometheus metric name;
+//   - uniqueness: no name is registered twice across the registries;
+//   - glossary: names in the exposition-facing registries (histNames,
+//     gaugeNames, runtimeMetricNames) are documented in
+//     docs/OBSERVABILITY.md. counterNames' glossary containment is R6's
+//     job and is not re-checked here.
+//
+// The checks are exclusive per name (a malformed or duplicate name is not
+// also reported as undocumented), so each defect yields one finding.
+
+// metricRegistryVars names the internal/obs registry variables R14 scans.
+var metricRegistryVars = map[string]bool{
+	"counterNames":       true,
+	"histNames":          true,
+	"gaugeNames":         true,
+	"runtimeMetricNames": true,
+}
+
+func lintMetricRegistry(l *loader, p *lintPkg) []Finding {
+	glossary, glossaryErr := os.ReadFile(filepath.Join(l.root, filepath.FromSlash(glossaryPath)))
+	var out []Finding
+	firstSeen := make(map[string]string) // name -> registry var that registered it
+	for _, f := range p.files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, varName := range vs.Names {
+					if !metricRegistryVars[varName.Name] || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					out = append(out, checkMetricRegistry(l, varName.Name, lit, firstSeen, string(glossary), glossaryErr)...)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkMetricRegistry validates the string elements of one registry literal.
+func checkMetricRegistry(l *loader, varName string, lit *ast.CompositeLit, firstSeen map[string]string, glossary string, glossaryErr error) []Finding {
+	var out []Finding
+	for _, elt := range lit.Elts {
+		val := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			val = kv.Value
+		}
+		bl, ok := val.(*ast.BasicLit)
+		if !ok || bl.Kind != token.STRING {
+			continue
+		}
+		name, err := strconv.Unquote(bl.Value)
+		if err != nil || name == "" {
+			continue
+		}
+		if !snakeCaseMetric(name) {
+			out = append(out, l.finding(bl.Pos(), "R14",
+				"metric name %q in %s is not snake_case (every dot-separated segment must match [a-z][a-z0-9_]*)", name, varName))
+			continue
+		}
+		if prev, dup := firstSeen[name]; dup {
+			out = append(out, l.finding(bl.Pos(), "R14",
+				"metric name %q in %s is already registered in %s: exposition names must be unique", name, varName, prev))
+			continue
+		}
+		firstSeen[name] = varName
+		if varName == "counterNames" {
+			continue // R6 owns the counter glossary
+		}
+		if glossaryErr != nil {
+			out = append(out, l.finding(bl.Pos(), "R14",
+				"metric registry has no readable glossary at %s: %v", glossaryPath, glossaryErr))
+			continue
+		}
+		if !strings.Contains(glossary, name) {
+			out = append(out, l.finding(bl.Pos(), "R14",
+				"metric %q is not documented in %s", name, glossaryPath))
+		}
+	}
+	return out
+}
+
+// snakeCaseMetric reports whether every dot-separated segment of name
+// matches [a-z][a-z0-9_]*.
+func snakeCaseMetric(name string) bool {
+	for _, seg := range strings.Split(name, ".") {
+		if seg == "" {
+			return false
+		}
+		for i, r := range seg {
+			switch {
+			case r >= 'a' && r <= 'z':
+			case i > 0 && (r == '_' || (r >= '0' && r <= '9')):
+			default:
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // ---------------------------------------------------------------------------

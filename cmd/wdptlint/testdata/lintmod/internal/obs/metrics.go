@@ -1,0 +1,60 @@
+package obs
+
+// Metric-name registries mimicking the real internal/obs shape so the R14
+// rule can be exercised: documented names, a non-snake-case name, a
+// cross-registry duplicate, an undocumented name, and a suppressed case.
+
+// Hist identifies one histogram.
+type Hist int
+
+// The registered histograms.
+const (
+	HistDocumented Hist = iota
+	HistBadCase
+	HistUndocumented
+	HistSuppressed
+
+	numHists
+)
+
+// histNames maps histograms to their stable names; rule R14 checks shape,
+// uniqueness, and glossary containment.
+var histNames = [numHists]string{
+	HistDocumented:   "obs_hist_documented_seconds",
+	HistBadCase:      "obs_Hist_BadCase",               // want R14
+	HistUndocumented: "obs_hist_missing_from_glossary", // want R14
+	//lint:ignore R14 fixture: renamed histogram awaiting its glossary entry
+	HistSuppressed: "obs_hist_suppressed_and_missing",
+}
+
+// Gauge identifies one gauge.
+type Gauge int
+
+// The registered gauges.
+const (
+	GaugeDocumented Gauge = iota
+	GaugeDuplicate
+
+	numGauges
+)
+
+// gaugeNames maps gauges to their stable names.
+var gaugeNames = [numGauges]string{
+	GaugeDocumented: "obs_gauge_documented",
+	GaugeDuplicate:  "obs_hist_documented_seconds", // want R14
+}
+
+// runtimeMetricNames lists the runtime gauges sampled on scrape.
+var runtimeMetricNames = []string{
+	"obs_runtime_documented",
+	"obs_runtime_missing_from_glossary", // want R14
+}
+
+// HistString returns the histogram's stable name.
+func HistString(h Hist) string { return histNames[h] }
+
+// GaugeString returns the gauge's stable name.
+func GaugeString(g Gauge) string { return gaugeNames[g] }
+
+// RuntimeNames returns the runtime metric names.
+func RuntimeNames() []string { return runtimeMetricNames }

@@ -39,6 +39,49 @@ type Config struct {
 	// experiments make, so the driver's cancellation (a Ctrl-C in
 	// wdptbench) interrupts a sweep mid-experiment instead of after it.
 	BaseContext context.Context
+	// Timings, when non-nil, receives one TimingPoint per Measure call (in
+	// call order): the min-of-N the tables print plus the p50/p95/p99 of
+	// the measured repetitions. wdptbench wires one per experiment and
+	// emits the log into BENCH_*.json, where scripts/benchdiff.sh reads it.
+	Timings *TimingLog
+}
+
+// TimingPoint is the latency summary of one measured point: the robust
+// minimum plus nearest-rank quantiles over the measured repetitions.
+type TimingPoint struct {
+	MinNS int64 `json:"min_ns"`
+	P50NS int64 `json:"p50_ns"`
+	P95NS int64 `json:"p95_ns"`
+	P99NS int64 `json:"p99_ns"`
+	Reps  int   `json:"reps"`
+}
+
+// TimingLog accumulates the TimingPoints of one experiment run in Measure
+// call order. Experiments run their measured points sequentially, so no
+// locking is needed.
+type TimingLog struct {
+	points []TimingPoint
+}
+
+// add summarizes one Measure call's repetition durations.
+func (l *TimingLog) add(ds []time.Duration) {
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	l.points = append(l.points, TimingPoint{
+		MinNS: int64(sorted[0]),
+		P50NS: int64(obs.QuantileSorted(sorted, 0.5)),
+		P95NS: int64(obs.QuantileSorted(sorted, 0.95)),
+		P99NS: int64(obs.QuantileSorted(sorted, 0.99)),
+		Reps:  len(sorted),
+	})
+}
+
+// Points returns the accumulated timing points in call order.
+func (l *TimingLog) Points() []TimingPoint {
+	if l == nil {
+		return nil
+	}
+	return append([]TimingPoint(nil), l.points...)
 }
 
 // Context returns the run's base context, defaulting to Background when the
@@ -69,9 +112,23 @@ func (c Config) warmup() int {
 }
 
 // Measure times fn at one measured point: Warmup unmeasured runs, then the
-// minimum of Repetitions measured runs, via obs.Timer.
+// minimum of Repetitions measured runs, via obs.Timer. When the config
+// carries a TimingLog, the full repetition sample is summarized into it
+// (min + p50/p95/p99) without changing the returned minimum.
 func (c Config) Measure(fn func()) time.Duration {
-	return obs.Timer{Warmup: c.warmup(), Reps: c.reps()}.Measure(fn)
+	t := obs.Timer{Warmup: c.warmup(), Reps: c.reps()}
+	if c.Timings == nil {
+		return t.Measure(fn)
+	}
+	ds := t.MeasureAll(fn)
+	c.Timings.add(ds)
+	best := ds[0]
+	for _, d := range ds[1:] {
+		if d < best {
+			best = d
+		}
+	}
+	return best
 }
 
 // Engine returns the auto-selecting engine wired to the config's stats

@@ -212,6 +212,12 @@ func BenchmarkObsDisabled(b *testing.B) {
 			s.StartSpan("x").End()
 		}
 	})
+	b.Run("nil-observe", func(b *testing.B) {
+		var h *Histogram
+		for i := 0; i < b.N; i++ {
+			h.Observe(time.Duration(i))
+		}
+	})
 	b.Run("enabled-inc", func(b *testing.B) {
 		s := NewStats()
 		for i := 0; i < b.N; i++ {

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExpositionGolden pins the exposition bytes for a fixed metric state:
+// deterministic label ordering, cumulative buckets, +Inf, _sum and _count.
+func TestExpositionGolden(t *testing.T) {
+	v := NewHistVec(HistCacheLookup, []time.Duration{time.Millisecond, 4 * time.Millisecond}, "outcome")
+	v.With("hit").Observe(500 * time.Microsecond)
+	v.With("hit").Observe(2 * time.Millisecond)
+	v.With("hit").Observe(time.Second)
+	v.With("miss").Observe(3 * time.Millisecond)
+
+	var e Exposition
+	e.Gauge(GaugeCacheEntries, "Result cache occupancy.", 7)
+	e.HistogramVec(v, "Cache lookup latency.")
+
+	want := strings.Join([]string{
+		`# HELP wdptd_result_cache_entries Result cache occupancy.`,
+		`# TYPE wdptd_result_cache_entries gauge`,
+		`wdptd_result_cache_entries 7`,
+		`# HELP wdptd_cache_lookup_seconds Cache lookup latency.`,
+		`# TYPE wdptd_cache_lookup_seconds histogram`,
+		`wdptd_cache_lookup_seconds_bucket{outcome="hit",le="0.001"} 1`,
+		`wdptd_cache_lookup_seconds_bucket{outcome="hit",le="0.004"} 2`,
+		`wdptd_cache_lookup_seconds_bucket{outcome="hit",le="+Inf"} 3`,
+		`wdptd_cache_lookup_seconds_sum{outcome="hit"} 1.0025`,
+		`wdptd_cache_lookup_seconds_count{outcome="hit"} 3`,
+		`wdptd_cache_lookup_seconds_bucket{outcome="miss",le="0.001"} 0`,
+		`wdptd_cache_lookup_seconds_bucket{outcome="miss",le="0.004"} 1`,
+		`wdptd_cache_lookup_seconds_bucket{outcome="miss",le="+Inf"} 1`,
+		`wdptd_cache_lookup_seconds_sum{outcome="miss"} 0.003`,
+		`wdptd_cache_lookup_seconds_count{outcome="miss"} 1`,
+	}, "\n") + "\n"
+	if got := e.String(); got != want {
+		t.Fatalf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestExpositionDeterministic proves two scrapes of the same state are
+// byte-identical, including the full counter registry.
+func TestExpositionDeterministic(t *testing.T) {
+	st := NewStats()
+	st.Add(CtrTuplesScanned, 41)
+	scrape := func() string {
+		var e Exposition
+		e.WriteCounters(st)
+		return e.String()
+	}
+	a, b := scrape(), scrape()
+	if a != b {
+		t.Fatal("two scrapes of identical state must be byte-identical")
+	}
+	if !strings.Contains(a, "wdpt_cq_tuples_scanned_total 41\n") {
+		t.Fatalf("counter sample missing:\n%s", a)
+	}
+	// Zero-valued counters are still present so the sample set is stable.
+	if !strings.Contains(a, "wdpt_server_reloads_total 0\n") {
+		t.Fatalf("zero counter must still be exposed:\n%s", a)
+	}
+}
+
+func TestExpositionEscaping(t *testing.T) {
+	var e Exposition
+	v := NewHistVec(HistQueryDuration, []time.Duration{time.Second}, "dataset")
+	v.With("we\"ird\\ds\n").Observe(time.Millisecond)
+	e.HistogramVec(v, "x")
+	out := e.String()
+	if !strings.Contains(out, `dataset="we\"ird\\ds\n"`) {
+		t.Fatalf("label escaping wrong:\n%s", out)
+	}
+	fams, err := ParsePromText(out)
+	if err != nil {
+		t.Fatalf("parse escaped exposition: %v", err)
+	}
+	f := fams["wdptd_query_duration_seconds"]
+	if f == nil || len(f.Samples) == 0 {
+		t.Fatal("family missing after round-trip")
+	}
+	if got := f.Samples[0].Labels["dataset"]; got != "we\"ird\\ds\n" {
+		t.Fatalf("label round-trip = %q", got)
+	}
+}
+
+func TestParsePromTextRoundTrip(t *testing.T) {
+	st := NewStats()
+	st.Add(CtrTuplesScanned, 3)
+	v := NewHistVec(HistQueryDuration, nil, "dataset", "mode", "outcome")
+	v.With("music", "exact", "ok").Observe(3 * time.Millisecond)
+	var e Exposition
+	e.WriteCounters(st)
+	e.Gauge(GaugeInFlight, "g", 2)
+	e.HistogramVec(v, "h")
+	e.WriteRuntimeMetrics()
+
+	fams, err := ParsePromText(e.String())
+	if err != nil {
+		t.Fatalf("ParsePromText: %v", err)
+	}
+	if f := fams["wdpt_cq_tuples_scanned_total"]; f == nil || f.Type != "counter" || f.Samples[0].Value != 3 {
+		t.Fatalf("counter family = %+v", f)
+	}
+	if f := fams["wdptd_inflight_queries"]; f == nil || f.Type != "gauge" || f.Samples[0].Value != 2 {
+		t.Fatalf("gauge family = %+v", f)
+	}
+	h := fams["wdptd_query_duration_seconds"]
+	if h == nil || h.Type != "histogram" {
+		t.Fatalf("histogram family = %+v", h)
+	}
+	for _, name := range RuntimeMetricNames() {
+		if fams[name] == nil {
+			t.Fatalf("runtime metric %s missing", name)
+		}
+	}
+	if err := CheckHistograms(fams); err != nil {
+		t.Fatalf("CheckHistograms on valid exposition: %v", err)
+	}
+}
+
+func TestCheckHistogramsRejectsBroken(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"non-cumulative", `# TYPE h histogram
+h_bucket{le="0.1"} 5
+h_bucket{le="0.2"} 3
+h_bucket{le="+Inf"} 5
+h_count 5
+`},
+		{"inf-vs-count", `# TYPE h histogram
+h_bucket{le="0.1"} 1
+h_bucket{le="+Inf"} 2
+h_count 3
+`},
+		{"unsorted-le", `# TYPE h histogram
+h_bucket{le="0.2"} 1
+h_bucket{le="0.1"} 1
+h_bucket{le="+Inf"} 1
+h_count 1
+`},
+	}
+	for _, c := range cases {
+		fams, err := ParsePromText(c.text)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", c.name, err)
+		}
+		if err := CheckHistograms(fams); err == nil {
+			t.Fatalf("%s: CheckHistograms accepted a broken histogram", c.name)
+		}
+	}
+}
+
+func TestParsePromTextRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"not a metric line at all !!!",
+		`x{le="0.1" 3`,
+		`x{a=b} 1`,
+		"x notanumber",
+	} {
+		if _, err := ParsePromText(bad); err == nil {
+			t.Fatalf("ParsePromText accepted %q", bad)
+		}
+	}
+}
+
+func TestBuildSpanTree(t *testing.T) {
+	c := &Collector{}
+	st := NewStats().WithTrace(c)
+	root := st.StartSpan("query")
+	parse := root.Child("parse")
+	parse.End()
+	solve := root.Child("solve")
+	inner := solve.Child("join")
+	inner.End()
+	solve.End()
+	root.End()
+
+	tree := BuildSpanTree(c.Spans())
+	if len(tree) != 1 || tree[0].Name != "query" {
+		t.Fatalf("tree roots = %+v", tree)
+	}
+	kids := tree[0].Children
+	if len(kids) != 2 || kids[0].Name != "parse" || kids[1].Name != "solve" {
+		t.Fatalf("children = %+v", kids)
+	}
+	if len(kids[1].Children) != 1 || kids[1].Children[0].Name != "join" {
+		t.Fatalf("grandchildren = %+v", kids[1].Children)
+	}
+	text := FormatSpanTree(tree)
+	for _, want := range []string{"query ", "\n  parse ", "\n  solve ", "\n    join "} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("FormatSpanTree missing %q:\n%s", want, text)
+		}
+	}
+	// A parent that never ended leaves its children as extra roots.
+	orphan := BuildSpanTree([]SpanRecord{{Name: "leaf", Depth: 2, Duration: 1}})
+	if len(orphan) != 1 || orphan[0].Name != "leaf" {
+		t.Fatalf("orphan roots = %+v", orphan)
+	}
+}
+
+func TestMeasureAll(t *testing.T) {
+	n := 0
+	ds := Timer{Warmup: 2, Reps: 5}.MeasureAll(func() { n++ })
+	if len(ds) != 5 || n != 7 {
+		t.Fatalf("MeasureAll: %d durations, %d calls", len(ds), n)
+	}
+	for _, d := range ds {
+		if d < 0 {
+			t.Fatalf("negative duration %v", d)
+		}
+	}
+	if got := (Timer{}).MeasureAll(func() {}); len(got) != 1 {
+		t.Fatalf("zero Timer must measure once, got %d", len(got))
+	}
+}

@@ -38,3 +38,24 @@ func (t Timer) Measure(fn func()) time.Duration {
 	}
 	return best
 }
+
+// MeasureAll runs fn Warmup times unmeasured, then Reps times measured,
+// and returns every measured duration in run order. Callers that want the
+// robust point estimate take the minimum; callers recording latency
+// distributions (wdptbench p50/p95/p99) feed the slice to QuantileSorted.
+func (t Timer) MeasureAll(fn func()) []time.Duration {
+	for i := 0; i < t.Warmup; i++ {
+		fn()
+	}
+	reps := t.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	out := make([]time.Duration, reps)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		fn()
+		out[i] = time.Since(start)
+	}
+	return out
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"time"
 )
@@ -90,6 +91,57 @@ func (c *Collector) Spans() []SpanRecord {
 	out := make([]SpanRecord, len(c.spans))
 	copy(out, c.spans)
 	return out
+}
+
+// SpanNode is one node of a reconstructed span tree — the JSON shape
+// served under "trace" in /v1/query responses and wdpteval -json output.
+type SpanNode struct {
+	// Name is the span name.
+	Name string `json:"name"`
+	// DurationNS is the span's wall-clock duration in nanoseconds.
+	DurationNS int64 `json:"duration_ns"`
+	// Children are the nested spans, in completion order.
+	Children []SpanNode `json:"children,omitempty"`
+}
+
+// BuildSpanTree reconstructs the span tree from Collector output. Spans
+// arrive in completion order with the nesting depth they started at, so a
+// span completing at depth d adopts every not-yet-adopted span at depth
+// d+1 as its children. Spans whose parent never ended surface as extra
+// roots rather than being dropped.
+func BuildSpanTree(records []SpanRecord) []SpanNode {
+	pending := map[int][]SpanNode{}
+	maxDepth := 0
+	for _, r := range records {
+		if r.Depth > maxDepth {
+			maxDepth = r.Depth
+		}
+		node := SpanNode{Name: r.Name, DurationNS: int64(r.Duration)}
+		node.Children = pending[r.Depth+1]
+		delete(pending, r.Depth+1)
+		pending[r.Depth] = append(pending[r.Depth], node)
+	}
+	roots := pending[0]
+	for d := 1; d <= maxDepth; d++ {
+		roots = append(roots, pending[d]...)
+	}
+	return roots
+}
+
+// FormatSpanTree renders a span tree as indented text, one span per line
+// with its duration — the human-readable form behind wdpteval -trace and
+// the slow-query log.
+func FormatSpanTree(nodes []SpanNode) string {
+	var b strings.Builder
+	var walk func(nodes []SpanNode, depth int)
+	walk = func(nodes []SpanNode, depth int) {
+		for _, n := range nodes {
+			fmt.Fprintf(&b, "%*s%s %s\n", 2*depth, "", n.Name, time.Duration(n.DurationNS))
+			walk(n.Children, depth+1)
+		}
+	}
+	walk(nodes, 0)
+	return b.String()
 }
 
 // WriterSink is a TraceSink that streams one indented line per finished

@@ -55,6 +55,9 @@ type Report struct {
 	Plans []obs.Plan `json:"plans,omitempty"`
 	// Counters is the obs counter snapshot, when requested.
 	Counters map[string]int64 `json:"counters,omitempty"`
+	// Trace is the reconstructed span tree, when tracing was requested
+	// (?trace=1 on /v1/query, wdpteval -trace with -json).
+	Trace []obs.SpanNode `json:"trace,omitempty"`
 }
 
 // SetAnswers canonicalizes an enumeration answer set into the report: the

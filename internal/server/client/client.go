@@ -107,13 +107,36 @@ func (c *Client) Datasets(ctx context.Context) (*server.DatasetList, error) {
 	return &l, nil
 }
 
-// Metrics fetches the /metrics counter snapshot.
+// Metrics fetches the /metrics.json counter snapshot (the JSON twin of the
+// Prometheus exposition at /metrics).
 func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
 	var m map[string]int64
-	if err := c.getJSON(ctx, http.MethodGet, "/metrics", &m); err != nil {
+	if err := c.getJSON(ctx, http.MethodGet, "/metrics.json", &m); err != nil {
 		return nil, err
 	}
 	return m, nil
+}
+
+// MetricsText fetches the Prometheus text exposition at /metrics, raw.
+// Callers parse it with obs.ParsePromText.
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", fmt.Errorf("client: building request: %w", err)
+	}
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return "", fmt.Errorf("client: GET /metrics: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("client: reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("client: GET /metrics: unexpected status %d", resp.StatusCode)
+	}
+	return string(body), nil
 }
 
 // Reload posts /admin/reload and returns the new registry version.

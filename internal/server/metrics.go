@@ -1,0 +1,30 @@
+package server
+
+import (
+	"net/http"
+
+	"wdpt/internal/obs"
+)
+
+// handleMetrics is GET /metrics: the Prometheus text exposition (format
+// 0.0.4) of the server's counters, gauges, latency histograms, and Go
+// runtime metrics. The emission order is fixed and every snapshot function
+// sorts its series, so two scrapes of the same state are byte-identical
+// apart from the metric values themselves.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var e obs.Exposition
+	e.WriteCounters(s.st)
+	inUse, queued := s.adm.load()
+	e.Gauge(obs.GaugeInFlight, "Admission weight currently held by evaluating queries.", inUse)
+	e.Gauge(obs.GaugeQueueDepth, "Admission wait-queue depth.", int64(queued))
+	e.Gauge(obs.GaugeCacheEntries, "Result cache occupancy in entries.", int64(s.cache.len()))
+	e.HistogramVec(s.qdur, "Wall time of /v1/query requests.")
+	e.Histogram(obs.HistAdmissionWait, "Time queries spent waiting for admission.", nil,
+		[]obs.LabeledHistogram{{Snap: s.admWait.Snapshot()}})
+	e.Histogram(obs.HistCacheLookup, "Result-cache lookup latency.", nil,
+		[]obs.LabeledHistogram{{Snap: s.cacheLookup.Snapshot()}})
+	e.WriteRuntimeMetrics()
+	w.Header().Set("Content-Type", obs.PromContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(e.String()))
+}

@@ -15,9 +15,12 @@ package server
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -62,6 +65,14 @@ type Config struct {
 	Stats *obs.Stats
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// QueryLog, when non-nil, receives one structured line per /v1/query
+	// request: request ID, dataset and its registry version, mode, budgets,
+	// degradation tier, counters, outcome, and wall time. wdptd wires a
+	// JSON slog handler here, producing a JSON-lines query log.
+	QueryLog *slog.Logger
+	// SlowQueryThreshold, when > 0, promotes query-log lines at or above
+	// this wall time to WARN and inlines the request's span tree.
+	SlowQueryThreshold time.Duration
 	// BaseContext, when non-nil, parents every request's evaluation
 	// context in addition to Shutdown: cancelling it (the process's
 	// signal context in wdptd) drains the server exactly like Shutdown
@@ -80,6 +91,15 @@ type Server struct {
 	cache *resultCache
 	st    *obs.Stats
 	mux   *http.ServeMux
+
+	// qdur is the per-request latency histogram family, labeled
+	// dataset × mode × outcome; admWait and cacheLookup time the admission
+	// queue and the result-cache lookup. All three are scraped by
+	// GET /metrics.
+	qdur        *obs.HistVec
+	admWait     *obs.Histogram
+	cacheLookup *obs.Histogram
+	queryLog    *slog.Logger
 
 	// baseCtx parents every request's evaluation context; Shutdown cancels
 	// it to stop in-flight work past the drain deadline.
@@ -107,12 +127,16 @@ func NewServer(cfg Config) (*Server, error) {
 		capacity = int64(runtime.NumCPU())
 	}
 	s := &Server{
-		cfg:   cfg,
-		reg:   cfg.Registry,
-		adm:   newAdmission(capacity, cfg.MaxQueue),
-		cache: newResultCache(cfg.CacheSize, st),
-		st:    st,
-		mux:   http.NewServeMux(),
+		cfg:         cfg,
+		reg:         cfg.Registry,
+		adm:         newAdmission(capacity, cfg.MaxQueue),
+		cache:       newResultCache(cfg.CacheSize, st),
+		st:          st,
+		mux:         http.NewServeMux(),
+		qdur:        obs.NewHistVec(obs.HistQueryDuration, nil, "dataset", "mode", "outcome"),
+		admWait:     obs.NewHistogram(nil),
+		cacheLookup: obs.NewHistogram(nil),
+		queryLog:    cfg.QueryLog,
 	}
 	base := cfg.BaseContext
 	if base == nil {
@@ -123,6 +147,7 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	s.mux.HandleFunc("POST /admin/reload", s.handleReload)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -361,6 +386,23 @@ func engineFor(name string) (cqeval.Engine, error) {
 	return nil, fmt.Errorf("server: unknown engine %q", name)
 }
 
+// requestID returns the request's correlation ID: the client's X-Request-Id
+// header when present, otherwise a fresh random 16-hex-digit ID. The ID is
+// echoed on the response and stamped on every query-log line.
+func requestID(r *http.Request) string {
+	if id := strings.TrimSpace(r.Header.Get("X-Request-Id")); id != "" {
+		if len(id) > 128 {
+			id = id[:128]
+		}
+		return id
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // handleQuery is POST /v1/query.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.st.Inc(obs.CtrServerRequests)
@@ -369,6 +411,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.inflight.Done()
+
+	start := time.Now()
+	reqID := requestID(r)
+	w.Header().Set("X-Request-Id", reqID)
+	wantTrace := r.URL.Query().Get("trace") == "1"
 
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
@@ -390,28 +437,81 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, ErrorPayload{Code: "bad_mode", Message: fmt.Sprintf("unknown mode %q", req.Mode)})
 		return
 	}
+
+	// Past this point the dataset and mode are validated, so they are safe
+	// histogram label values (bounded cardinality); everything below is
+	// observed into the per-request histogram and the query log.
+	collectSpans := wantTrace || (s.queryLog != nil && s.cfg.SlowQueryThreshold > 0)
+	var (
+		st      *obs.Stats
+		tr      *obs.Collector
+		root    obs.Span
+		tree    []obs.SpanNode
+		rootDur = time.Duration(-1)
+	)
+	if req.Stats || collectSpans {
+		st = obs.NewStats()
+	}
+	if collectSpans {
+		tr = &obs.Collector{}
+		st.WithTrace(tr)
+		root = st.StartSpan("query")
+	}
+	// endRoot closes the root span once and reconstructs the span tree; the
+	// root's duration becomes the request's logged wall time, so ?trace=1
+	// responses report exactly the wall time the query log carries.
+	endRoot := func() []obs.SpanNode {
+		if collectSpans && rootDur < 0 {
+			root.End()
+			tree = obs.BuildSpanTree(tr.Spans())
+			for _, n := range tree {
+				if n.Name == "query" {
+					rootDur = time.Duration(n.DurationNS)
+				}
+			}
+		}
+		return tree
+	}
+	outcome := "ok"
+	degradedTo := ""
+	fail := func(status int, p ErrorPayload) {
+		outcome = p.Code
+		writeError(w, status, p)
+	}
+	defer func() {
+		endRoot()
+		wall := time.Since(start)
+		if rootDur >= 0 {
+			wall = rootDur
+		}
+		s.qdur.With(req.Dataset, req.Mode, outcome).Observe(wall)
+		s.logQuery(r.Context(), reqID, &req, ds, outcome, degradedTo, st, wall, tree)
+	}()
+
 	if req.Engine == "" {
 		req.Engine = "auto"
 	}
 	eng, err := engineFor(req.Engine)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, ErrorPayload{Code: "bad_engine", Message: err.Error()})
+		fail(http.StatusBadRequest, ErrorPayload{Code: "bad_engine", Message: err.Error()})
 		return
 	}
 	if b := req.Budget; b != nil && (b.WallMS < 0 || b.MaxTuples < 0 || b.MaxAnswers < 0) {
-		writeError(w, http.StatusBadRequest, ErrorPayload{Code: "bad_budget", Message: "budget fields must be non-negative"})
+		fail(http.StatusBadRequest, ErrorPayload{Code: "bad_budget", Message: "budget fields must be non-negative"})
 		return
 	}
+	parseSpan := root.Child("parse")
 	q, trees, canonical, err := parseRequestQuery(req.Query)
+	parseSpan.End()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, ErrorPayload{Code: "bad_query", Message: err.Error()})
+		fail(http.StatusBadRequest, ErrorPayload{Code: "bad_query", Message: err.Error()})
 		return
 	}
 	if s.cfg.WidthBound > 0 {
 		for _, t := range trees {
 			if !t.GloballyIn(cq.TW(s.cfg.WidthBound)) {
 				s.st.Inc(obs.CtrServerWidthRejects)
-				writeError(w, http.StatusUnprocessableEntity, ErrorPayload{
+				fail(http.StatusUnprocessableEntity, ErrorPayload{
 					Code:    "width_bound",
 					Message: fmt.Sprintf("query exceeds the server treewidth bound %d", s.cfg.WidthBound),
 				})
@@ -428,9 +528,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	par = int(s.adm.clamp(int64(par)))
 
+	// Stats responses bypass the cache (counters vary run to run); traced
+	// responses do too, in both directions, because the trace is embedded
+	// in the body.
 	key := cacheKey(ds, canonical, &req, par)
-	if !req.Stats {
-		if body, ok := s.cache.get(key); ok {
+	if !req.Stats && !wantTrace {
+		lookupSpan := root.Child("cache_lookup")
+		lookupStart := time.Now()
+		body, hit := s.cache.get(key)
+		s.cacheLookup.Observe(time.Since(lookupStart))
+		lookupSpan.End()
+		if hit {
 			writeBody(w, http.StatusOK, body)
 			return
 		}
@@ -443,22 +551,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	stop := context.AfterFunc(s.baseCtx, cancelReq)
 	defer stop()
 
-	if err := s.adm.acquire(ctx, int64(par)); err != nil {
-		if errors.Is(err, errQueueFull) {
+	admSpan := root.Child("admission_wait")
+	admStart := time.Now()
+	admErr := s.adm.acquire(ctx, int64(par))
+	s.admWait.Observe(time.Since(admStart))
+	admSpan.End()
+	if admErr != nil {
+		if errors.Is(admErr, errQueueFull) {
 			s.st.Inc(obs.CtrServerAdmissionRejects)
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, ErrorPayload{Code: "queue_full", Message: "admission queue full; retry later"})
+			fail(http.StatusTooManyRequests, ErrorPayload{Code: "queue_full", Message: "admission queue full; retry later"})
 			return
 		}
-		s.writeEvalError(w, err)
+		outcome = s.writeEvalError(w, admErr)
 		return
 	}
 	defer s.adm.release(int64(par))
 
-	var st *obs.Stats
 	solveEng := eng
-	if req.Stats {
-		st = obs.NewStats()
+	if st != nil {
 		solveEng = cqeval.WithStats(eng, st)
 	}
 	h := cq.Mapping{}
@@ -484,12 +595,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	rep := report.Report{Mode: req.Mode, Engine: req.Engine, Parallelism: par}
+	solveSpan := root.Child("solve")
 	res, err := q.Solve(ctx, ds.DB, opts)
+	solveSpan.End()
 	var evalErr error
 	switch mode {
 	case core.ModeEnumerate, core.ModeMaximal:
 		if err != nil && !errors.Is(err, guard.ErrAnswerLimit) {
-			s.writeEvalError(w, err)
+			outcome = s.writeEvalError(w, err)
 			return
 		}
 		// An answer-limit trip still carries the truncated partial answer
@@ -499,25 +612,79 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		rep.SetAnswers(res.Answers)
 	default:
 		if err != nil {
-			s.writeEvalError(w, err)
+			outcome = s.writeEvalError(w, err)
 			return
 		}
 		rep.NoteDegraded(res)
 		rep.SetResult(res.Holds)
 	}
+	if rep.Degraded != nil && *rep.Degraded {
+		outcome = "degraded"
+		degradedTo = rep.DegradedMode
+	}
+	if evalErr != nil {
+		outcome = report.ErrorCode(evalErr)
+	}
 	if req.Stats {
 		rep.Counters = st.Snapshot()
 	}
+	if wantTrace {
+		// The root span must close before the tree can ride in the body,
+		// so a traced response's trace excludes only the final encode.
+		rep.Trace = endRoot()
+	}
+	var encSpan obs.Span
+	if !wantTrace {
+		encSpan = root.Child("encode")
+	}
 	var buf bytes.Buffer
 	if err := report.Encode(&buf, rep); err != nil {
-		writeError(w, http.StatusInternalServerError, ErrorPayload{Code: "error", Message: err.Error()})
+		encSpan.End()
+		fail(http.StatusInternalServerError, ErrorPayload{Code: "error", Message: err.Error()})
 		return
 	}
+	encSpan.End()
 	status := report.HTTPStatus(evalErr)
 	writeBody(w, status, buf.Bytes())
-	if status == http.StatusOK && !req.Stats {
+	if status == http.StatusOK && !req.Stats && !wantTrace {
 		s.cache.put(key, buf.Bytes())
 	}
+}
+
+// logQuery emits one structured query-log line for a finished /v1/query
+// request; slow queries (≥ SlowQueryThreshold) are promoted to WARN with
+// the span tree inline.
+func (s *Server) logQuery(ctx context.Context, reqID string, req *Request, ds *Dataset, outcome, degradedTo string, st *obs.Stats, wall time.Duration, tree []obs.SpanNode) {
+	if s.queryLog == nil {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.String("request_id", reqID),
+		slog.String("dataset", req.Dataset),
+		slog.Int64("dataset_version", ds.Version),
+		slog.String("mode", req.Mode),
+		slog.String("engine", req.Engine),
+		slog.String("outcome", outcome),
+		slog.Int64("wall_ns", wall.Nanoseconds()),
+	}
+	if degradedTo != "" {
+		attrs = append(attrs, slog.String("degraded_mode", degradedTo))
+	}
+	if b := req.Budget; b != nil {
+		attrs = append(attrs,
+			slog.Int64("budget_wall_ms", b.WallMS),
+			slog.Int64("budget_max_tuples", b.MaxTuples),
+			slog.Int64("budget_max_answers", b.MaxAnswers))
+	}
+	if counters := st.Snapshot(); len(counters) > 0 {
+		attrs = append(attrs, slog.Any("counters", counters))
+	}
+	if s.cfg.SlowQueryThreshold > 0 && wall >= s.cfg.SlowQueryThreshold && len(tree) > 0 {
+		attrs = append(attrs, slog.String("trace", obs.FormatSpanTree(tree)))
+		s.queryLog.LogAttrs(ctx, slog.LevelWarn, "slow query", attrs...)
+		return
+	}
+	s.queryLog.LogAttrs(ctx, slog.LevelInfo, "query", attrs...)
 }
 
 // handleHealthz is GET /healthz.
@@ -548,9 +715,10 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, DatasetList{Version: s.reg.Version(), Datasets: s.reg.List()})
 }
 
-// handleMetrics is GET /metrics: the obs counter snapshot as one JSON
-// object, keys sorted (json.Marshal orders map keys).
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// handleMetricsJSON is GET /metrics.json: the obs counter snapshot as one
+// JSON object, keys sorted (json.Marshal orders map keys) — the pre-
+// Prometheus /metrics body, kept for existing scrapers and the client.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.st.Snapshot())
 }
 
@@ -570,8 +738,9 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 // writeEvalError serves an evaluation error: status from the shared report
 // taxonomy, a typed payload carrying the trip's progress readings, and a
 // shutting_down override when the error is our own drain cancellation
-// rather than the client's.
-func (s *Server) writeEvalError(w http.ResponseWriter, err error) {
+// rather than the client's. It returns the code served, which doubles as
+// the request's outcome label.
+func (s *Server) writeEvalError(w http.ResponseWriter, err error) string {
 	status, code := report.HTTPStatus(err), report.ErrorCode(err)
 	if errors.Is(err, context.Canceled) && s.baseCtx.Err() != nil {
 		status, code = http.StatusServiceUnavailable, "shutting_down"
@@ -582,6 +751,7 @@ func (s *Server) writeEvalError(w http.ResponseWriter, err error) {
 		p.Tuples, p.Answers, p.ElapsedMS = trip.Tuples, trip.Answers, trip.Elapsed.Milliseconds()
 	}
 	writeError(w, status, p)
+	return code
 }
 
 // writeError writes an ErrorResponse with the report encoder's formatting.

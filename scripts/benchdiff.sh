@@ -1,0 +1,7 @@
+#!/usr/bin/env sh
+# Compare two wdptbench artifacts and fail on >20% latency regressions.
+# Usage: scripts/benchdiff.sh <old.json> <new.json>
+# Tolerance override: WDPT_BENCH_TOLERANCE=0.35 scripts/benchdiff.sh ...
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./cmd/benchdiff "$@"

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Repository gate: formatting, vet, wdptlint, build, tests under the race
-# detector, a wdptd end-to-end selfcheck against the examples/data datasets,
-# a -short benchmark smoke, wdptbench metrics-artifact smokes at
-# Parallelism=1 and Parallelism=NumCPU (writes BENCH_<date>.json and
-# BENCH_<date>-pncpu.json, both uploaded by CI — same tables, elapsed_ns
-# ratio is the parallel-scaling measurement), and a bounded parser fuzz
-# smoke. CI (.github/workflows/ci.yml) runs exactly this script.
+# detector, a wdptd end-to-end selfcheck against the examples/data datasets
+# (which also scrapes /metrics into metrics-snapshot.prom and asserts the
+# exposition carries query-duration samples), a -short benchmark smoke,
+# wdptbench metrics-artifact smokes at Parallelism=1 and Parallelism=NumCPU
+# (writes BENCH_<date>.json and BENCH_<date>-pncpu.json, both uploaded by
+# CI — same tables, elapsed_ns ratio is the parallel-scaling measurement),
+# a benchdiff self-smoke (the artifact diffed against itself must report
+# zero regressions), and a bounded parser fuzz smoke.
+# CI (.github/workflows/ci.yml) runs exactly this script.
 #
 #   ./scripts/check.sh
 #
@@ -61,10 +64,19 @@ echo "wdptlint clean in ${lint_elapsed}s (budget ${lint_budget}s)"
 echo "== go test -race"
 go test -race ./...
 
-echo "== wdptd selfcheck smoke (examples/data)"
+echo "== wdptd selfcheck smoke (examples/data, /metrics scrape)"
 go run ./cmd/wdptd -selfcheck \
+  -metrics-out metrics-snapshot.prom \
   -dataset music=examples/data/music.txt \
   -dataset chain=examples/data/chain.txt
+if [[ ! -s metrics-snapshot.prom ]]; then
+  echo "metrics-snapshot.prom missing or empty after selfcheck" >&2
+  exit 1
+fi
+grep -q '^wdptd_query_duration_seconds_count' metrics-snapshot.prom || {
+  echo "metrics-snapshot.prom lacks wdptd_query_duration_seconds samples" >&2
+  exit 1
+}
 
 echo "== benchmark smoke (-race -short -benchtime=1x)"
 go test -race -short -run='^$' -bench=. -benchtime=1x .
@@ -74,6 +86,10 @@ go run ./cmd/wdptbench -short -json -out . >/dev/null
 
 echo "== wdptbench metrics artifact (-short -json, parallelism NumCPU)"
 go run ./cmd/wdptbench -short -json -out . -parallelism 0 -suffix -pncpu >/dev/null
+
+echo "== benchdiff self-smoke (artifact vs itself must pass)"
+bench_artifact=$(ls -t BENCH_*.json | head -1)
+./scripts/benchdiff.sh "$bench_artifact" "$bench_artifact"
 
 if [[ "${WDPT_SKIP_FUZZ:-0}" != "1" ]]; then
   fuzztime="${FUZZTIME:-10s}"
