@@ -1,0 +1,193 @@
+package wdpt_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"wdpt"
+	"wdpt/internal/db"
+	"wdpt/internal/gen"
+)
+
+// Backend-equivalence suite: the columnar store (the default) and the
+// legacy string-map store are interchangeable behind the db.Store
+// interface. For any database, query, engine, parallelism, and budget, the
+// two backends must produce byte-identical answer lists and identical
+// evaluation counters — the storage layer may only change *how fast* rows
+// come back, never *which* rows or *how much* evaluation work is recorded.
+// Runs under -race in CI (the chaos matrix legs exercise P ∈ {1, 8}).
+
+// dropDBCounters removes the db.* storage counters before comparing
+// snapshots. They are pinned equal today, but the equivalence contract
+// (docs/STORAGE.md) only promises evaluation-layer counters, leaving the
+// storage layer free to count backend-specific work later.
+func dropDBCounters(snap map[string]int64) map[string]int64 {
+	for name := range snap {
+		if strings.HasPrefix(name, "db.") {
+			delete(snap, name)
+		}
+	}
+	return snap
+}
+
+// solveOnBackend evaluates p over a copy of d held on the given backend and
+// returns the rendered answers, the non-db.* counters, and the error. The
+// engine in opts must be freshly constructed per call: its plan cache is
+// per-instance state, and a shared engine would hand the second backend a
+// warm cache the first one had to fill.
+func solveOnBackend(t *testing.T, p *wdpt.PatternTree, d *db.Database, b db.Backend, opts wdpt.SolveOptions) (string, map[string]int64, error) {
+	t.Helper()
+	st := wdpt.NewStats()
+	opts.Stats = st
+	res, err := p.Solve(context.Background(), d.CloneWithBackend(b), opts)
+	return renderSolutions(res.Answers), dropDBCounters(dropParCounters(st.Snapshot())), err
+}
+
+// equivCases is the shared fixture pool: the Figure 1 fixture plus seeded
+// random tree/database pairs with constants in atoms (exercising the
+// dictionary-miss path: some query constants are absent from the data).
+func equivCases() []struct {
+	name string
+	p    *wdpt.PatternTree
+	d    *db.Database
+} {
+	tp := gen.TreeParams{MaxDepth: 2, MaxChildren: 2, AtomsPerNode: 2, ConstProb: 0.3}
+	var cases []struct {
+		name string
+		p    *wdpt.PatternTree
+		d    *db.Database
+	}
+	cases = append(cases, struct {
+		name string
+		p    *wdpt.PatternTree
+		d    *db.Database
+	}{"figure1", gen.MusicWDPT("x", "y", "z", "zp"), gen.MusicDatabase()})
+	for seed := int64(1); seed <= 4; seed++ {
+		cases = append(cases, struct {
+			name string
+			p    *wdpt.PatternTree
+			d    *db.Database
+		}{
+			fmt.Sprintf("random%d", seed),
+			gen.RandomWDPT(tp, seed),
+			gen.RandomDatabase(gen.DBParams{DomainSize: 5, TuplesPerRel: 25}, seed),
+		})
+	}
+	return cases
+}
+
+// TestBackendEquivalenceSolve pins byte-identical answers and identical
+// evaluation counters across backends, engines, and the parallelism sweep.
+func TestBackendEquivalenceSolve(t *testing.T) {
+	engines := []struct {
+		name string
+		mk   func() wdpt.Engine
+	}{
+		{"naive", wdpt.NaiveEngine},
+		{"yannakakis", wdpt.YannakakisEngine},
+		{"auto", wdpt.AutoEngine},
+	}
+	for _, c := range equivCases() {
+		for _, e := range engines {
+			for _, par := range []int{1, 2, 8} {
+				t.Run(fmt.Sprintf("%s/%s/p%d", c.name, e.name, par), func(t *testing.T) {
+					mkOpts := func() wdpt.SolveOptions {
+						return wdpt.SolveOptions{
+							Mode:        wdpt.ModeEnumerate,
+							Engine:      e.mk(),
+							Parallelism: par,
+						}
+					}
+					colAns, colSnap, colErr := solveOnBackend(t, c.p, c.d, db.BackendColumnar, mkOpts())
+					memAns, memSnap, memErr := solveOnBackend(t, c.p, c.d, db.BackendMemory, mkOpts())
+					if (colErr == nil) != (memErr == nil) {
+						t.Fatalf("error disagreement: col=%v mem=%v", colErr, memErr)
+					}
+					if colAns != memAns {
+						t.Errorf("answers differ between backends:\n--- col\n%s--- mem\n%s", colAns, memAns)
+					}
+					snapshotDiff(t, colSnap, memSnap)
+				})
+			}
+		}
+	}
+}
+
+// TestBackendEquivalenceDegraded pins the guard contract across backends:
+// under a tripping tuple budget both stores degrade identically (same
+// sentinel), and under an answer cap with fallback both return the same
+// truncated prefix and mark it degraded.
+func TestBackendEquivalenceDegraded(t *testing.T) {
+	p := gen.MusicWDPT("x", "y", "z", "zp")
+	d := gen.MusicDatabase()
+
+	t.Run("tuple-budget-trip", func(t *testing.T) {
+		opts := wdpt.SolveOptions{
+			Mode:   wdpt.ModeEnumerate,
+			Engine: wdpt.YannakakisEngine(),
+			Budget: wdpt.Budget{MaxTuples: 3},
+		}
+		_, _, colErr := solveOnBackend(t, p, d, db.BackendColumnar, opts)
+		_, _, memErr := solveOnBackend(t, p, d, db.BackendMemory, opts)
+		if !errors.Is(colErr, wdpt.ErrTupleBudget) || !errors.Is(memErr, wdpt.ErrTupleBudget) {
+			t.Fatalf("want ErrTupleBudget on both backends, got col=%v mem=%v", colErr, memErr)
+		}
+	})
+
+	t.Run("answer-cap-degraded", func(t *testing.T) {
+		run := func(b db.Backend) wdpt.SolveResult {
+			res, err := p.Solve(context.Background(), d.CloneWithBackend(b), wdpt.SolveOptions{
+				Mode:     wdpt.ModeEnumerate,
+				Engine:   wdpt.YannakakisEngine(),
+				Budget:   wdpt.Budget{MaxAnswers: 1},
+				Fallback: true,
+			})
+			if err != nil {
+				t.Fatalf("backend %v: %v", b, err)
+			}
+			return res
+		}
+		col, mem := run(db.BackendColumnar), run(db.BackendMemory)
+		if !col.Degraded || !mem.Degraded {
+			t.Fatalf("want Degraded on both backends: col=%v mem=%v", col.Degraded, mem.Degraded)
+		}
+		if ca, ma := renderSolutions(col.Answers), renderSolutions(mem.Answers); ca != ma {
+			t.Errorf("degraded prefixes differ:\n--- col\n%s--- mem\n%s", ca, ma)
+		}
+	})
+}
+
+// FuzzBackendEquivalence derives a seeded random tree/database pair from
+// the fuzz input and checks Solve parity between the backends. The seed
+// corpus covers the dictionary-heavy shapes (constants in atoms, skewed
+// domains); CI uploads new corpus findings as an artifact.
+func FuzzBackendEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(12), false)
+	f.Add(int64(7), uint8(2), uint8(30), true)
+	f.Add(int64(42), uint8(9), uint8(5), true)
+	f.Fuzz(func(t *testing.T, seed int64, domain, tuples uint8, consts bool) {
+		tp := gen.TreeParams{MaxDepth: 2, MaxChildren: 2, AtomsPerNode: 2}
+		if consts {
+			tp.ConstProb = 0.4
+		}
+		p := gen.RandomWDPT(tp, seed)
+		d := gen.RandomDatabase(gen.DBParams{
+			DomainSize:   1 + int(domain%10),
+			TuplesPerRel: 1 + int(tuples%40),
+		}, seed)
+		colAns, colSnap, colErr := solveOnBackend(t, p, d, db.BackendColumnar,
+			wdpt.SolveOptions{Mode: wdpt.ModeEnumerate, Engine: wdpt.AutoEngine()})
+		memAns, memSnap, memErr := solveOnBackend(t, p, d, db.BackendMemory,
+			wdpt.SolveOptions{Mode: wdpt.ModeEnumerate, Engine: wdpt.AutoEngine()})
+		if (colErr == nil) != (memErr == nil) {
+			t.Fatalf("error disagreement: col=%v mem=%v", colErr, memErr)
+		}
+		if colAns != memAns {
+			t.Errorf("answers differ between backends:\n--- col\n%s--- mem\n%s", colAns, memAns)
+		}
+		snapshotDiff(t, colSnap, memSnap)
+	})
+}

@@ -10,7 +10,11 @@
 // than the tolerance (default 20%, overridable with WDPT_BENCH_TOLERANCE,
 // e.g. 0.35). Points faster than WDPT_BENCH_MIN_NS in the old artifact
 // (default 100µs) are skipped — at that scale scheduler jitter dominates
-// and a ratio is noise, not signal.
+// and a ratio is noise, not signal. WDPT_BENCH_METRICS selects which point
+// statistics gate (comma-separated subset of "min,p95"; default both):
+// at low repetition counts p95 degenerates to the maximum, where one GC
+// cycle landing inside a rep reads as a regression, so quick-mode gates
+// compare "min" only.
 //
 // Exit codes: 0 no regression, 1 regression found, 2 usage/parse error.
 package main
@@ -21,6 +25,7 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"strings"
 )
 
 func main() {
@@ -76,6 +81,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		minNS = n
 	}
+	metrics := map[string]bool{"min": true, "p95": true}
+	if v := os.Getenv("WDPT_BENCH_METRICS"); v != "" {
+		metrics = make(map[string]bool)
+		for _, m := range strings.Split(v, ",") {
+			switch m = strings.TrimSpace(m); m {
+			case "min", "p95":
+				metrics[m] = true
+			default:
+				fmt.Fprintf(stderr, "benchdiff: bad WDPT_BENCH_METRICS entry %q (want min and/or p95)\n", m)
+				return 2
+			}
+		}
+	}
 	oldArt, err := load(args[0])
 	if err != nil {
 		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
@@ -118,15 +136,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		for i := 0; i < n; i++ {
 			op, np := oe.Timings[i], ne.Timings[i]
-			point := fmt.Sprintf("point %d/min", i)
-			if bad, msg := compare(oe.ID, point, op.MinNS, np.MinNS, tolerance, minNS); bad {
-				fmt.Fprintln(stdout, msg)
-				regressions++
+			if metrics["min"] {
+				point := fmt.Sprintf("point %d/min", i)
+				if bad, msg := compare(oe.ID, point, op.MinNS, np.MinNS, tolerance, minNS); bad {
+					fmt.Fprintln(stdout, msg)
+					regressions++
+				}
 			}
-			point = fmt.Sprintf("point %d/p95", i)
-			if bad, msg := compare(oe.ID, point, op.P95NS, np.P95NS, tolerance, minNS); bad {
-				fmt.Fprintln(stdout, msg)
-				regressions++
+			if metrics["p95"] {
+				point := fmt.Sprintf("point %d/p95", i)
+				if bad, msg := compare(oe.ID, point, op.P95NS, np.P95NS, tolerance, minNS); bad {
+					fmt.Fprintln(stdout, msg)
+					regressions++
+				}
 			}
 			compared++
 		}

@@ -64,6 +64,35 @@ func TestBenchdiffFlagsRegression(t *testing.T) {
 	}
 }
 
+// TestBenchdiffMetricsSelection pins WDPT_BENCH_METRICS: a pair whose p95
+// regressed but whose min held steady fails the default gate and passes a
+// min-only gate (the quick-mode storage A/B configuration, where p95 over
+// few reps is the maximum and GC pacing dominates).
+func TestBenchdiffMetricsSelection(t *testing.T) {
+	oldP := writeArtifact(t, "old.json", oldArtifact)
+	newP := writeArtifact(t, "new.json", `{
+  "date": "2026-08-02", "commit": "bbbb", "go_version": "go1.22",
+  "experiments": [
+    {"id": "exp1", "elapsed_ns": 900000,
+     "timings": [{"min_ns": 1000000, "p50_ns": 1100000, "p95_ns": 4000000, "p99_ns": 4300000, "reps": 3}]},
+    {"id": "exp2", "elapsed_ns": 500000, "timings": []}
+  ]
+}`)
+	var out, errb strings.Builder
+	if code := run([]string{oldP, newP}, &out, &errb); code != 1 {
+		t.Fatalf("default metrics exited %d, want 1 (p95 regressed)\n%s", code, out.String())
+	}
+	t.Setenv("WDPT_BENCH_METRICS", "min")
+	out.Reset()
+	if code := run([]string{oldP, newP}, &out, &errb); code != 0 {
+		t.Fatalf("min-only gate exited %d, want 0\n%s", code, out.String())
+	}
+	t.Setenv("WDPT_BENCH_METRICS", "median")
+	if code := run([]string{oldP, newP}, &out, &errb); code != 2 {
+		t.Fatalf("bad metrics entry exited %d, want 2", code)
+	}
+}
+
 func TestBenchdiffNoiseFloorAndFallback(t *testing.T) {
 	// exp1 sits below the 100µs noise floor; exp2 has no timings so the
 	// whole-experiment elapsed fallback applies and regresses.

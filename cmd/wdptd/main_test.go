@@ -29,6 +29,9 @@ func TestSelfcheck(t *testing.T) {
 	if !strings.Contains(stdout.String(), "selfcheck ok (2 dataset(s)") {
 		t.Fatalf("stdout = %q, want a selfcheck ok summary", stdout.String())
 	}
+	if !strings.Contains(stdout.String(), "backend round-trip ok (2 dataset(s)") {
+		t.Fatalf("stdout = %q, want a backend round-trip ok line", stdout.String())
+	}
 }
 
 func TestSelfcheckFailsOnBrokenDataset(t *testing.T) {

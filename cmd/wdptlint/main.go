@@ -26,6 +26,11 @@
 //	    runtimeMetricNames) is snake_case, globally unique, and — for the
 //	    exposition-facing registries — documented in the
 //	    docs/OBSERVABILITY.md glossary
+//	R15 ID-native kernels: internal/cqeval and internal/core must not call
+//	    the Deprecated db string accessors (Tuples, Matching,
+//	    ActiveDomain), build per-iteration string map keys in loops, or
+//	    compare db.Tuple components in loops — hot paths work on
+//	    dictionary term IDs (see docs/STORAGE.md)
 //
 // R10-R13 are whole-program rules: they run over a type-resolved
 // cross-package call graph of the full loaded closure (see graphrules.go
@@ -194,6 +199,7 @@ var allRules = []ruleSpec{
 	{"R12", "whole-program: time.Now / global rand / unsorted map order must not flow into report, cq, or harness"},
 	{"R13", "whole-program: tuple loops in cqeval/core must reach the guard meter (meterage manifest ratchets)"},
 	{"R14", "internal/obs metric-name registries: snake_case, unique, exposition names documented in the glossary"},
+	{"R15", "cqeval/core kernels stay ID-native: no deprecated db string accessors, per-row string map keys, or Tuple string comparisons in loops"},
 }
 
 func parseRules(s string) (map[string]bool, error) {

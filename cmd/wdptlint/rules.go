@@ -75,6 +75,9 @@ func lintPackage(l *loader, p *lintPkg, enabled map[string]bool) []Finding {
 		if enabled["R11"] && p.rel != "internal/par" {
 			out = append(out, lintGoroutineJoin(l, p, f)...)
 		}
+		if enabled["R15"] && hotPathPkg(p.rel) {
+			out = append(out, lintHotPathKeys(l, p, f)...)
+		}
 	}
 	// R14 spans the registry variables of the whole package (uniqueness is
 	// cross-file), so it runs once after the per-file rules.
@@ -1019,6 +1022,161 @@ func isWaitGroupMethod(fn *types.Func) bool {
 	named, ok := t.(*types.Named)
 	return ok && named.Obj().Pkg() != nil &&
 		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}
+
+// ---------------------------------------------------------------------------
+// R15 — ID-native hot paths in the evaluation kernels.
+//
+// The storage redesign (docs/STORAGE.md) moved the kernels in
+// internal/cqeval and internal/core to dictionary-encoded uint32 rows;
+// strings exist only at the load and report boundaries. This rule keeps
+// string work from leaking back into the kernels:
+//
+//   - calling a Deprecated internal/db string accessor (Relation.Tuples,
+//     Relation.Matching, Database.ActiveDomain) materializes or probes
+//     string tuples — kernels must use Scan/At/MatchingIDs/ContainsIDs;
+//   - probing a map[string]-keyed table inside a loop with a key *built*
+//     per iteration (string concatenation, fmt.Sprintf, strings.Join, or a
+//     db/cq Key()-style canonical-string method) allocates one string per
+//     row; the sanctioned idiom is a packed []uint32 key reused through
+//     m[string(buf)], which the compiler keeps allocation-free;
+//   - comparing db.Tuple components inside a loop is a per-row string
+//     comparison where an ID comparison belongs.
+
+// hotPathPkg reports whether R15 applies: the two evaluation-kernel
+// packages whose inner loops the paper's polynomial bounds live in.
+func hotPathPkg(rel string) bool {
+	return rel == "internal/cqeval" || rel == "internal/core"
+}
+
+func lintHotPathKeys(l *loader, p *lintPkg, f *ast.File) []Finding {
+	var out []Finding
+	loopDepth := 0
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			switch top.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loopDepth--
+			}
+			return true
+		}
+		stack = append(stack, n)
+		switch v := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopDepth++
+		case *ast.CallExpr:
+			if name := dbStringAccessor(l, p, v); name != "" {
+				out = append(out, l.finding(v.Pos(), "R15",
+					"call to deprecated db string accessor %s: kernels must stay ID-native (Scan/At/MatchingIDs/ContainsIDs and the relation Dict)", name))
+			}
+		case *ast.IndexExpr:
+			if loopDepth == 0 {
+				break
+			}
+			t := p.info.TypeOf(v.X)
+			if t == nil {
+				break
+			}
+			m, ok := t.Underlying().(*types.Map)
+			if !ok || !isStringType(m.Key()) {
+				break
+			}
+			if pos := stringKeyConstruction(l, p, v.Index); pos.IsValid() {
+				out = append(out, l.finding(pos, "R15",
+					"map[string] probe in a loop with a per-iteration string key: pack IDs with db.AppendRowKey into a reused []byte and probe m[string(buf)] instead"))
+			}
+		case *ast.BinaryExpr:
+			if loopDepth == 0 || (v.Op != token.EQL && v.Op != token.NEQ) {
+				break
+			}
+			if isTupleComponent(l, p, v.X) || isTupleComponent(l, p, v.Y) {
+				out = append(out, l.finding(v.Pos(), "R15",
+					"db.Tuple component comparison in a loop: compare dictionary term IDs, not strings"))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// dbStringAccessor returns the display name of the deprecated internal/db
+// string accessor the call resolves to, or "".
+func dbStringAccessor(l *loader, p *lintPkg, call *ast.CallExpr) string {
+	fn := calleeFunc(p.info, call)
+	if fn == nil || fn.Pkg() == nil || l.relOf(fn.Pkg().Path()) != "internal/db" {
+		return ""
+	}
+	switch fn.Name() {
+	case "Tuples", "Matching", "ActiveDomain":
+	default:
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	return "db.(" + typeShortName(sig.Recv().Type()) + ")." + fn.Name()
+}
+
+// stringKeyConstruction returns the position of the first per-iteration
+// string-key build inside a map-probe key expression: a string
+// concatenation, a fmt.Sprintf / strings.Join call, or a call to a
+// canonical-string Key method of the db or cq packages. The packed-key
+// idiom string(buf) contains none of these and stays silent.
+func stringKeyConstruction(l *loader, p *lintPkg, key ast.Expr) token.Pos {
+	found := token.NoPos
+	ast.Inspect(key, func(n ast.Node) bool {
+		if found.IsValid() {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.BinaryExpr:
+			if v.Op == token.ADD && isStringType(p.info.TypeOf(v)) {
+				found = v.Pos()
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(p.info, v)
+			if fn == nil || fn.Pkg() == nil {
+				break
+			}
+			path := fn.Pkg().Path()
+			switch {
+			case path == "fmt" && fn.Name() == "Sprintf",
+				path == "strings" && fn.Name() == "Join":
+				found = v.Pos()
+			case strings.EqualFold(fn.Name(), "key") &&
+				(l.relOf(path) == "internal/db" || l.relOf(path) == "internal/cq"):
+				found = v.Pos()
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isStringType reports whether t is (an alias of) the basic string type.
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isTupleComponent reports whether e indexes into a db.Tuple value.
+func isTupleComponent(l *loader, p *lintPkg, e ast.Expr) bool {
+	ie, ok := unparen(e).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	named, ok := p.info.TypeOf(ie.X).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Tuple" && l.relOf(named.Obj().Pkg().Path()) == "internal/db"
 }
 
 // ---------------------------------------------------------------------------

@@ -16,3 +16,8 @@ func (r *Relation) Matching(t Tuple) []Tuple {
 	}
 	return r.rows
 }
+
+// Tuples is the deprecated string accessor R15 forbids in the kernels.
+//
+// Deprecated: fixture stand-in for the legacy string materializer.
+func (r *Relation) Tuples() []Tuple { return r.rows }

@@ -26,16 +26,44 @@ import (
 // below the subtree whose last node is the first on its path to introduce a
 // variable outside the subtree. A homomorphism on a subtree is maximal iff
 // no extension unit of the subtree admits a consistent homomorphism.
+//
+// compiled and xfer serve the maximality check, which re-tests the same
+// unit under every candidate homomorphism of the subtree: compiled is the
+// unit's atoms compiled against the fixed domain shared with the subtree,
+// and xfer maps each compiled fixed-domain entry to its slot in the
+// subtree's variable layout (cq.AtomsVars order over the subtree atoms), so
+// a candidate's relevant bindings transfer as raw IDs.
 type extUnit struct {
-	nodes []*Node
-	atoms []cq.Atom
+	nodes    []*Node
+	atoms    []cq.Atom
+	compiled *cq.CompiledAtoms
+	xfer     []int
 }
 
-// extensionUnits computes the extension units of the subtree s.
+// extensionUnits computes the extension units of the subtree s. The result
+// is memoized on the tree's subtree cache: maximality is re-checked for the
+// same subtree under every candidate homomorphism, and the units depend
+// only on the (immutable) tree structure and the subtree's node set.
 func (p *PatternTree) extensionUnits(s Subtree) []extUnit {
-	inS := make(map[string]bool)
-	for _, v := range p.SubtreeVars(s) {
+	info := p.subtreeInfoOf(s)
+	if cached := info.units.Load(); cached != nil {
+		return *cached
+	}
+	units := p.computeExtensionUnits(s, info.vars)
+	info.units.CompareAndSwap(nil, &units)
+	if cached := info.units.Load(); cached != nil {
+		return *cached
+	}
+	return units
+}
+
+// computeExtensionUnits is the uncached extension-unit construction.
+func (p *PatternTree) computeExtensionUnits(s Subtree, svars []string) []extUnit {
+	inS := make(map[string]bool, len(svars))
+	slotInS := make(map[string]int, len(svars))
+	for i, v := range svars {
 		inS[v] = true
+		slotInS[v] = i
 	}
 	var units []extUnit
 	var dfs func(n *Node, chainNodes []*Node, chainAtoms []cq.Atom)
@@ -50,7 +78,22 @@ func (p *PatternTree) extensionUnits(s Subtree) []extUnit {
 			}
 		}
 		if fresh {
-			units = append(units, extUnit{nodes: chainNodes, atoms: chainAtoms})
+			var fdom []string
+			for _, v := range cq.AtomsVars(chainAtoms) {
+				if inS[v] {
+					fdom = append(fdom, v)
+				}
+			}
+			u := extUnit{
+				nodes:    chainNodes,
+				atoms:    chainAtoms,
+				compiled: cq.CompileAtoms(chainAtoms, fdom),
+				xfer:     make([]int, len(fdom)),
+			}
+			for i, v := range fdom {
+				u.xfer[i] = slotInS[v]
+			}
+			units = append(units, u)
 			return
 		}
 		for _, c := range n.children {
@@ -65,14 +108,21 @@ func (p *PatternTree) extensionUnits(s Subtree) []extUnit {
 	return units
 }
 
-// isMaximalHom reports whether the homomorphism h on subtree s (defined on
-// exactly the variables of s) is maximal: no extension unit of s can be
-// satisfied consistently with h.
-func (p *PatternTree) isMaximalHom(s Subtree, d *db.Database, h cq.Mapping, st *obs.Stats, m *guard.Meter) bool {
+// isMaximalHom reports whether the homomorphism held in the solver
+// assignment a — defined on exactly the variables of the subtree the units
+// belong to, in the subtree's cq.AtomsVars slot order, which the units'
+// xfer tables were built against — is maximal: none of the subtree's
+// extension units can be satisfied consistently with it. The units are
+// passed in (extensionUnits of the subtree) so the band loop resolves the
+// subtree cache once per band rather than per candidate, and the shared
+// bindings transfer to each unit as raw dictionary IDs, so the
+// per-candidate check costs no string round trip.
+func (p *PatternTree) isMaximalHom(units []extUnit, d *db.Database, a cq.IDAssignment, chk *cq.SatChecker, st *obs.Stats, m *guard.Meter) bool {
 	st.Inc(obs.CtrMaximalityChecks)
-	for _, u := range p.extensionUnits(s) {
+	for i := range units {
+		u := &units[i]
 		st.Inc(obs.CtrExtensionUnits)
-		if cq.SatisfiableObs(u.atoms, d, h, st, m) {
+		if chk.SatisfiableAt(u.compiled, d, a.IDs, u.xfer, st, m) {
 			return false
 		}
 	}
@@ -168,13 +218,15 @@ func (p *PatternTree) evalNaive(d *db.Database, h cq.Mapping, st *obs.Stats, m *
 		return false
 	}
 	found := false
+	var chk cq.SatChecker
 	p.enumerateBand(tmin, tmax, func(s Subtree) bool {
 		m.Checkpoint()
 		st.Inc(obs.CtrBandsEnumerated)
-		cq.HomomorphismsObs(p.SubtreeAtoms(s), d, h, st, m, func(g cq.Mapping) bool {
+		units := p.extensionUnits(s)
+		cq.HomomorphismsIDsObs(p.SubtreeAtoms(s), d, h, st, m, func(g cq.IDAssignment) bool {
 			// g is defined on vars(s) ⊆ the allowed region, so its free
 			// projection is exactly h; it remains to check maximality.
-			if p.isMaximalHom(s, d, g, st, m) {
+			if p.isMaximalHom(units, d, g, &chk, st, m) {
 				found = true
 				return false
 			}

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"wdpt/internal/cq"
 )
@@ -19,6 +21,7 @@ import (
 // Node is a node of a pattern tree, labeled with a set of relational atoms.
 type Node struct {
 	atoms    []cq.Atom
+	vars     []string // cached cq.AtomsVars(atoms); nodes are immutable
 	children []*Node
 	parent   *Node
 	id       int // preorder index within its PatternTree
@@ -33,8 +36,9 @@ func (n *Node) Children() []*Node { return n.children }
 // ID returns the node's preorder index within its tree (root = 0).
 func (n *Node) ID() int { return n.id }
 
-// Vars returns the distinct variables mentioned in the node's label.
-func (n *Node) Vars() []string { return cq.AtomsVars(n.atoms) }
+// Vars returns the distinct variables mentioned in the node's label. The
+// returned slice is computed once at construction and must not be modified.
+func (n *Node) Vars() []string { return n.vars }
 
 // NodeSpec describes a node when constructing a pattern tree.
 type NodeSpec struct {
@@ -49,6 +53,70 @@ type PatternTree struct {
 	root  *Node
 	nodes []*Node // preorder; nodes[i].id == i
 	free  []string
+	// subtrees memoizes per-subtree derived structure (atoms, vars,
+	// extension units): subtree-local evaluation recomputes these for the
+	// same subtree at every band/extension step, and the tree is immutable,
+	// so the computation is a pure function of the node-id set. Entries are
+	// keyed by subtreeKey and shared by concurrent Solve goroutines; the
+	// entry count is bounded by maxSubtreeCache to keep the exponential
+	// subtree space from exhausting memory (past the bound, callers compute
+	// without caching).
+	subtrees     sync.Map // subtreeKey → *subtreeInfo
+	subtreeCount atomic.Int64
+}
+
+// maxSubtreeCache bounds the number of memoized subtree entries per tree.
+// The subtree space is exponential in |T|, but real evaluations revisit a
+// small working set; the bound only matters for adversarial enumerations.
+const maxSubtreeCache = 1 << 14
+
+// subtreeInfo is the memoized derived structure of one rooted subtree.
+// atoms and vars are always set; units is filled lazily by extensionUnits
+// (nil means not yet computed — an empty unit list is stored non-nil).
+type subtreeInfo struct {
+	atoms []cq.Atom
+	vars  []string
+	units atomic.Pointer[[]extUnit]
+}
+
+// subtreeKey returns a canonical comparable key for the node-id set: a
+// uint64 bitmask for trees of at most 64 nodes (the common case), else the
+// sorted-id string rendering.
+func (p *PatternTree) subtreeKey(s Subtree) any {
+	if len(p.nodes) <= 64 {
+		var m uint64
+		for id, in := range s {
+			if in {
+				m |= 1 << uint(id)
+			}
+		}
+		return m
+	}
+	return s.Key()
+}
+
+// subtreeInfoOf returns the memoized derived structure of s, computing and
+// (size permitting) caching it.
+func (p *PatternTree) subtreeInfoOf(s Subtree) *subtreeInfo {
+	key := p.subtreeKey(s)
+	if v, ok := p.subtrees.Load(key); ok {
+		return v.(*subtreeInfo)
+	}
+	var atoms []cq.Atom
+	for _, n := range p.nodes {
+		if s[n.id] {
+			atoms = append(atoms, n.atoms...)
+		}
+	}
+	atoms = cq.DedupAtoms(atoms)
+	info := &subtreeInfo{atoms: atoms, vars: cq.AtomsVars(atoms)}
+	if p.subtreeCount.Load() < maxSubtreeCache {
+		if v, loaded := p.subtrees.LoadOrStore(key, info); loaded {
+			return v.(*subtreeInfo)
+		}
+		p.subtreeCount.Add(1)
+	}
+	return info
 }
 
 // New builds a pattern tree from the root spec and free-variable tuple,
@@ -64,6 +132,7 @@ func New(root NodeSpec, free []string) (*PatternTree, error) {
 			parent: parent,
 			id:     len(p.nodes),
 		}
+		n.vars = cq.AtomsVars(n.atoms)
 		p.nodes = append(p.nodes, n)
 		for _, c := range spec.Children {
 			n.children = append(n.children, build(c, n))
@@ -285,19 +354,15 @@ func (p *PatternTree) FullSubtree() Subtree {
 }
 
 // SubtreeAtoms returns the atoms of the nodes in s, i.e. the body of q_T'.
+// The result is memoized per subtree and must not be modified.
 func (p *PatternTree) SubtreeAtoms(s Subtree) []cq.Atom {
-	var atoms []cq.Atom
-	for _, n := range p.nodes {
-		if s[n.id] {
-			atoms = append(atoms, n.atoms...)
-		}
-	}
-	return cq.DedupAtoms(atoms)
+	return p.subtreeInfoOf(s).atoms
 }
 
-// SubtreeVars returns the distinct variables mentioned in s.
+// SubtreeVars returns the distinct variables mentioned in s. The result is
+// memoized per subtree and must not be modified.
 func (p *PatternTree) SubtreeVars(s Subtree) []string {
-	return cq.AtomsVars(p.SubtreeAtoms(s))
+	return p.subtreeInfoOf(s).vars
 }
 
 // SubtreeFreeVars returns x̄ ∩ vars(T') in the order of x̄.

@@ -362,7 +362,7 @@ func planToObs(p *plan, engine, strategy string, width int) obs.Plan {
 		out.Bags = append(out.Bags, obs.PlanBag{
 			Vars:   append([]string(nil), r.vars...),
 			Atoms:  atoms,
-			Rows:   len(r.rows),
+			Rows:   r.n,
 			Parent: p.parent[i],
 		})
 	}
@@ -373,6 +373,7 @@ func planToObs(p *plan, engine, strategy string, width int) obs.Plan {
 // decomposition) ready for semijoin processing.
 type plan struct {
 	rels     []*varRel
+	dict     *db.Dict
 	parent   []int
 	order    []int // bottom-up
 	failed   bool  // a ground atom failed or a node relation is empty by construction
@@ -387,7 +388,7 @@ type plan struct {
 // passed: a single empty-row relation.
 func trivialPlan(st *obs.Stats) *plan {
 	return &plan{
-		rels:   []*varRel{{rows: []cq.Mapping{{}}}},
+		rels:   []*varRel{{n: 1}},
 		parent: []int{-1},
 		order:  []int{0},
 		st:     st,
@@ -444,24 +445,24 @@ func prepareJoinTree(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st *obs.
 	if !shape.ok {
 		return nil, false
 	}
-	p := &plan{parent: shape.parent, order: shape.order, st: st, pl: pl, gm: gm, nAtoms: len(inst)}
+	p := &plan{dict: d.Dict(), parent: shape.parent, order: shape.order, st: st, pl: pl, gm: gm, nAtoms: len(inst)}
 	p.rels = par.Map(pl, len(inst), func(i int) *varRel {
 		guard.Fault(guard.SiteCQEvalBag)
 		r := newVarRel(inst[i].Vars())
-		r.rows = cq.ProjectionsObs([]cq.Atom{inst[i]}, d, nil, st, gm, r.vars)
-		gm.ChargeTuples(int64(len(r.rows)))
+		r.setData(cq.ProjectionIDs([]cq.Atom{inst[i]}, d, nil, st, gm, r.vars))
+		gm.ChargeTuples(int64(r.n))
 		return r
 	})
 	p.bagAtoms = make([]int, len(inst))
 	for i, r := range p.rels {
-		if len(r.rows) == 0 {
+		if r.n == 0 {
 			p.failed = true
 		}
 		p.bagAtoms[i] = 1
 	}
 	st.Add(obs.CtrBagsBuilt, int64(len(p.rels)))
 	for _, r := range p.rels {
-		st.Add(obs.CtrBagRows, int64(len(r.rows)))
+		st.Add(obs.CtrBagRows, int64(r.n))
 	}
 	return p, true
 }
@@ -515,7 +516,7 @@ func prepareDecomposition(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st 
 		}
 	}
 	cand := candidateDomains(inst, d)
-	p := &plan{parent: parent, order: order, st: st, pl: pl, gm: gm, nAtoms: len(inst)}
+	p := &plan{dict: d.Dict(), parent: parent, order: order, st: st, pl: pl, gm: gm, nAtoms: len(inst)}
 	p.rels = par.Map(pl, nBags, func(i int) *varRel {
 		guard.Fault(guard.SiteCQEvalBag)
 		r := newVarRel(bags[i])
@@ -531,25 +532,28 @@ func prepareDecomposition(atoms []cq.Atom, d *db.Database, fixed cq.Mapping, st 
 				uncovered = append(uncovered, v)
 			}
 		}
-		base := cq.ProjectionsObs(assigned[i], d, nil, st, gm, r.vars)
-		gm.ChargeTuples(int64(len(base)))
-		rows := extendOverDomains(base, uncovered, cand, gm)
-		if len(uncovered) > 0 {
-			st.Add(obs.CtrDomainProductRows, int64(len(rows)))
+		base := cq.ProjectionIDs(assigned[i], d, nil, st, gm, r.vars)
+		gm.ChargeTuples(int64(len(base) / r.w))
+		vals := make([][]uint32, len(uncovered))
+		for k, v := range uncovered {
+			vals[k] = cand[v]
 		}
-		r.rows = rows
+		r.setData(extendOverDomains(base, r.w, varPositions(r.vars, uncovered), vals, gm))
+		if len(uncovered) > 0 {
+			st.Add(obs.CtrDomainProductRows, int64(r.n))
+		}
 		return r
 	})
 	p.bagAtoms = make([]int, nBags)
 	for i, r := range p.rels {
-		if len(r.rows) == 0 {
+		if r.n == 0 {
 			p.failed = true
 		}
 		p.bagAtoms[i] = len(assigned[i])
 	}
 	st.Add(obs.CtrBagsBuilt, int64(nBags))
 	for _, r := range p.rels {
-		st.Add(obs.CtrBagRows, int64(len(r.rows)))
+		st.Add(obs.CtrBagRows, int64(r.n))
 	}
 	return p, true
 }
@@ -564,20 +568,21 @@ func coversAtom(bag map[string]bool, a cq.Atom) bool {
 }
 
 // candidateDomains computes, for each variable, the intersection over all
-// its occurrences of the values in the corresponding relation column — a
-// sound per-variable filter.
-func candidateDomains(atoms []cq.Atom, d *db.Database) map[string][]string {
-	sets := make(map[string]map[string]bool)
+// its occurrences of the term IDs in the corresponding relation column — a
+// sound per-variable filter, computed entirely on dictionary-encoded
+// columns.
+func candidateDomains(atoms []cq.Atom, d *db.Database) map[string][]uint32 {
+	sets := make(map[string]map[uint32]bool)
 	for _, a := range atoms {
 		rel := d.Relation(a.Rel)
 		for pos, t := range a.Args {
 			if !t.IsVar() {
 				continue
 			}
-			col := make(map[string]bool)
+			col := make(map[uint32]bool)
 			if rel != nil && rel.Arity() == len(a.Args) {
-				for _, tp := range rel.Tuples() {
-					col[tp[pos]] = true
+				for i, n := 0, rel.Len(); i < n; i++ {
+					col[rel.At(i, pos)] = true
 				}
 			}
 			if prev, ok := sets[t.Value()]; ok {
@@ -591,36 +596,38 @@ func candidateDomains(atoms []cq.Atom, d *db.Database) map[string][]string {
 			}
 		}
 	}
-	out := make(map[string][]string, len(sets))
+	out := make(map[string][]uint32, len(sets))
 	for v, set := range sets {
-		vals := make([]string, 0, len(set))
+		vals := make([]uint32, 0, len(set))
 		for c := range set {
 			vals = append(vals, c)
 		}
-		sort.Strings(vals)
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
 		out[v] = vals
 	}
 	return out
 }
 
-// extendOverDomains extends each base row with all combinations of candidate
-// values for the uncovered variables, charging each product row against the
-// guard meter (the decomposition engine's cross-product blow-up is exactly
-// the path a tuple budget must bound).
-func extendOverDomains(base []cq.Mapping, uncovered []string, cand map[string][]string, gm *guard.Meter) []cq.Mapping {
+// extendOverDomains extends each base row (flat, width w) with all
+// combinations of candidate IDs for the uncovered variable positions,
+// charging each product row against the guard meter (the decomposition
+// engine's cross-product blow-up is exactly the path a tuple budget must
+// bound).
+func extendOverDomains(base []uint32, w int, uncovered []int, vals [][]uint32, gm *guard.Meter) []uint32 {
 	rows := base
-	for _, v := range uncovered {
-		vals := cand[v]
-		if len(vals) == 0 {
+	for k, pos := range uncovered {
+		vs := vals[k]
+		if len(vs) == 0 {
 			return nil
 		}
-		next := make([]cq.Mapping, 0, len(rows)*len(vals))
-		for _, row := range rows {
-			for _, c := range vals {
+		n := len(rows) / w
+		next := make([]uint32, 0, len(rows)*len(vs))
+		for i := 0; i < n; i++ {
+			row := rows[i*w : (i+1)*w]
+			for _, c := range vs {
 				gm.ChargeTuples(1)
-				r := row.Clone()
-				r[v] = c
-				next = append(next, r)
+				next = append(next, row...)
+				next[len(next)-w+pos] = c
 			}
 		}
 		rows = next
@@ -665,15 +672,15 @@ func (p *plan) satisfiable() bool {
 		if pa := p.parent[i]; pa != -1 {
 			p.gm.Checkpoint()
 			guard.Fault(guard.SiteCQEvalSemijoin)
-			p.rels[pa].semijoin(p.rels[i])
+			p.rels[pa].semijoin(p.rels[i], p.st)
 			p.st.Inc(obs.CtrSemijoinPasses)
-			if len(p.rels[pa].rows) == 0 {
+			if p.rels[pa].n == 0 {
 				return false
 			}
 		}
 	}
 	root := p.order[len(p.order)-1]
-	return len(p.rels[root].rows) > 0
+	return p.rels[root].n > 0
 }
 
 // projectAnswers performs the full Yannakakis pipeline: bottom-up reduction,
@@ -688,9 +695,9 @@ func (p *plan) projectAnswers(proj []string, fixed cq.Mapping) []cq.Mapping {
 		if pa := p.parent[i]; pa != -1 {
 			p.gm.Checkpoint()
 			guard.Fault(guard.SiteCQEvalSemijoin)
-			p.rels[pa].semijoin(p.rels[i])
+			p.rels[pa].semijoin(p.rels[i], p.st)
 			p.st.Inc(obs.CtrSemijoinPasses)
-			if len(p.rels[pa].rows) == 0 {
+			if p.rels[pa].n == 0 {
 				return nil
 			}
 		}
@@ -746,9 +753,17 @@ func (p *plan) projectAnswers(proj []string, fixed cq.Mapping) []cq.Mapping {
 			extra[v] = c
 		}
 	}
+	// Translate the ID rows back to strings: this is the only place the
+	// projecting pipeline touches the dictionary.
 	out := cq.NewMappingSet()
-	for _, row := range result.rows {
-		merged := row.Clone()
+	for i := 0; i < result.n; i++ {
+		row := result.row(i)
+		merged := make(cq.Mapping, len(result.vars)+len(extra))
+		for k, v := range result.vars {
+			if id := row[k]; id != db.NoID {
+				merged[v] = p.dict.Term(id)
+			}
+		}
 		for k, c := range extra {
 			merged[k] = c
 		}
@@ -770,7 +785,7 @@ func (p *plan) topDownReduce() {
 			if pa := p.parent[i]; pa != -1 {
 				p.gm.Checkpoint()
 				guard.Fault(guard.SiteCQEvalSemijoin)
-				p.rels[i].semijoin(p.rels[pa])
+				p.rels[i].semijoin(p.rels[pa], p.st)
 				p.st.Inc(obs.CtrSemijoinPasses)
 			}
 		}
@@ -800,7 +815,7 @@ func (p *plan) topDownReduce() {
 			i := wave[k]
 			p.gm.Checkpoint()
 			guard.Fault(guard.SiteCQEvalSemijoin)
-			p.rels[i].semijoin(p.rels[p.parent[i]])
+			p.rels[i].semijoin(p.rels[p.parent[i]], p.st)
 			p.st.Inc(obs.CtrSemijoinPasses)
 		})
 	}

@@ -147,7 +147,7 @@ func (e hypertreeEngine) prepare(atoms []cq.Atom, d *db.Database, fixed cq.Mappi
 			panic("cqeval: atom not covered by any GHD bag")
 		}
 	}
-	p := &plan{parent: parent, order: order, st: st, pl: pl, gm: gm, nAtoms: len(inst)}
+	p := &plan{dict: d.Dict(), parent: parent, order: order, st: st, pl: pl, gm: gm, nAtoms: len(inst)}
 	p.rels = par.Map(pl, len(bags), func(i int) *varRel {
 		guard.Fault(guard.SiteCQEvalBag)
 		local := append([]cq.Atom(nil), assigned[i]...)
@@ -155,20 +155,20 @@ func (e hypertreeEngine) prepare(atoms []cq.Atom, d *db.Database, fixed cq.Mappi
 			local = append(local, inst[ei])
 		}
 		r := newVarRel(bags[i])
-		r.rows = cq.ProjectionsObs(cq.DedupAtoms(local), d, nil, st, gm, r.vars)
-		gm.ChargeTuples(int64(len(r.rows)))
+		r.setData(cq.ProjectionIDs(cq.DedupAtoms(local), d, nil, st, gm, r.vars))
+		gm.ChargeTuples(int64(r.n))
 		return r
 	})
 	p.bagAtoms = make([]int, len(bags))
 	for i, r := range p.rels {
-		if len(r.rows) == 0 {
+		if r.n == 0 {
 			p.failed = true
 		}
 		p.bagAtoms[i] = len(assigned[i])
 	}
 	st.Add(obs.CtrBagsBuilt, int64(len(bags)))
 	for _, r := range p.rels {
-		st.Add(obs.CtrBagRows, int64(len(r.rows)))
+		st.Add(obs.CtrBagRows, int64(r.n))
 	}
 	return p, width, true
 }

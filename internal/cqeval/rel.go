@@ -9,47 +9,63 @@ package cqeval
 
 import (
 	"sort"
-	"strings"
 
-	"wdpt/internal/cq"
+	"wdpt/internal/db"
 	"wdpt/internal/guard"
+	"wdpt/internal/obs"
 )
 
-// varRel is a materialized relation over a set of variables: each row is a
-// mapping defined exactly on vars.
+// varRel is a materialized relation over a set of variables: row-major
+// dictionary-encoded rows of width len(vars), aligned with the sorted vars
+// list. A component of db.NoID means the row does not bind that variable
+// (the legacy mapping-based representation simply omitted it). Strings
+// appear only when the final answer rows are emitted.
 type varRel struct {
 	vars []string
-	rows []cq.Mapping
+	w    int
+	data []uint32
+	n    int
 }
 
 func newVarRel(vars []string) *varRel {
 	sorted := append([]string(nil), vars...)
 	sort.Strings(sorted)
-	return &varRel{vars: sorted}
+	return &varRel{vars: sorted, w: len(sorted)}
 }
 
-func (r *varRel) key(row cq.Mapping, on []string) string {
-	var b strings.Builder
-	for _, v := range on {
-		b.WriteString(row[v])
-		b.WriteByte('\x00')
+// setData installs a flat row set produced by cq.ProjectionIDs.
+func (r *varRel) setData(data []uint32) {
+	r.data = data
+	if r.w > 0 {
+		r.n = len(data) / r.w
 	}
-	return b.String()
 }
 
-// add inserts a row, deduplicating.
-func (r *varRel) addAll(rows []cq.Mapping) {
-	seen := make(map[string]bool, len(rows))
-	for _, row := range r.rows {
-		seen[r.key(row, r.vars)] = true
+func (r *varRel) row(i int) []uint32 { return r.data[i*r.w : (i+1)*r.w] }
+
+// appendKeyAt appends the packed key of row i restricted to the given
+// positions.
+func (r *varRel) appendKeyAt(dst []byte, i int, pos []int) []byte {
+	base := i * r.w
+	for _, p := range pos {
+		id := r.data[base+p]
+		dst = append(dst, byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
 	}
-	for _, row := range rows {
-		k := r.key(row, r.vars)
-		if !seen[k] {
-			seen[k] = true
-			r.rows = append(r.rows, row)
+	return dst
+}
+
+// varPositions returns the positions in vars of each variable of sub.
+// Both lists are sorted and sub ⊆ vars.
+func varPositions(vars, sub []string) []int {
+	out := make([]int, len(sub))
+	j := 0
+	for i, v := range sub {
+		for vars[j] != v {
+			j++
 		}
+		out[i] = j
 	}
+	return out
 }
 
 // sharedVars returns the sorted intersection of two sorted var lists.
@@ -84,27 +100,110 @@ func unionVars(a, b []string) []string {
 	return out
 }
 
+// mergeJoinMinRows is the semijoin algorithm-selection threshold: when
+// either side holds fewer rows, sorting cannot pay for itself and the pass
+// runs as a hash-set filter; at or above it, both sides' shared-key
+// projections are sorted once and a single linear merge marks the
+// surviving rows (see docs/STORAGE.md, "Merge-join selection rule").
+const mergeJoinMinRows = 16
+
 // semijoin keeps the rows of r that agree with some row of s on the shared
-// variables, in place.
-func (r *varRel) semijoin(s *varRel) {
+// variables, in place and in their original order. Merge passes are
+// recorded on st.
+func (r *varRel) semijoin(s *varRel, st *obs.Stats) {
 	shared := sharedVars(r.vars, s.vars)
 	if len(shared) == 0 {
-		if len(s.rows) == 0 {
-			r.rows = nil
+		if s.n == 0 {
+			r.data, r.n = nil, 0
 		}
 		return
 	}
-	keys := make(map[string]bool, len(s.rows))
-	for _, row := range s.rows {
-		keys[s.key(row, shared)] = true
+	if r.n == 0 {
+		return
 	}
-	kept := r.rows[:0]
-	for _, row := range r.rows {
-		if keys[r.key(row, shared)] {
-			kept = append(kept, row)
+	pr := varPositions(r.vars, shared)
+	ps := varPositions(s.vars, shared)
+	if r.n < mergeJoinMinRows || s.n < mergeJoinMinRows {
+		keys := make(map[string]bool, s.n)
+		var buf []byte
+		for j := 0; j < s.n; j++ {
+			buf = s.appendKeyAt(buf[:0], j, ps)
+			keys[string(buf)] = true
+		}
+		out := r.data[:0]
+		n := 0
+		for i := 0; i < r.n; i++ {
+			buf = r.appendKeyAt(buf[:0], i, pr)
+			if keys[string(buf)] {
+				out = append(out, r.row(i)...)
+				n++
+			}
+		}
+		r.data, r.n = out, n
+		return
+	}
+	st.Inc(obs.CtrMergeJoinPasses)
+	st.Add(obs.CtrMergeJoinRows, int64(r.n+s.n))
+	rp := r.sortedPerm(pr)
+	sp := s.sortedPerm(ps)
+	keep := make([]bool, r.n)
+	for i, j := 0, 0; i < len(rp) && j < len(sp); {
+		switch c := compareAt(r, rp[i], pr, s, sp[j], ps); {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			keep[rp[i]] = true
+			i++
 		}
 	}
-	r.rows = kept
+	out := r.data[:0]
+	n := 0
+	for i := 0; i < r.n; i++ {
+		if keep[i] {
+			out = append(out, r.row(i)...)
+			n++
+		}
+	}
+	r.data, r.n = out, n
+}
+
+// sortedPerm returns the row offsets of r ordered by the projection to the
+// given positions (ties by offset), i.e. a permuted sorted run over the
+// shared-key columns.
+func (r *varRel) sortedPerm(pos []int) []int {
+	perm := make([]int, r.n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		ia, ib := perm[a]*r.w, perm[b]*r.w
+		for _, p := range pos {
+			va, vb := r.data[ia+p], r.data[ib+p]
+			if va != vb {
+				return va < vb
+			}
+		}
+		return perm[a] < perm[b]
+	})
+	return perm
+}
+
+// compareAt compares row i of r with row j of s on their respective
+// shared-variable positions.
+func compareAt(r *varRel, i int, pr []int, s *varRel, j int, ps []int) int {
+	ri, sj := i*r.w, j*s.w
+	for k := range pr {
+		va, vb := r.data[ri+pr[k]], s.data[sj+ps[k]]
+		if va != vb {
+			if va < vb {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
 }
 
 // join returns the natural join of r and s, charging each merged candidate
@@ -114,23 +213,53 @@ func (r *varRel) semijoin(s *varRel) {
 func join(r, s *varRel, gm *guard.Meter) *varRel {
 	shared := sharedVars(r.vars, s.vars)
 	out := newVarRel(unionVars(r.vars, s.vars))
-	index := make(map[string][]cq.Mapping, len(s.rows))
-	for _, row := range s.rows {
-		k := s.key(row, shared)
-		index[k] = append(index[k], row)
+	pr := varPositions(r.vars, shared)
+	ps := varPositions(s.vars, shared)
+	// For each output column, the source position in s (preferred, to
+	// match the legacy merge where s's bindings overwrote r's) or in r.
+	srcS := make([]int, out.w)
+	srcR := make([]int, out.w)
+	sPos := make(map[string]int, len(s.vars))
+	for p, v := range s.vars {
+		sPos[v] = p
+	}
+	rPos := make(map[string]int, len(r.vars))
+	for p, v := range r.vars {
+		rPos[v] = p
+	}
+	for k, v := range out.vars {
+		if p, ok := sPos[v]; ok {
+			srcS[k], srcR[k] = p, -1
+		} else {
+			srcS[k], srcR[k] = -1, rPos[v]
+		}
+	}
+	index := make(map[string][]int, s.n)
+	var buf []byte
+	for j := 0; j < s.n; j++ {
+		buf = s.appendKeyAt(buf[:0], j, ps)
+		index[string(buf)] = append(index[string(buf)], j)
 	}
 	seen := make(map[string]bool)
-	for _, row := range r.rows {
-		for _, srow := range index[r.key(row, shared)] {
+	merged := make([]uint32, out.w)
+	var mbuf []byte
+	for i := 0; i < r.n; i++ {
+		buf = r.appendKeyAt(buf[:0], i, pr)
+		for _, j := range index[string(buf)] {
 			gm.ChargeTuples(1)
-			merged := row.Clone()
-			for k, v := range srow {
-				merged[k] = v
+			ri, sj := i*r.w, j*s.w
+			for k := range merged {
+				if p := srcS[k]; p >= 0 {
+					merged[k] = s.data[sj+p]
+				} else {
+					merged[k] = r.data[ri+srcR[k]]
+				}
 			}
-			mk := out.key(merged, out.vars)
-			if !seen[mk] {
-				seen[mk] = true
-				out.rows = append(out.rows, merged)
+			mbuf = db.AppendRowKey(mbuf[:0], merged)
+			if !seen[string(mbuf)] {
+				seen[string(mbuf)] = true
+				out.data = append(out.data, merged...)
+				out.n++
 			}
 		}
 	}
@@ -138,17 +267,23 @@ func join(r, s *varRel, gm *guard.Meter) *varRel {
 }
 
 // project returns the projection of r to the given variables (intersected
-// with r's variables), deduplicating rows.
+// with r's variables), deduplicating rows and keeping first occurrences in
+// order.
 func (r *varRel) project(onto []string) *varRel {
 	keep := sharedVars(r.vars, onto)
 	out := newVarRel(keep)
-	seen := make(map[string]bool, len(r.rows))
-	for _, row := range r.rows {
-		p := row.Restrict(keep)
-		k := out.key(p, keep)
-		if !seen[k] {
-			seen[k] = true
-			out.rows = append(out.rows, p)
+	pos := varPositions(r.vars, keep)
+	seen := make(map[string]bool, r.n)
+	var buf []byte
+	for i := 0; i < r.n; i++ {
+		buf = r.appendKeyAt(buf[:0], i, pos)
+		if !seen[string(buf)] {
+			seen[string(buf)] = true
+			base := i * r.w
+			for _, p := range pos {
+				out.data = append(out.data, r.data[base+p])
+			}
+			out.n++
 		}
 	}
 	return out

@@ -1,0 +1,138 @@
+package db
+
+import (
+	"sync/atomic"
+)
+
+// memStore is the legacy relation layout preserved behind the Store
+// interface: tuples of Go strings, a set keyed by the (length-prefixed)
+// tuple key, and lazy per-position map[string][]int hash indexes. It is
+// kept for backend-equivalence testing — every ID-level operation is
+// answered by translating through the dictionary and running the exact
+// string-map code path the pre-columnar engine used.
+type memStore struct {
+	dict   *Dict
+	arity  int
+	tuples []Tuple
+	seen   map[string]bool
+	// index holds the lazily built per-position value index, published
+	// atomically so concurrent readers can share it (copy-on-read: Insert
+	// drops the whole index and the next reader rebuilds it from the
+	// then-current tuples).
+	index atomic.Pointer[memIndex]
+	// idRows caches the flat ID image of tuples for Scan/At, published
+	// atomically like the index.
+	idRows atomic.Pointer[[]uint32]
+}
+
+// memIndex is an immutable snapshot index over a relation's tuples:
+// byPos[pos][value] lists the offsets into tuples whose component at
+// position pos equals value. Once published it is never mutated.
+type memIndex struct {
+	byPos []map[string][]int
+}
+
+func newMemStore(dict *Dict, arity int) *memStore {
+	return &memStore{dict: dict, arity: arity, seen: make(map[string]bool)}
+}
+
+func (s *memStore) Arity() int { return s.arity }
+func (s *memStore) Len() int   { return len(s.tuples) }
+
+func (s *memStore) Insert(row []uint32) bool {
+	t := make(Tuple, len(row))
+	for i, id := range row {
+		t[i] = s.dict.Term(id)
+	}
+	k := t.key()
+	if s.seen[k] {
+		return false
+	}
+	s.seen[k] = true
+	s.tuples = append(s.tuples, t)
+	s.index.Store(nil)
+	s.idRows.Store(nil)
+	return true
+}
+
+func (s *memStore) Contains(row []uint32) bool {
+	t := make(Tuple, len(row))
+	for i, id := range row {
+		t[i] = s.dict.Term(id)
+	}
+	return s.seen[t.key()]
+}
+
+func (s *memStore) Scan(i int) []uint32 {
+	rows := s.ensureIDRows()
+	return rows[i*s.arity : (i+1)*s.arity]
+}
+
+func (s *memStore) At(i, pos int) uint32 {
+	return s.ensureIDRows()[i*s.arity+pos]
+}
+
+func (s *memStore) MatchingIDs(pos int, id uint32) []int {
+	return s.ensureIndex().byPos[pos][s.dict.Term(id)]
+}
+
+// stringTuples is the fast path for the deprecated Relation.Tuples.
+func (s *memStore) stringTuples() []Tuple { return s.tuples }
+
+// ensureIndex returns the current index, building and publishing it on
+// first use. Concurrent readers may build duplicate indexes; the
+// CompareAndSwap makes one canonical and the losers use their private
+// (equivalent) copy, so the result is correct either way.
+func (s *memStore) ensureIndex() *memIndex {
+	if ix := s.index.Load(); ix != nil {
+		return ix
+	}
+	ix := &memIndex{byPos: make([]map[string][]int, s.arity)}
+	for pos := 0; pos < s.arity; pos++ {
+		m := make(map[string][]int)
+		for i, t := range s.tuples {
+			m[t[pos]] = append(m[t[pos]], i)
+		}
+		ix.byPos[pos] = m
+	}
+	if s.index.CompareAndSwap(nil, ix) {
+		return ix
+	}
+	if cur := s.index.Load(); cur != nil {
+		return cur
+	}
+	return ix
+}
+
+// ensureIDRows returns the flat row-major ID image of the stored tuples,
+// building and publishing it on first use with the same benign-race scheme
+// as the index.
+func (s *memStore) ensureIDRows() []uint32 {
+	if rows := s.idRows.Load(); rows != nil {
+		return *rows
+	}
+	flat := make([]uint32, 0, len(s.tuples)*s.arity)
+	for _, t := range s.tuples {
+		for _, c := range t {
+			id, ok := s.dict.ID(c)
+			if !ok {
+				//lint:ignore R2 invariant violation: every stored constant was interned on Insert
+				panic("db: memstore tuple constant missing from dictionary")
+			}
+			flat = append(flat, id)
+		}
+	}
+	if s.idRows.CompareAndSwap(nil, &flat) {
+		return flat
+	}
+	if cur := s.idRows.Load(); cur != nil {
+		return *cur
+	}
+	return flat
+}
+
+// remap handles dictionary canonicalization: the string layout is
+// untouched (strings never change), only the cached ID image is stale.
+func (s *memStore) remap([]uint32) {
+	s.idRows.Store(nil)
+}

@@ -74,5 +74,6 @@ func BipartiteDatabase(n, outDeg int, seed int64) *db.Database {
 			d.Insert("E", left, fmt.Sprintf("r%d", rng.Intn(n)))
 		}
 	}
+	d.Seal()
 	return d
 }

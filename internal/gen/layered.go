@@ -26,6 +26,7 @@ func LayeredDatabase(layers, perLayer, outDeg int, seed int64) *db.Database {
 			}
 		}
 	}
+	d.Seal()
 	return d
 }
 

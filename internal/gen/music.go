@@ -43,6 +43,7 @@ func MusicDatabase() *db.Database {
 	d.Insert("recorded_by", "Swim", "Caribou")
 	d.Insert("published", "Swim", "after_2010")
 	d.Insert("rating", "Swim", "2")
+	d.Seal()
 	return d
 }
 
@@ -71,5 +72,6 @@ func MusicDatabaseLarge(nBands, recordsPerBand int, seed int64) *db.Database {
 			}
 		}
 	}
+	d.Seal()
 	return d
 }

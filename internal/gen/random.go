@@ -199,6 +199,7 @@ func RandomDatabase(params DBParams, seed int64) *db.Database {
 			d.Insert(rs.Name, t...)
 		}
 	}
+	d.Seal()
 	return d
 }
 
@@ -247,5 +248,6 @@ func ChainDatabase(n int) *db.Database {
 		d.Insert("V", fmt.Sprint(i))
 	}
 	d.Insert("V", fmt.Sprint(n))
+	d.Seal()
 	return d
 }

@@ -126,5 +126,6 @@ func ThreeColorInstance(g Graph) (*core.PatternTree, *db.Database, cq.Mapping) {
 	d.Insert("c", "1", "1")
 	d.Insert("c", "2", "2")
 	d.Insert("c", "3", "3")
+	d.Seal()
 	return p, d, cq.Mapping{"x": "1"}
 }

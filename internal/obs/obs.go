@@ -147,6 +147,25 @@ const (
 	// admin endpoint).
 	CtrServerReloads
 
+	// CtrDictLookups counts string→term-ID dictionary probes performed at
+	// query boundaries (compiling query constants and parameter bindings).
+	CtrDictLookups
+	// CtrDictMisses counts dictionary probes for constants absent from the
+	// active domain; such constants provably match nothing.
+	CtrDictMisses
+	// CtrIndexProbes counts MatchingIDs index probes issued by the
+	// homomorphism solver (binary searches on the columnar backend, hash
+	// probes on the legacy one).
+	CtrIndexProbes
+	// CtrIndexProbeRows counts the total offsets returned by those probes.
+	CtrIndexProbeRows
+	// CtrMergeJoinPasses counts semijoin passes executed as sorted-run
+	// merges over packed row keys.
+	CtrMergeJoinPasses
+	// CtrMergeJoinRows counts rows advanced over by those merge passes
+	// (both sides combined).
+	CtrMergeJoinRows
+
 	numCounters // sentinel; keep last
 )
 
@@ -198,6 +217,13 @@ var counterNames = [numCounters]string{
 	CtrServerAdmissionRejects: "server.admission_rejects",
 	CtrServerWidthRejects:     "server.width_rejects",
 	CtrServerReloads:          "server.reloads",
+
+	CtrDictLookups:     "db.dict_lookups",
+	CtrDictMisses:      "db.dict_misses",
+	CtrIndexProbes:     "db.index_probes",
+	CtrIndexProbeRows:  "db.index_probe_rows",
+	CtrMergeJoinPasses: "db.merge_join_passes",
+	CtrMergeJoinRows:   "db.merge_join_rows",
 }
 
 // String returns the counter's stable name.

@@ -41,15 +41,17 @@ func EncodeDatabase(d *db.Database) *db.Database {
 	out := db.New()
 	next := 0
 	for _, r := range d.Relations() {
-		for _, tp := range r.Tuples() {
+		dict := r.Dict()
+		for t, n := 0, r.Len(); t < n; t++ {
 			id := fmt.Sprintf("t%d", next)
 			next++
 			out.Insert(TripleRel, id, relMarker, relValue(r.Name()))
-			for i, c := range tp {
-				out.Insert(TripleRel, id, argProperty(i), c)
+			for i, c := range r.Scan(t) {
+				out.Insert(TripleRel, id, argProperty(i), dict.Term(c))
 			}
 		}
 	}
+	out.Seal()
 	return out
 }
 

@@ -151,6 +151,24 @@ func TestMetricsJSONBackCompat(t *testing.T) {
 	if m["server.requests"] < 1 {
 		t.Fatalf("metrics.json snapshot = %v", m)
 	}
+	// The storage-shape gauges ride along under "storage." keys: dictionary
+	// size, per-dataset load timing, and per-relation/per-column stats.
+	if m["storage.music.dict_terms"] <= 0 {
+		t.Fatalf("metrics.json lacks storage.music.dict_terms: %v", m)
+	}
+	if m["storage.music.load_ns"] <= 0 {
+		t.Fatalf("metrics.json lacks storage.music.load_ns: %v", m)
+	}
+	found := false
+	for k := range m {
+		if strings.HasPrefix(k, "storage.music.") && strings.HasSuffix(k, ".distinct") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("metrics.json lacks per-column distinct gauges: %v", m)
+	}
 }
 
 // TestQueryTraceMatchesLog is the tracing acceptance pin: ?trace=1 returns

@@ -6,10 +6,22 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"wdpt/internal/db"
 	"wdpt/internal/sparql"
 )
+
+// ColumnInfo summarizes one column of a relation in the /v1/datasets
+// listing: its position and the number of distinct terms it holds — the
+// per-column selectivity the columnar backend's permuted indexes exploit
+// (docs/STORAGE.md).
+type ColumnInfo struct {
+	// Pos is the zero-based column position.
+	Pos int `json:"pos"`
+	// Distinct is the number of distinct terms stored at this position.
+	Distinct int `json:"distinct"`
+}
 
 // RelationInfo describes one relation of a dataset in the /v1/datasets
 // listing.
@@ -20,6 +32,8 @@ type RelationInfo struct {
 	Arity int `json:"arity"`
 	// Tuples is the number of ground tuples.
 	Tuples int `json:"tuples"`
+	// Columns summarizes the columns in position order.
+	Columns []ColumnInfo `json:"columns"`
 }
 
 // Dataset is one immutable snapshot of a named database: the parsed
@@ -38,6 +52,15 @@ type Dataset struct {
 	Path string `json:"path"`
 	// Atoms is the total number of ground atoms.
 	Atoms int `json:"atoms"`
+	// DictTerms is the size of the dataset's term dictionary — the number
+	// of distinct constants interned across all relations.
+	DictTerms int `json:"dict_terms"`
+	// Backend names the storage backend the snapshot is stored on
+	// ("col" or "mem").
+	Backend string `json:"backend"`
+	// LoadNS is the wall-clock time spent parsing and loading this
+	// snapshot (reading the file, inserting, sealing, and summarizing).
+	LoadNS int64 `json:"load_ns"`
 	// Relations summarizes the relations, sorted by name.
 	Relations []RelationInfo `json:"relations"`
 	// DB is the parsed database. Read-only.
@@ -90,6 +113,7 @@ func (r *Registry) loadAll(version int64) (map[string]*Dataset, error) {
 	snap := make(map[string]*Dataset, len(names))
 	for _, name := range names {
 		path := r.paths[name]
+		start := time.Now()
 		data, err := os.ReadFile(path)
 		if err != nil {
 			return nil, fmt.Errorf("server: dataset %q: %w", name, err)
@@ -103,8 +127,11 @@ func (r *Registry) loadAll(version int64) (map[string]*Dataset, error) {
 			Version:   version,
 			Path:      path,
 			Atoms:     d.Size(),
+			DictTerms: d.Dict().Len(),
+			Backend:   d.Backend().String(),
 			Relations: relationInfos(d),
 			DB:        d,
+			LoadNS:    time.Since(start).Nanoseconds(),
 		}
 	}
 	return snap, nil
@@ -114,9 +141,38 @@ func relationInfos(d *db.Database) []RelationInfo {
 	rels := d.Relations()
 	out := make([]RelationInfo, 0, len(rels))
 	for _, rel := range rels {
-		out = append(out, RelationInfo{Name: rel.Name(), Arity: rel.Arity(), Tuples: rel.Len()})
+		out = append(out, RelationInfo{
+			Name:    rel.Name(),
+			Arity:   rel.Arity(),
+			Tuples:  rel.Len(),
+			Columns: columnInfos(rel),
+		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// columnInfos computes each column's distinct-term count by walking the
+// stored rows once per position. IDs are dense (0..Dict.Len()-1), so a
+// flat seen-bitmap replaces a hash set; datasets load once per reload, so
+// the walk is off every query path.
+func columnInfos(rel *db.Relation) []ColumnInfo {
+	out := make([]ColumnInfo, rel.Arity())
+	n := rel.Len()
+	seen := make([]bool, rel.Dict().Len())
+	for pos := range out {
+		for i := range seen {
+			seen[i] = false
+		}
+		distinct := 0
+		for i := 0; i < n; i++ {
+			if id := rel.At(i, pos); !seen[id] {
+				seen[id] = true
+				distinct++
+			}
+		}
+		out[pos] = ColumnInfo{Pos: pos, Distinct: distinct}
+	}
 	return out
 }
 

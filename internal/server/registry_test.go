@@ -49,6 +49,41 @@ func TestRegistryLoadAndList(t *testing.T) {
 	}
 }
 
+// TestRegistryStorageStats pins the dictionary-size, backend, load-timing,
+// and per-column distinct-term summaries the /v1/datasets listing and the
+// /metrics.json storage gauges are built from.
+func TestRegistryStorageStats(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewRegistry(map[string]string{
+		"music": writeFile(t, dir, "music.txt",
+			"recorded_by(Swim, Caribou).\nrecorded_by(Suns, Caribou).\nrating(Swim, 2).\n"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, _ := r.Get("music")
+	// Distinct constants: Swim, Suns, Caribou, 2.
+	if ds.DictTerms != 4 {
+		t.Fatalf("DictTerms = %d, want 4", ds.DictTerms)
+	}
+	if ds.Backend != ds.DB.Backend().String() {
+		t.Fatalf("Backend = %q, want %q", ds.Backend, ds.DB.Backend().String())
+	}
+	if ds.LoadNS <= 0 {
+		t.Fatalf("LoadNS = %d, want > 0", ds.LoadNS)
+	}
+	// recorded_by holds (Swim, Caribou) and (Suns, Caribou): two distinct
+	// subjects, one distinct object.
+	rb := ds.Relations[1]
+	if rb.Name != "recorded_by" {
+		t.Fatalf("Relations[1] = %+v, want recorded_by", rb)
+	}
+	want := []ColumnInfo{{Pos: 0, Distinct: 2}, {Pos: 1, Distinct: 1}}
+	if len(rb.Columns) != 2 || rb.Columns[0] != want[0] || rb.Columns[1] != want[1] {
+		t.Fatalf("recorded_by columns = %+v, want %+v", rb.Columns, want)
+	}
+}
+
 func TestRegistryReloadSwapsAtomically(t *testing.T) {
 	dir := t.TempDir()
 	path := writeFile(t, dir, "d.txt", "E(0, 1).\n")

@@ -718,8 +718,25 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 // handleMetricsJSON is GET /metrics.json: the obs counter snapshot as one
 // JSON object, keys sorted (json.Marshal orders map keys) — the pre-
 // Prometheus /metrics body, kept for existing scrapers and the client.
+// Storage-shape gauges for the current registry snapshots (dictionary
+// size, per-relation tuple counts and per-column distinct-term counts;
+// see docs/STORAGE.md) are merged in under "storage." keys — additive,
+// so existing counter scrapers are unaffected.
 func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.st.Snapshot())
+	snap := s.st.Snapshot()
+	for _, ds := range s.reg.List() {
+		prefix := "storage." + ds.Name
+		snap[prefix+".dict_terms"] = int64(ds.DictTerms)
+		snap[prefix+".load_ns"] = ds.LoadNS
+		for _, rel := range ds.Relations {
+			rp := prefix + "." + rel.Name
+			snap[rp+".tuples"] = int64(rel.Tuples)
+			for _, col := range rel.Columns {
+				snap[fmt.Sprintf("%s.col%d.distinct", rp, col.Pos)] = int64(col.Distinct)
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 // handleReload is POST /admin/reload: re-parse every dataset file and swap

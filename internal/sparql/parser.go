@@ -396,5 +396,6 @@ func ParseDatabase(src string) (*db.Database, error) {
 		}
 		d.Insert(rel.text, vals...)
 	}
+	d.Seal()
 	return d, nil
 }

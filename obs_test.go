@@ -36,6 +36,9 @@ func TestCounterExactnessNaive(t *testing.T) {
 		"cq.homomorphisms_found":      3,
 		"cq.tuples_scanned":           3,
 		"cqeval.project_calls":        6,
+		"db.dict_lookups":             6,
+		"db.index_probes":             4,
+		"db.index_probe_rows":         4,
 	})
 }
 
@@ -63,12 +66,17 @@ func TestCounterExactnessYannakakis(t *testing.T) {
 		"cqeval.plan_cache_misses":    3,
 		"cqeval.project_calls":        6,
 		"cqeval.semijoin_passes":      2,
+		"db.dict_lookups":             6,
+		"db.index_probes":             5,
+		"db.index_probe_rows":         6,
 	})
 }
 
 // TestCounterExactnessBands pins the band-enumeration EVAL baseline on
 // Figure 1: deciding h ∈ p(D) for the rated answer needs one band, one
-// extension-unit test, and one maximality check.
+// extension-unit test, and one maximality check. The maximality check
+// transfers its fixed bindings as pre-resolved IDs, so only the band
+// search's own fixed bindings and constants cost dictionary probes.
 func TestCounterExactnessBands(t *testing.T) {
 	p := gen.MusicWDPT("x", "y", "z", "zp")
 	d := gen.MusicDatabase()
@@ -82,6 +90,7 @@ func TestCounterExactnessBands(t *testing.T) {
 		"core.extension_units_tested": 1,
 		"core.maximality_checks":      1,
 		"cq.homomorphisms_found":      3,
+		"db.dict_lookups":             4,
 	})
 }
 
@@ -116,6 +125,8 @@ func TestAutoFallbackCounted(t *testing.T) {
 		"cqeval.plan_cache_misses":    2,
 		"cqeval.satisfiable_calls":    1,
 		"cqeval.semijoin_passes":      2,
+		"db.index_probes":             9,
+		"db.index_probe_rows":         9,
 	}
 	snapshotDiff(t, st.Snapshot(), first)
 	if !eng.Satisfiable(atoms, d, nil) {
@@ -135,6 +146,8 @@ func TestAutoFallbackCounted(t *testing.T) {
 		"cqeval.plan_cache_misses":    2,
 		"cqeval.satisfiable_calls":    2,
 		"cqeval.semijoin_passes":      4,
+		"db.index_probes":             18,
+		"db.index_probe_rows":         18,
 	}
 	snapshotDiff(t, st.Snapshot(), second)
 }

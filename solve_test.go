@@ -127,6 +127,9 @@ func TestSolveSequentialMatchesLegacyCounters(t *testing.T) {
 		"cqeval.plan_cache_misses":    3,
 		"cqeval.project_calls":        6,
 		"cqeval.semijoin_passes":      2,
+		"db.dict_lookups":             6,
+		"db.index_probes":             5,
+		"db.index_probe_rows":         6,
 	})
 }
 
