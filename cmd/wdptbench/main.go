@@ -11,6 +11,16 @@
 //	wdptbench -parallelism 0  # Solve worker pool sized to NumCPU
 //	wdptbench -store mem      # run on the legacy string-map backend
 //	wdptbench -store mem,col  # storage A/B: both backends in one process
+//	wdptbench -snapshot dir   # snapshot reload vs text reparse micro-bench
+//
+// The -snapshot mode is a standalone micro-benchmark of the persistence
+// layer (docs/STORAGE.md): it generates the largest synthetic music
+// fixture, persists it once through the crash-safe snapshot writer into
+// dir, then times text reparsing against snapshot reloading (best of -reps
+// rounds each), verifies the reloaded database is identical, and prints the
+// speedup. It exits non-zero when the reloaded data diverges or the speedup
+// falls below WDPT_SNAP_MIN_SPEEDUP (default 1.5) — the CI regression gate
+// for "reload must beat reparse".
 //
 // With -json, the run additionally writes a BENCH_<date><suffix>.json
 // metrics artifact into -out (default "."): per-experiment wall-clock time,
@@ -59,12 +69,16 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"wdpt/internal/db"
+	"wdpt/internal/db/snapshot"
+	"wdpt/internal/gen"
 	"wdpt/internal/harness"
 	"wdpt/internal/obs"
+	"wdpt/internal/sparql"
 )
 
 func main() {
@@ -166,6 +180,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	outDir := fs.String("out", ".", "directory for the BENCH_<date><suffix>.json artifact")
 	parallelism := fs.Int("parallelism", 1, "Solve worker pool size (1 = sequential, 0 = NumCPU)")
 	store := fs.String("store", "col", "storage backend(s) for experiment databases: col (columnar), mem (legacy string-map), or a comma-separated list for an in-process A/B")
+	snapDir := fs.String("snapshot", "", "run the snapshot reload-vs-reparse micro-benchmark in this directory and exit")
 	suffix := fs.String("suffix", "", "artifact filename suffix, e.g. -p8 -> BENCH_<date>-p8.json")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
@@ -176,6 +191,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *list {
 		for _, e := range harness.All() {
 			fmt.Fprintf(stdout, "%-4s %s\n     reproduces: %s\n", e.ID, e.Title, e.Paper)
+		}
+		return 0
+	}
+	if *snapDir != "" {
+		if err := snapshotBench(*snapDir, *quick || *short, *reps, stdout); err != nil {
+			fmt.Fprintf(stderr, "wdptbench: snapshot: %v\n", err)
+			return 1
 		}
 		return 0
 	}
@@ -326,4 +348,81 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// snapMinSpeedup reads the WDPT_SNAP_MIN_SPEEDUP gate (default 1.5). The
+// tolerant default leaves headroom for noisy shared CI machines: reload is
+// typically several times faster than reparse, so 1.5x only trips on a real
+// regression (e.g. the loader re-validating per tuple).
+func snapMinSpeedup() float64 {
+	if s := strings.TrimSpace(os.Getenv("WDPT_SNAP_MIN_SPEEDUP")); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 1.5
+}
+
+// snapshotBench is the -snapshot mode: persist the largest generated
+// fixture once, then race text reparsing against snapshot reloading (best
+// of reps rounds each, minimum latency — transient stalls in either lane
+// cannot masquerade as a result). The reloaded database must render
+// identically to the parsed one, and reload must beat reparse by
+// WDPT_SNAP_MIN_SPEEDUP.
+func snapshotBench(dir string, quick bool, reps int, stdout io.Writer) error {
+	nBands, perBand := 2000, 8
+	if quick {
+		nBands = 200
+	}
+	if reps < 1 {
+		reps = 3
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	text := sparql.FormatDatabase(gen.MusicDatabaseLarge(nBands, perBand, 1))
+	parsed, err := sparql.ParseDatabase(text)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "bench.snap")
+	writeStart := time.Now()
+	if err := snapshot.Write(path, parsed); err != nil {
+		return err
+	}
+	writeElapsed := time.Since(writeStart)
+	parseMin := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if _, err := sparql.ParseDatabase(text); err != nil {
+			return err
+		}
+		if e := time.Since(start); e < parseMin {
+			parseMin = e
+		}
+	}
+	loadMin := time.Duration(1<<63 - 1)
+	var loaded *db.Database
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		loaded, err = snapshot.Read(path, db.DefaultBackend())
+		if err != nil {
+			return err
+		}
+		if e := time.Since(start); e < loadMin {
+			loadMin = e
+		}
+	}
+	if loaded.String() != parsed.String() {
+		return fmt.Errorf("reloaded snapshot diverges from the parsed database")
+	}
+	speedup := float64(parseMin) / float64(loadMin)
+	fmt.Fprintf(stdout, "snapshot bench: %d bands x %d records (%d bytes text), write %v\n",
+		nBands, perBand, len(text), writeElapsed.Round(time.Microsecond))
+	fmt.Fprintf(stdout, "  reparse  min of %d: %v\n  reload   min of %d: %v\n  speedup: %.2fx (gate %.2fx)\n",
+		reps, parseMin.Round(time.Microsecond), reps, loadMin.Round(time.Microsecond), speedup, snapMinSpeedup())
+	if min := snapMinSpeedup(); speedup < min {
+		return fmt.Errorf("snapshot reload speedup %.2fx is below the %.2fx gate", speedup, min)
+	}
+	return nil
 }

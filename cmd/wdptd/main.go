@@ -12,8 +12,17 @@
 // in-flight queries under -shutdown-timeout, cancelling their evaluation
 // contexts when the deadline passes.
 //
+// Persistence: with -snapshot-dir, startup and hot reload prefer a durable
+// binary snapshot (<dir>/<name>.snap, docs/STORAGE.md) over reparsing the
+// dataset text; corrupt snapshots are quarantined aside and counted, never
+// served. POST /admin/snapshot persists every current dataset through the
+// crash-safe writer. See docs/ROBUSTNESS.md.
+//
 //	-listen addr            listen address (default 127.0.0.1:8080)
 //	-dataset name=path      register a dataset (repeatable, at least one)
+//	-snapshot-dir dir       durable snapshot directory: load <name>.snap at
+//	                        startup/reload when present, enable
+//	                        POST /admin/snapshot (empty disables)
 //	-max-inflight n         total in-flight parallelism (0 = NumCPU)
 //	-max-queue n            admission wait-queue bound; overflow is 429
 //	-width-bound k          reject queries not globally in TW(k) with 422
@@ -28,7 +37,8 @@
 //	                        (health, datasets, one query per dataset, both
 //	                        metrics endpoints), verify each dataset's probe
 //	                        query round-trips byte-identically on both
-//	                        storage backends (docs/STORAGE.md), exit
+//	                        storage backends (docs/STORAGE.md) and through
+//	                        a snapshot save -> load -> query cycle, exit
 //	-metrics-out path       with -selfcheck, write the scraped /metrics
 //	                        exposition to this file
 //
@@ -50,6 +60,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
@@ -57,6 +68,7 @@ import (
 
 	"wdpt/internal/core"
 	"wdpt/internal/db"
+	"wdpt/internal/db/snapshot"
 	"wdpt/internal/obs"
 	"wdpt/internal/report"
 	"wdpt/internal/server"
@@ -109,6 +121,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var datasets datasetFlags
 	fs.Var(&datasets, "dataset", "name=path dataset spec (repeatable, at least one required)")
 	listen := fs.String("listen", "127.0.0.1:8080", "listen address")
+	snapshotDir := fs.String("snapshot-dir", "", "durable snapshot directory: prefer <name>.snap over reparsing, enable POST /admin/snapshot (empty disables)")
 	maxInflight := fs.Int("max-inflight", 0, "total in-flight parallelism across queries (0 = NumCPU)")
 	maxQueue := fs.Int("max-queue", 16, "admission wait-queue bound; overflow is rejected with 429")
 	widthBound := fs.Int("width-bound", 0, "reject queries not globally in TW(k) with 422 (0 = no bound)")
@@ -132,13 +145,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	defer logClose()
-	reg, err := server.NewRegistry(datasets.specs)
+	st := obs.NewStats()
+	reg, err := server.NewRegistryWithConfig(server.RegistryConfig{
+		Specs:       datasets.specs,
+		SnapshotDir: *snapshotDir,
+		Stats:       st,
+	})
 	if err != nil {
 		fmt.Fprintf(stderr, "wdptd: %v\n", err)
 		return 2
 	}
 	srv, err := server.NewServer(server.Config{
 		Registry:           reg,
+		Stats:              st,
 		MaxInFlight:        *maxInflight,
 		MaxQueue:           *maxQueue,
 		WidthBound:         *widthBound,
@@ -170,6 +189,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err := selfCheck(fmt.Sprintf("http://%s", ln.Addr()), stdout, *metricsOut)
 		if err == nil {
 			err = backendRoundTrip(reg, stdout)
+		}
+		if err == nil {
+			err = snapshotRoundTrip(reg, stdout)
 		}
 		shutdown(srv, hs, *shutdownTimeout)
 		if err != nil {
@@ -368,6 +390,69 @@ func backendRoundTrip(reg *server.Registry, stdout io.Writer) error {
 		}
 	}
 	fmt.Fprintf(stdout, "wdptd: selfcheck backend round-trip ok (%d dataset(s), col == mem byte-identical)\n", len(datasets))
+	return nil
+}
+
+// snapshotRoundTrip persists each dataset through the crash-safe snapshot
+// writer into a temporary directory, loads it back through the paranoid
+// loader, and requires the probe query to evaluate byte-identically on the
+// parsed and on the reloaded database — the persistence contract of
+// docs/STORAGE.md checked end to end against the operator's real data.
+func snapshotRoundTrip(reg *server.Registry, stdout io.Writer) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	dir, err := os.MkdirTemp("", "wdptd-selfcheck-snap-")
+	if err != nil {
+		return fmt.Errorf("snapshot round-trip: %w", err)
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	datasets := reg.List()
+	for _, ds := range datasets {
+		if len(ds.Relations) == 0 {
+			return fmt.Errorf("dataset %q has no probeable relation", ds.Name)
+		}
+		rel := ds.Relations[0]
+		vars := make([]string, rel.Arity)
+		for i := range vars {
+			vars[i] = fmt.Sprintf("?v%d", i+1)
+		}
+		query := fmt.Sprintf("SELECT %s WHERE %s(%s)",
+			strings.Join(vars, " "), rel.Name, strings.Join(vars, ", "))
+		u, err := sparql.ParseUnionQuery(query)
+		if err != nil {
+			return fmt.Errorf("dataset %q: building probe query: %w", ds.Name, err)
+		}
+		path := filepath.Join(dir, ds.Name+".snap")
+		if err := snapshot.Write(path, ds.DB); err != nil {
+			return fmt.Errorf("dataset %q: saving snapshot: %w", ds.Name, err)
+		}
+		loaded, err := snapshot.Read(path, db.DefaultBackend())
+		if err != nil {
+			return fmt.Errorf("dataset %q: loading snapshot: %w", ds.Name, err)
+		}
+		var bodies [2][]byte
+		for i, d := range [2]*db.Database{ds.DB, loaded} {
+			res, err := u.Solve(ctx, d, core.SolveOptions{
+				Mode:        core.ModeEnumerate,
+				Parallelism: 1,
+			})
+			if err != nil {
+				return fmt.Errorf("dataset %q (snapshot round-trip): %w", ds.Name, err)
+			}
+			rep := report.Report{Mode: core.ModeEnumerate.String(), Engine: "auto", Parallelism: 1}
+			rep.SetAnswers(res.Answers)
+			var buf bytes.Buffer
+			if err := report.Encode(&buf, rep); err != nil {
+				return fmt.Errorf("dataset %q (snapshot round-trip): %w", ds.Name, err)
+			}
+			bodies[i] = buf.Bytes()
+		}
+		if !bytes.Equal(bodies[0], bodies[1]) {
+			return fmt.Errorf("dataset %q: snapshot round-trip disagrees with the parsed dataset (%d vs %d bytes)",
+				ds.Name, len(bodies[0]), len(bodies[1]))
+		}
+	}
+	fmt.Fprintf(stdout, "wdptd: selfcheck snapshot round-trip ok (%d dataset(s), save -> load -> query byte-identical)\n", len(datasets))
 	return nil
 }
 

@@ -25,6 +25,13 @@
 //	                  exact → maximal → partial ladder instead of failing
 //	                  (docs/ROBUSTNESS.md); degraded output is marked
 //
+// Persistence (docs/STORAGE.md): -snapshot loads the database from a
+// durable binary snapshot instead of parsing text (mutually exclusive with
+// -db); -snapshot-save writes the loaded database to a snapshot through the
+// crash-safe writer after loading. With -snapshot-save and no query, the
+// tool saves the snapshot and exits 0 — the text-to-snapshot conversion
+// mode scripts use.
+//
 // Exit codes: 0 success, 2 usage or evaluation error, 3 deadline exceeded,
 // 4 tuple budget exceeded, 5 answer limit reached (partial answers were
 // printed).
@@ -63,6 +70,8 @@ import (
 	"wdpt/internal/approx"
 	"wdpt/internal/core"
 	"wdpt/internal/cqeval"
+	"wdpt/internal/db"
+	"wdpt/internal/db/snapshot"
 	"wdpt/internal/obs"
 	"wdpt/internal/report"
 )
@@ -74,6 +83,7 @@ func main() {
 // options collects the parsed command line.
 type options struct {
 	query, queryFile, dbFile string
+	snapshot, snapshotSave   string
 	mode, mapping, engine    string
 	classify                 bool
 	explain                  bool
@@ -94,7 +104,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var o options
 	fs.StringVar(&o.query, "query", "", "query text (algebraic or ANS tree format)")
 	fs.StringVar(&o.queryFile, "queryfile", "", "file containing the query")
-	fs.StringVar(&o.dbFile, "db", "", "database file of ground atoms (required)")
+	fs.StringVar(&o.dbFile, "db", "", "database file of ground atoms (required unless -snapshot)")
+	fs.StringVar(&o.snapshot, "snapshot", "", "load the database from this binary snapshot instead of -db (docs/STORAGE.md)")
+	fs.StringVar(&o.snapshotSave, "snapshot-save", "", "after loading, durably write the database to this snapshot path; with no query, save and exit")
 	fs.StringVar(&o.mode, "mode", "enumerate", "enumerate|maximal|exact|partial|max")
 	fs.StringVar(&o.mapping, "map", "", "partial mapping 'x=a,y=b' for the decision modes")
 	fs.StringVar(&o.engine, "engine", "auto", "CQ engine: auto|naive|yannakakis|decomposition|hypertree")
@@ -138,11 +150,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 var exitCode = report.ExitCode
 
 func evalMain(out io.Writer, o options) error {
-	p, err := loadQuery(o.query, o.queryFile)
+	d, err := loadDatabaseSource(o)
 	if err != nil {
 		return err
 	}
-	d, err := loadDatabase(o.dbFile)
+	if o.snapshotSave != "" {
+		if err := snapshot.Write(o.snapshotSave, d); err != nil {
+			return fmt.Errorf("saving snapshot: %w", err)
+		}
+		if o.query == "" && o.queryFile == "" {
+			// Conversion mode: -snapshot-save with no query just persists the
+			// loaded database and exits.
+			fmt.Fprintf(out, "snapshot saved to %s\n", o.snapshotSave)
+			return nil
+		}
+	}
+	p, err := loadQuery(o.query, o.queryFile)
 	if err != nil {
 		return err
 	}
@@ -340,15 +363,27 @@ func loadQuery(inline, file string) (*core.PatternTree, error) {
 	return wdpt.ParseQuery(src)
 }
 
-func loadDatabase(file string) (*wdpt.Database, error) {
-	if file == "" {
-		return nil, fmt.Errorf("a database file is required (-db)")
+// loadDatabaseSource resolves the database from whichever source the flags
+// name: -snapshot reads the durable binary format through the paranoid
+// loader, -db parses the line-oriented text format. Exactly one is required.
+func loadDatabaseSource(o options) (*wdpt.Database, error) {
+	switch {
+	case o.snapshot != "" && o.dbFile != "":
+		return nil, fmt.Errorf("-db and -snapshot are mutually exclusive")
+	case o.snapshot != "":
+		d, err := snapshot.Read(o.snapshot, db.DefaultBackend())
+		if err != nil {
+			return nil, fmt.Errorf("loading snapshot: %w", err)
+		}
+		return d, nil
+	case o.dbFile != "":
+		data, err := os.ReadFile(o.dbFile)
+		if err != nil {
+			return nil, err
+		}
+		return wdpt.ParseDatabase(string(data))
 	}
-	data, err := os.ReadFile(file)
-	if err != nil {
-		return nil, err
-	}
-	return wdpt.ParseDatabase(string(data))
+	return nil, fmt.Errorf("a database is required (-db or -snapshot)")
 }
 
 func parseMapping(s string) (wdpt.Mapping, error) {

@@ -209,3 +209,45 @@ func TestRunNoBudgetOmitsDegradedField(t *testing.T) {
 		t.Fatalf("unbudgeted run emitted a degraded field:\n%s", out.String())
 	}
 }
+
+func TestRunSnapshotSaveAndLoad(t *testing.T) {
+	db := writeMusicDB(t)
+	snap := filepath.Join(t.TempDir(), "music.snap")
+
+	// Conversion mode: -snapshot-save with no query persists and exits 0.
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-db", db, "-snapshot-save", snap}, &out, &errOut); code != 0 {
+		t.Fatalf("save exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "snapshot saved to") {
+		t.Fatalf("save output:\n%s", out.String())
+	}
+
+	// The snapshot-loaded database must answer byte-identically to the
+	// text-parsed one (JSON bodies compared verbatim).
+	var fromText, fromSnap bytes.Buffer
+	if code := run([]string{"-db", db, "-query", musicQuery, "-json"}, &fromText, &errOut); code != 0 {
+		t.Fatalf("text eval exit %d: %s", code, errOut.String())
+	}
+	if code := run([]string{"-snapshot", snap, "-query", musicQuery, "-json"}, &fromSnap, &errOut); code != 0 {
+		t.Fatalf("snapshot eval exit %d: %s", code, errOut.String())
+	}
+	if !bytes.Equal(fromText.Bytes(), fromSnap.Bytes()) {
+		t.Fatalf("snapshot answers diverge from text answers:\n%s\nvs\n%s", fromText.String(), fromSnap.String())
+	}
+}
+
+func TestRunSnapshotFlagErrors(t *testing.T) {
+	db := writeMusicDB(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-db", db, "-snapshot", "x.snap", "-query", musicQuery}, &out, &errOut); code != 2 {
+		t.Fatalf("-db with -snapshot: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "mutually exclusive") {
+		t.Fatalf("stderr: %s", errOut.String())
+	}
+	errOut.Reset()
+	if code := run([]string{"-snapshot", filepath.Join(t.TempDir(), "missing.snap"), "-query", musicQuery}, &out, &errOut); code != 2 {
+		t.Fatalf("missing snapshot: exit %d, want 2", code)
+	}
+}

@@ -31,6 +31,11 @@
 //	    ActiveDomain), build per-iteration string map keys in loops, or
 //	    compare db.Tuple components in loops — hot paths work on
 //	    dictionary term IDs (see docs/STORAGE.md)
+//	R16 crash-safe persistence: inside internal/db and its subpackages,
+//	    the raw file-mutation primitives os.Create, os.WriteFile, and
+//	    os.Rename are forbidden outside the sanctioned crash-safe writer
+//	    (internal/db/snapshot/atomic.go) — durable state must go through
+//	    temp file + fsync + atomic rename (see docs/ROBUSTNESS.md)
 //
 // R10-R13 are whole-program rules: they run over a type-resolved
 // cross-package call graph of the full loaded closure (see graphrules.go
@@ -200,6 +205,7 @@ var allRules = []ruleSpec{
 	{"R13", "whole-program: tuple loops in cqeval/core must reach the guard meter (meterage manifest ratchets)"},
 	{"R14", "internal/obs metric-name registries: snake_case, unique, exposition names documented in the glossary"},
 	{"R15", "cqeval/core kernels stay ID-native: no deprecated db string accessors, per-row string map keys, or Tuple string comparisons in loops"},
+	{"R16", "internal/db must not call os.Create/os.WriteFile/os.Rename outside the crash-safe snapshot writer"},
 }
 
 func parseRules(s string) (map[string]bool, error) {

@@ -78,6 +78,9 @@ func lintPackage(l *loader, p *lintPkg, enabled map[string]bool) []Finding {
 		if enabled["R15"] && hotPathPkg(p.rel) {
 			out = append(out, lintHotPathKeys(l, p, f)...)
 		}
+		if enabled["R16"] && persistencePkg(p.rel) {
+			out = append(out, lintDurableWrites(l, p, f)...)
+		}
 	}
 	// R14 spans the registry variables of the whole package (uniqueness is
 	// cross-file), so it runs once after the per-file rules.
@@ -1250,4 +1253,54 @@ func exprString(e ast.Expr) string {
 		return exprString(v.X)
 	}
 	return "expression"
+}
+
+// ---------------------------------------------------------------------------
+// R16 — crash-safe persistence in internal/db.
+//
+// The durable-snapshot subsystem (docs/ROBUSTNESS.md) owns every mutation of
+// on-disk state: data is written to a temp file, fsynced, atomically renamed
+// into place, and the directory is fsynced — so a crash at any instant
+// leaves either the previous intact file or the new intact file, never a
+// torn one. Raw os.Create / os.WriteFile / os.Rename calls elsewhere in
+// internal/db would reintroduce exactly the torn-write window the writer
+// exists to close, so the rule forbids them everywhere in the storage layer
+// except the one sanctioned helper file.
+
+// persistencePkg reports whether R16 applies: internal/db and everything
+// under it (the storage layer that owns durable state).
+func persistencePkg(rel string) bool {
+	return rel == "internal/db" || strings.HasPrefix(rel, "internal/db/")
+}
+
+// crashSafeWriterFile is the one file sanctioned to call the raw os
+// mutation primitives: the snapshot package's atomic writer.
+const crashSafeWriterFile = "internal/db/snapshot/atomic.go"
+
+func lintDurableWrites(l *loader, p *lintPkg, f *ast.File) []Finding {
+	file := l.fset.Position(f.Package).Filename
+	if rel, err := filepath.Rel(l.root, file); err == nil {
+		file = filepath.ToSlash(rel)
+	}
+	if file == crashSafeWriterFile {
+		return nil
+	}
+	var out []Finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p.info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+			return true
+		}
+		switch fn.Name() {
+		case "Create", "WriteFile", "Rename":
+			out = append(out, l.finding(call.Pos(), "R16",
+				"os.%s in the storage layer: durable writes go through the crash-safe snapshot writer (temp file + fsync + atomic rename), not raw os mutations", fn.Name()))
+		}
+		return true
+	})
+	return out
 }

@@ -1,0 +1,31 @@
+// Package persist exercises R16: raw os file-mutation primitives inside the
+// storage layer (internal/db/...) are findings everywhere except the
+// sanctioned crash-safe writer file.
+package persist
+
+import "os"
+
+// SaveRaw writes durable state with the raw primitives R16 forbids.
+func SaveRaw(path string, data []byte) error {
+	f, err := os.Create(path + ".tmp") // want R16
+	if err != nil {
+		return err
+	}
+	_ = f.Close()
+	if err := os.WriteFile(path+".tmp", data, 0o644); err != nil { // want R16
+		return err
+	}
+	return os.Rename(path+".tmp", path) // want R16
+}
+
+// SaveSuppressed shows a directive silencing one sanctioned exception.
+func SaveSuppressed(path string, data []byte) error {
+	//lint:ignore R16 fixture: a documented one-off outside the writer
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadBack stays silent: reads and removals are not mutation primitives.
+func ReadBack(path string) ([]byte, error) {
+	defer func() { _ = os.Remove(path + ".tmp") }()
+	return os.ReadFile(path)
+}

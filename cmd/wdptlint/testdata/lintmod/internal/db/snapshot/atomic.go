@@ -1,0 +1,23 @@
+// Package snapshot is the fixture stand-in for the crash-safe persistence
+// writer: atomic.go is the one file R16 sanctions for raw os mutations.
+package snapshot
+
+import "os"
+
+// WriteFileAtomic is the sanctioned crash-safe write path; no R16 findings
+// fire in this file.
+func WriteFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,6 +1,7 @@
 package db
 
 import (
+	"fmt"
 	"sync/atomic"
 )
 
@@ -143,6 +144,41 @@ func (s *colStore) ensurePerms() *colIndex {
 		return cur
 	}
 	return ix
+}
+
+// columns exposes the live column vectors for Relation.Columns. The caller
+// must not modify them.
+func (s *colStore) columns() [][]uint32 { return s.cols }
+
+// bulkLoad replaces the store's contents with nRows rows given in
+// column-major form, copying the column vectors and rebuilding membership
+// in one pass — the snapshot load path, skipping per-row Insert overhead.
+// Duplicate rows are an error rather than a silent dedup: bulk input comes
+// from a snapshot, where a duplicate means corruption.
+func (s *colStore) bulkLoad(cols [][]uint32, nRows int) error {
+	s.cols = make([][]uint32, s.arity)
+	for pos := range cols {
+		s.cols[pos] = append([]uint32(nil), cols[pos]...)
+	}
+	s.rows = make([]uint32, 0, nRows*s.arity)
+	seen := make(map[string]bool, nRows)
+	row := make([]uint32, s.arity)
+	var buf []byte
+	for i := 0; i < nRows; i++ {
+		for pos := 0; pos < s.arity; pos++ {
+			row[pos] = cols[pos][i]
+		}
+		buf = AppendRowKey(buf[:0], row)
+		if seen[string(buf)] {
+			return fmt.Errorf("duplicate row at offset %d", i)
+		}
+		seen[string(buf)] = true
+		s.rows = append(s.rows, row...)
+	}
+	s.seen = seen
+	s.n = nRows
+	s.perms.Store(nil)
+	return nil
 }
 
 // remap renumbers every stored ID after dictionary canonicalization. Row

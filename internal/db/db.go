@@ -222,6 +222,28 @@ func (r *Relation) At(i, pos int) uint32 {
 	return r.store.Scan(i)[pos]
 }
 
+// Columns returns the relation's rows in column-major form: out[pos][i] is
+// row i's term ID at position pos. The columnar backend returns its live
+// column vectors; other backends materialize a copy. Either way the result
+// must not be modified. This is the export half of the snapshot path —
+// BulkRelation/NewFromColumns is the matching load.
+func (r *Relation) Columns() [][]uint32 {
+	if cs, ok := r.store.(interface{ columns() [][]uint32 }); ok {
+		return cs.columns()
+	}
+	n := r.store.Len()
+	out := make([][]uint32, r.arity)
+	for pos := range out {
+		out[pos] = make([]uint32, n)
+	}
+	for i := 0; i < n; i++ {
+		for pos, id := range r.store.Scan(i) {
+			out[pos][i] = id
+		}
+	}
+	return out
+}
+
 // MatchingIDs returns the offsets, in insertion order, of rows whose
 // component at position pos equals id; id == NoID (an unknown constant)
 // matches nothing. The returned slice must not be modified. Safe for

@@ -68,6 +68,21 @@ func (d *Dict) Terms() []string { return d.terms }
 // i.e. whether comparing IDs is equivalent to comparing terms.
 func (d *Dict) Sorted() bool { return sort.StringsAreSorted(d.terms) }
 
+// dictFromSorted builds a dictionary whose IDs are already canonical: the
+// terms must be strictly sorted (the caller validates), and term i is
+// assigned ID i, so the result is indistinguishable from interning the same
+// terms in any order and sealing. The slice is copied.
+func dictFromSorted(terms []string) *Dict {
+	d := &Dict{
+		terms: append([]string(nil), terms...),
+		ids:   make(map[string]uint32, len(terms)),
+	}
+	for i, s := range d.terms {
+		d.ids[s] = uint32(i)
+	}
+	return d
+}
+
 // canonicalize reassigns IDs in sorted-term order. It returns the old→new
 // remap table, or nil if the assignment was already canonical (which makes
 // the operation idempotent). Callers owning stores must renumber them with

@@ -297,7 +297,10 @@ func TestActivateRestores(t *testing.T) {
 }
 
 func TestSitesRegistry(t *testing.T) {
-	want := []string{SiteDBMatching, SiteParTask, SiteCQEvalBag, SiteCQEvalSemijoin}
+	want := []string{
+		SiteDBMatching, SiteParTask, SiteCQEvalBag, SiteCQEvalSemijoin,
+		SiteSnapshotWrite, SiteSnapshotFsync, SiteSnapshotRename, SiteSnapshotRead,
+	}
 	got := Sites()
 	if len(got) != len(want) {
 		t.Fatalf("Sites() = %v, want %v", got, want)

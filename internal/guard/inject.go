@@ -25,11 +25,25 @@ const (
 	SiteCQEvalBag = "cqeval.bag"
 	// SiteCQEvalSemijoin fires before each semijoin pass.
 	SiteCQEvalSemijoin = "cqeval.semijoin"
+	// SiteSnapshotWrite fires before each chunked payload write of the
+	// crash-safe snapshot writer (db/snapshot).
+	SiteSnapshotWrite = "snapshot.write"
+	// SiteSnapshotFsync fires before each fsync the snapshot writer issues
+	// (the temp file and, after the rename, its directory).
+	SiteSnapshotFsync = "snapshot.fsync"
+	// SiteSnapshotRename fires before the atomic rename that publishes a
+	// snapshot.
+	SiteSnapshotRename = "snapshot.rename"
+	// SiteSnapshotRead fires before a snapshot file is read back.
+	SiteSnapshotRead = "snapshot.read"
 )
 
 // Sites lists every registered fault-injection site.
 func Sites() []string {
-	return []string{SiteDBMatching, SiteParTask, SiteCQEvalBag, SiteCQEvalSemijoin}
+	return []string{
+		SiteDBMatching, SiteParTask, SiteCQEvalBag, SiteCQEvalSemijoin,
+		SiteSnapshotWrite, SiteSnapshotFsync, SiteSnapshotRename, SiteSnapshotRead,
+	}
 }
 
 // Injector decides, per site, whether a trigger point fails. Configure with
@@ -121,4 +135,21 @@ func Fault(site string) {
 		//lint:ignore R2 injected-fault unwinding: recovered into a *TripError error at the Solve boundary (AsError)
 		panic(&TripError{Reason: ErrInjected, Site: site})
 	}
+}
+
+// FaultErr is the error-returning twin of Fault for I/O seams: code that
+// already threads errors (the snapshot writer/loader) wants an injected
+// fault to surface as an ordinary error, not a panic that would have to be
+// recovered around every syscall. It returns a *TripError wrapping
+// ErrInjected when the active injector decides the site fails, nil
+// otherwise. With no active injector it is a single atomic load.
+func FaultErr(site string) error {
+	in := active.Load()
+	if in == nil {
+		return nil
+	}
+	if in.check(site) {
+		return &TripError{Reason: ErrInjected, Site: site}
+	}
+	return nil
 }

@@ -146,6 +146,25 @@ const (
 	// CtrServerReloads counts dataset-registry hot reloads (SIGHUP or the
 	// admin endpoint).
 	CtrServerReloads
+	// CtrServerSnapshotLoads counts datasets loaded from a binary snapshot
+	// file instead of reparsing text (startup and hot reloads).
+	CtrServerSnapshotLoads
+	// CtrServerSnapshotWrites counts snapshot files durably written by the
+	// server (POST /admin/snapshot).
+	CtrServerSnapshotWrites
+	// CtrServerSnapshotQuarantined counts corrupt snapshot files moved
+	// aside (renamed to *.quarantined) after failing load validation; the
+	// dataset then falls back to reparsing its text file.
+	CtrServerSnapshotQuarantined
+	// CtrClientAttempts counts HTTP attempts issued by the wdptd client,
+	// including retries.
+	CtrClientAttempts
+	// CtrClientRetries counts client attempts that were retries of a
+	// 429/503 response.
+	CtrClientRetries
+	// CtrClientRetryGiveups counts client requests that exhausted the retry
+	// budget and returned the last throttled response.
+	CtrClientRetryGiveups
 
 	// CtrDictLookups counts string→term-ID dictionary probes performed at
 	// query boundaries (compiling query constants and parameter bindings).
@@ -210,13 +229,19 @@ var counterNames = [numCounters]string{
 	CtrGuardRecoveredPanics: "guard.recovered_panics",
 	CtrGuardInjectedFaults:  "guard.injected_faults",
 
-	CtrServerRequests:         "server.requests",
-	CtrServerCacheHits:        "server.cache_hits",
-	CtrServerCacheMisses:      "server.cache_misses",
-	CtrServerCacheEvictions:   "server.cache_evictions",
-	CtrServerAdmissionRejects: "server.admission_rejects",
-	CtrServerWidthRejects:     "server.width_rejects",
-	CtrServerReloads:          "server.reloads",
+	CtrServerRequests:            "server.requests",
+	CtrServerCacheHits:           "server.cache_hits",
+	CtrServerCacheMisses:         "server.cache_misses",
+	CtrServerCacheEvictions:      "server.cache_evictions",
+	CtrServerAdmissionRejects:    "server.admission_rejects",
+	CtrServerWidthRejects:        "server.width_rejects",
+	CtrServerReloads:             "server.reloads",
+	CtrServerSnapshotLoads:       "server.snapshot_loads",
+	CtrServerSnapshotWrites:      "server.snapshot_writes",
+	CtrServerSnapshotQuarantined: "server.snapshot_quarantined",
+	CtrClientAttempts:            "client.attempts",
+	CtrClientRetries:             "client.retries",
+	CtrClientRetryGiveups:        "client.retry_giveups",
 
 	CtrDictLookups:     "db.dict_lookups",
 	CtrDictMisses:      "db.dict_misses",

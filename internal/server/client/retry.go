@@ -1,0 +1,147 @@
+package client
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+
+	"wdpt/internal/obs"
+)
+
+// RetryPolicy bounds the client's automatic retries of throttled responses.
+// Only HTTP 429 (admission queue full) and 503 (shutting down / overloaded)
+// are retried: both mean "the server is healthy but cannot take this
+// request right now", which is exactly the case backoff helps. Transport
+// errors and every other status are returned immediately — a 400 does not
+// get better by waiting, and retrying a half-delivered POST is the
+// caller's call.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget, first try included.
+	// Values below 2 disable retrying.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; each further
+	// attempt doubles it. 0 means 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth. 0 means 2s.
+	MaxDelay time.Duration
+}
+
+const (
+	defaultBaseDelay = 100 * time.Millisecond
+	defaultMaxDelay  = 2 * time.Second
+)
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// WithRetry returns a copy of the client that retries throttled responses
+// under the given policy. The original client is unchanged.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	out := *c
+	out.policy = p
+	return &out
+}
+
+// WithStats returns a copy of the client that counts its attempts,
+// retries, and give-ups (client.* counters) into st.
+func (c *Client) WithStats(st *obs.Stats) *Client {
+	out := *c
+	out.st = st
+	return &out
+}
+
+// Stats returns the sink receiving the client.* counters.
+func (c *Client) Stats() *obs.Stats { return c.st }
+
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// withRetry runs one exchange up to the policy's attempt budget. do reports
+// the HTTP status (0 on transport failure), the Retry-After header, and the
+// exchange's error; the last attempt's error is the one returned, so a
+// caller that treats throttled statuses as data (Query) still gets its
+// result and a caller that treats them as errors (getJSON) still gets the
+// typed failure.
+func (c *Client) withRetry(ctx context.Context, do func() (int, string, error)) error {
+	attempts := c.policy.attempts()
+	for attempt := 1; ; attempt++ {
+		c.st.Inc(obs.CtrClientAttempts)
+		status, retryAfter, err := do()
+		if !retryableStatus(status) {
+			return err
+		}
+		if attempt == attempts {
+			if attempts > 1 {
+				c.st.Inc(obs.CtrClientRetryGiveups)
+			}
+			return err
+		}
+		c.st.Inc(obs.CtrClientRetries)
+		if serr := c.sleep(ctx, c.backoffDelay(attempt, retryAfter)); serr != nil {
+			return serr
+		}
+	}
+}
+
+// backoffDelay computes the wait after the attempt-th try (1-based) failed:
+// exponential growth from BaseDelay capped at MaxDelay, jittered over the
+// upper half of the step ([step/2, step]) so a burst of throttled clients
+// does not re-arrive in lockstep, then raised to the server's Retry-After
+// when that asks for longer.
+func (c *Client) backoffDelay(attempt int, retryAfter string) time.Duration {
+	base, ceil := c.policy.BaseDelay, c.policy.MaxDelay
+	if base <= 0 {
+		base = defaultBaseDelay
+	}
+	if ceil <= 0 {
+		ceil = defaultMaxDelay
+	}
+	step := base
+	for i := 1; i < attempt && step < ceil; i++ {
+		step *= 2
+	}
+	if step > ceil {
+		step = ceil
+	}
+	d := step/2 + time.Duration(c.jitter()*float64(step/2))
+	if ra, ok := parseRetryAfter(retryAfter); ok && ra > d {
+		d = ra
+	}
+	return d
+}
+
+// parseRetryAfter understands the delay-seconds form wdptd serves; the
+// HTTP-date form is not produced by this stack and parses as absent.
+func parseRetryAfter(h string) (time.Duration, bool) {
+	if h == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}
+
+// defaultSleep waits d or until ctx is done, whichever first.
+func defaultSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// defaultJitter draws from the process-global source; tests inject a fixed
+// function to pin the schedule.
+func defaultJitter() float64 { return rand.Float64() }

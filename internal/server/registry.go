@@ -1,14 +1,19 @@
 package server
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"wdpt/internal/db"
+	"wdpt/internal/db/snapshot"
+	"wdpt/internal/obs"
 	"wdpt/internal/sparql"
 )
 
@@ -61,6 +66,10 @@ type Dataset struct {
 	// LoadNS is the wall-clock time spent parsing and loading this
 	// snapshot (reading the file, inserting, sealing, and summarizing).
 	LoadNS int64 `json:"load_ns"`
+	// Source records where the data came from: "text" for a parsed dataset
+	// file, "snapshot" for a binary snapshot loaded from the registry's
+	// snapshot directory.
+	Source string `json:"source"`
 	// Relations summarizes the relations, sorted by name.
 	Relations []RelationInfo `json:"relations"`
 	// DB is the parsed database. Read-only.
@@ -72,25 +81,63 @@ type Dataset struct {
 // lock-free reads of an atomically swapped snapshot map; a failed reload
 // keeps the previous snapshot serving.
 type Registry struct {
-	paths map[string]string // name -> file path; immutable after New
-	gen   atomic.Int64
-	cur   atomic.Pointer[map[string]*Dataset]
-	mu    sync.Mutex // serializes Reload
+	paths   map[string]string // name -> file path; immutable after New
+	snapDir string            // snapshot directory, "" when persistence is off
+	st      *obs.Stats
+	gen     atomic.Int64
+	cur     atomic.Pointer[map[string]*Dataset]
+	mu      sync.Mutex // serializes Reload and SaveSnapshots
+}
+
+// RegistryConfig configures a Registry beyond the bare name→path specs.
+type RegistryConfig struct {
+	// Specs maps dataset names to their text dataset files. Required.
+	Specs map[string]string
+	// SnapshotDir, when non-empty, enables binary snapshot persistence:
+	// loads prefer <dir>/<name>.snap over reparsing the text file, corrupt
+	// snapshots are quarantined (renamed *.quarantined) with the dataset
+	// falling back to text, and SaveSnapshots persists the current
+	// datasets there. The directory is created if missing.
+	SnapshotDir string
+	// Stats receives the server.snapshot_* counters. nil allocates a
+	// private sink.
+	Stats *obs.Stats
 }
 
 // NewRegistry parses every named dataset file and returns a registry at
 // version 1. An unreadable or unparsable file fails construction — a server
 // must not start with a partial dataset set.
 func NewRegistry(specs map[string]string) (*Registry, error) {
-	if len(specs) == 0 {
+	return NewRegistryWithConfig(RegistryConfig{Specs: specs})
+}
+
+// NewRegistryWithConfig is NewRegistry with snapshot persistence options.
+func NewRegistryWithConfig(cfg RegistryConfig) (*Registry, error) {
+	if len(cfg.Specs) == 0 {
 		return nil, fmt.Errorf("server: registry needs at least one dataset")
 	}
-	r := &Registry{paths: make(map[string]string, len(specs))}
-	for name, path := range specs {
+	st := cfg.Stats
+	if st == nil {
+		st = obs.NewStats()
+	}
+	r := &Registry{
+		paths:   make(map[string]string, len(cfg.Specs)),
+		snapDir: cfg.SnapshotDir,
+		st:      st,
+	}
+	for name, path := range cfg.Specs {
 		if name == "" {
 			return nil, fmt.Errorf("server: dataset name must not be empty (path %q)", path)
 		}
+		if name != filepath.Base(name) || name == "." || name == ".." {
+			return nil, fmt.Errorf("server: dataset name %q is not a valid snapshot file stem", name)
+		}
 		r.paths[name] = path
+	}
+	if r.snapDir != "" {
+		if err := os.MkdirAll(r.snapDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: snapshot directory: %w", err)
+		}
 	}
 	snap, err := r.loadAll(1)
 	if err != nil {
@@ -101,9 +148,21 @@ func NewRegistry(specs map[string]string) (*Registry, error) {
 	return r, nil
 }
 
-// loadAll parses every registered file into a fresh snapshot stamped with
-// the given version, in name order so parse errors are reported
-// deterministically.
+// SnapshotDir returns the registry's snapshot directory, "" when snapshot
+// persistence is disabled.
+func (r *Registry) SnapshotDir() string { return r.snapDir }
+
+// snapshotPath is the snapshot file for a dataset name.
+func (r *Registry) snapshotPath(name string) string {
+	return filepath.Join(r.snapDir, name+".snap")
+}
+
+// loadAll loads every registered dataset into a fresh snapshot-map stamped
+// with the given version, in name order so errors are reported
+// deterministically. With a snapshot directory configured, each dataset
+// prefers its binary snapshot over reparsing text; a corrupt snapshot is
+// quarantined and the text file is parsed instead, so bad bytes on disk
+// degrade to a slower load, never to a dead or wrong dataset.
 func (r *Registry) loadAll(version int64) (map[string]*Dataset, error) {
 	names := make([]string, 0, len(r.paths))
 	for name := range r.paths {
@@ -112,29 +171,88 @@ func (r *Registry) loadAll(version int64) (map[string]*Dataset, error) {
 	sort.Strings(names)
 	snap := make(map[string]*Dataset, len(names))
 	for _, name := range names {
-		path := r.paths[name]
-		start := time.Now()
+		ds, err := r.loadOne(name, version)
+		if err != nil {
+			return nil, err
+		}
+		snap[name] = ds
+	}
+	return snap, nil
+}
+
+func (r *Registry) loadOne(name string, version int64) (*Dataset, error) {
+	path := r.paths[name]
+	start := time.Now()
+	var d *db.Database
+	source := "text"
+	if r.snapDir != "" {
+		sp := r.snapshotPath(name)
+		sd, err := snapshot.Read(sp, db.DefaultBackend())
+		switch {
+		case err == nil:
+			d, source = sd, "snapshot"
+			r.st.Inc(obs.CtrServerSnapshotLoads)
+		case errors.Is(err, fs.ErrNotExist):
+			// No snapshot yet: parse the text file below.
+		default:
+			// Corrupt or unreadable snapshot: move it aside (best-effort —
+			// the text fallback proceeds regardless) and count the event so
+			// operators see silent bit rot.
+			r.st.Inc(obs.CtrServerSnapshotQuarantined)
+			_ = os.Rename(sp, sp+".quarantined")
+		}
+	}
+	if d == nil {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			return nil, fmt.Errorf("server: dataset %q: %w", name, err)
 		}
-		d, err := sparql.ParseDatabase(string(data))
+		d, err = sparql.ParseDatabase(string(data))
 		if err != nil {
 			return nil, fmt.Errorf("server: dataset %q (%s): %w", name, path, err)
 		}
-		snap[name] = &Dataset{
-			Name:      name,
-			Version:   version,
-			Path:      path,
-			Atoms:     d.Size(),
-			DictTerms: d.Dict().Len(),
-			Backend:   d.Backend().String(),
-			Relations: relationInfos(d),
-			DB:        d,
-			LoadNS:    time.Since(start).Nanoseconds(),
-		}
 	}
-	return snap, nil
+	return &Dataset{
+		Name:      name,
+		Version:   version,
+		Path:      path,
+		Atoms:     d.Size(),
+		DictTerms: d.Dict().Len(),
+		Backend:   d.Backend().String(),
+		Relations: relationInfos(d),
+		DB:        d,
+		LoadNS:    time.Since(start).Nanoseconds(),
+		Source:    source,
+	}, nil
+}
+
+// SaveSnapshots durably writes every current dataset to the snapshot
+// directory via the crash-safe writer and returns the registry version the
+// snapshots capture plus the written file names (sorted). It fails when the
+// registry has no snapshot directory. Writes serialize with Reload, so a
+// save captures one consistent registry generation.
+func (r *Registry) SaveSnapshots() (int64, []string, error) {
+	if r.snapDir == "" {
+		return 0, nil, fmt.Errorf("server: registry has no snapshot directory")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := *r.cur.Load()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	files := make([]string, 0, len(names))
+	for _, name := range names {
+		sp := r.snapshotPath(name)
+		if err := snapshot.Write(sp, snap[name].DB); err != nil {
+			return r.gen.Load(), files, fmt.Errorf("server: dataset %q: %w", name, err)
+		}
+		r.st.Inc(obs.CtrServerSnapshotWrites)
+		files = append(files, filepath.Base(sp))
+	}
+	return r.gen.Load(), files, nil
 }
 
 func relationInfos(d *db.Database) []RelationInfo {

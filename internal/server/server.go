@@ -81,7 +81,8 @@ type Config struct {
 }
 
 // Server is the wdptd HTTP handler: it serves /v1/query, /healthz,
-// /v1/datasets, /metrics, /admin/reload, and (optionally) /debug/pprof/.
+// /v1/datasets, /metrics, /admin/reload, /admin/snapshot, and (optionally)
+// /debug/pprof/.
 // Create one with NewServer and shut it down with Shutdown, which drains
 // in-flight queries and cancels their contexts past the deadline.
 type Server struct {
@@ -149,6 +150,7 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	s.mux.HandleFunc("POST /admin/reload", s.handleReload)
+	s.mux.HandleFunc("POST /admin/snapshot", s.handleSnapshot)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -311,6 +313,14 @@ type DatasetList struct {
 type ReloadResult struct {
 	// Version is the registry generation after the reload.
 	Version int64 `json:"version"`
+}
+
+// SnapshotResult is the /admin/snapshot success body.
+type SnapshotResult struct {
+	// Version is the registry generation the snapshots capture.
+	Version int64 `json:"version"`
+	// Files are the snapshot file names written, sorted.
+	Files []string `json:"files"`
 }
 
 // solver abstracts core.PatternTree.Solve and uwdpt.Union.Solve so the
@@ -750,6 +760,26 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	s.st.Inc(obs.CtrServerReloads)
 	writeJSON(w, http.StatusOK, ReloadResult{Version: version})
+}
+
+// handleSnapshot is POST /admin/snapshot: durably persist every current
+// dataset to the registry's snapshot directory via the crash-safe writer.
+// Without a -snapshot-dir the endpoint reports 400; a write failure
+// reports 500 and leaves previously published snapshots intact.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.reg.SnapshotDir() == "" {
+		writeError(w, http.StatusBadRequest, ErrorPayload{
+			Code:    "no_snapshot_dir",
+			Message: "server: snapshot persistence is disabled (start wdptd with -snapshot-dir)",
+		})
+		return
+	}
+	version, files, err := s.reg.SaveSnapshots()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, ErrorPayload{Code: "snapshot_failed", Message: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResult{Version: version, Files: files})
 }
 
 // writeEvalError serves an evaluation error: status from the shared report

@@ -9,8 +9,11 @@
 # a benchdiff self-smoke (the artifact diffed against itself must report
 # zero regressions), a storage-backend A/B gate (E1 and E14 run on the
 # legacy string-map backend then on the columnar default; benchdiff fails
-# the run if the columnar backend regresses any significant point), and
-# bounded parser + backend-equivalence fuzz smokes.
+# the run if the columnar backend regresses any significant point), a
+# snapshot persistence gate (a dataset converted to the binary snapshot
+# format must answer byte-identically to its text source, and reloading
+# the snapshot must beat reparsing the text by WDPT_SNAP_MIN_SPEEDUP),
+# and bounded parser + backend-equivalence + snapshot-loader fuzz smokes.
 # CI (.github/workflows/ci.yml) runs exactly this script.
 #
 #   ./scripts/check.sh
@@ -136,6 +139,29 @@ if (( store_regressions > store_allowed )); then
 fi
 echo "storage A/B: ${store_regressions} regressed point(s) within the ${store_allowed} allowed for runner noise"
 
+# Snapshot persistence gate, two halves. Parity: convert the music fixture
+# to a binary snapshot with wdpteval -snapshot-save, then run the same
+# query -json against the text source and against the snapshot — the two
+# documents must be byte-identical (the report carries no wall-clock
+# fields, so cmp is exact, the same contract the backend A/B gate holds).
+# Speed: wdptbench -snapshot generates a large synthetic database and
+# fails unless reloading the snapshot beats reparsing the text by
+# WDPT_SNAP_MIN_SPEEDUP (default 1.5x — deliberately far under the ~10x
+# seen on quiet hardware, so runner noise cannot flake the gate while a
+# genuine loss of the bulk-load fast path still fails it).
+echo "== snapshot round-trip (wdpteval parity + wdptbench reload gate)"
+snap_dir=$(mktemp -d)
+trap 'rm -rf "$snap_dir"' EXIT
+snap_query='(recorded_by(?x,?y) AND published(?x,"after_2010")) OPT rating(?x,?z)'
+go run ./cmd/wdpteval -db examples/data/music.txt -snapshot-save "$snap_dir/music.snap"
+go run ./cmd/wdpteval -db examples/data/music.txt -query "$snap_query" -json >"$snap_dir/text.json"
+go run ./cmd/wdpteval -snapshot "$snap_dir/music.snap" -query "$snap_query" -json >"$snap_dir/snap.json"
+cmp "$snap_dir/text.json" "$snap_dir/snap.json" || {
+  echo "snapshot answers diverge from text answers (wdpteval -json not byte-identical)" >&2
+  exit 1
+}
+go run ./cmd/wdptbench -snapshot "$snap_dir/bench" -quick
+
 if [[ "${WDPT_SKIP_FUZZ:-0}" != "1" ]]; then
   fuzztime="${FUZZTIME:-10s}"
   for target in FuzzParseQuery FuzzParseWDPT FuzzParseDatabase; do
@@ -144,6 +170,8 @@ if [[ "${WDPT_SKIP_FUZZ:-0}" != "1" ]]; then
   done
   echo "== fuzz smoke: FuzzBackendEquivalence (${fuzztime})"
   go test -run='^FuzzBackendEquivalence$' -fuzz='^FuzzBackendEquivalence$' -fuzztime="${fuzztime}" .
+  echo "== fuzz smoke: FuzzSnapshotLoader (${fuzztime})"
+  go test -run='^FuzzSnapshotLoader$' -fuzz='^FuzzSnapshotLoader$' -fuzztime="${fuzztime}" ./internal/db/snapshot
 else
   echo "== fuzz smoke skipped (WDPT_SKIP_FUZZ=1)"
 fi

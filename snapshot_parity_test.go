@@ -1,0 +1,59 @@
+package wdpt_test
+
+import (
+	"fmt"
+	"testing"
+
+	"wdpt"
+	"wdpt/internal/db"
+	"wdpt/internal/db/snapshot"
+	"wdpt/internal/sparql"
+)
+
+// Snapshot-parity suite: the acceptance contract of the persistence format
+// (docs/STORAGE.md). A database that travels text -> Seal -> snapshot ->
+// load must answer every query byte-identically to the directly parsed
+// database, with identical evaluation counters, on both storage backends
+// and across the parallelism sweep — durability may only change where the
+// rows come from, never which rows or how much evaluation work is recorded.
+
+func TestSnapshotParity(t *testing.T) {
+	for _, c := range equivCases() {
+		// Round-trip through the text format first, so the snapshot source
+		// is the same sealed database every operator data path produces.
+		parsed, err := sparql.ParseDatabase(sparql.FormatDatabase(c.d))
+		if err != nil {
+			t.Fatalf("%s: reparsing fixture: %v", c.name, err)
+		}
+		blob, err := snapshot.Encode(parsed)
+		if err != nil {
+			t.Fatalf("%s: encoding snapshot: %v", c.name, err)
+		}
+		for _, b := range []db.Backend{db.BackendColumnar, db.BackendMemory} {
+			loaded, err := snapshot.Decode(blob, b)
+			if err != nil {
+				t.Fatalf("%s on %s: decoding snapshot: %v", c.name, b, err)
+			}
+			for _, par := range []int{1, 8} {
+				t.Run(fmt.Sprintf("%s/%s/p%d", c.name, b, par), func(t *testing.T) {
+					mkOpts := func() wdpt.SolveOptions {
+						return wdpt.SolveOptions{
+							Mode:        wdpt.ModeEnumerate,
+							Engine:      wdpt.AutoEngine(),
+							Parallelism: par,
+						}
+					}
+					wantAns, wantCtrs, wantErr := solveOnBackend(t, c.p, parsed, b, mkOpts())
+					gotAns, gotCtrs, gotErr := solveOnBackend(t, c.p, loaded, b, mkOpts())
+					if (wantErr == nil) != (gotErr == nil) {
+						t.Fatalf("error disagreement: parsed=%v snapshot=%v", wantErr, gotErr)
+					}
+					if wantAns != gotAns {
+						t.Errorf("answers differ between parsed and snapshot-loaded data:\n--- parsed\n%s--- snapshot\n%s", wantAns, gotAns)
+					}
+					snapshotDiff(t, gotCtrs, wantCtrs)
+				})
+			}
+		}
+	}
+}
