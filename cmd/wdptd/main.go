@@ -18,8 +18,20 @@
 // served. POST /admin/snapshot persists every current dataset through the
 // crash-safe writer. See docs/ROBUSTNESS.md.
 //
+// Clustering: with -role coordinator and -cluster-peers, the node fronts a
+// sharded fleet (docs/CLUSTER.md): /v1/query routes to the dataset's
+// consistent-hash owner, eligible union queries scatter-gather across
+// healthy members with byte-identical merged responses, GET /v1/cluster
+// reports peer health and ring assignment, and /metrics additionally
+// carries the per-peer latency and per-endpoint attempt families. Members
+// run with the default -role member and need no cluster flags.
+//
 //	-listen addr            listen address (default 127.0.0.1:8080)
 //	-dataset name=path      register a dataset (repeatable, at least one)
+//	-role r                 coordinator or member (default member)
+//	-cluster-peers list     comma-separated member base URLs (coordinator)
+//	-health-interval d      background peer health-probe period
+//	-vnodes n               consistent-hash virtual nodes per peer
 //	-snapshot-dir dir       durable snapshot directory: load <name>.snap at
 //	                        startup/reload when present, enable
 //	                        POST /admin/snapshot (empty disables)
@@ -66,6 +78,7 @@ import (
 	"syscall"
 	"time"
 
+	"wdpt/internal/cluster"
 	"wdpt/internal/core"
 	"wdpt/internal/db"
 	"wdpt/internal/db/snapshot"
@@ -132,11 +145,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	slowQuery := fs.Duration("slow-query-threshold", 0, "promote queries at or above this wall time to WARN with their span tree (0 disables)")
 	selfcheck := fs.Bool("selfcheck", false, "start on an ephemeral port, probe the API once, and exit")
 	metricsOut := fs.String("metrics-out", "", "with -selfcheck, write the scraped /metrics exposition to this file")
+	role := fs.String("role", "member", "cluster role: coordinator or member")
+	clusterPeers := fs.String("cluster-peers", "", "comma-separated member base URLs (coordinator role)")
+	healthInterval := fs.Duration("health-interval", cluster.DefaultProbeInterval, "background peer health-probe period (coordinator role)")
+	vnodes := fs.Int("vnodes", cluster.DefaultVirtualNodes, "consistent-hash virtual nodes per peer (coordinator role)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if len(datasets.specs) == 0 {
 		fmt.Fprintln(stderr, "wdptd: at least one -dataset name=path is required")
+		return 2
+	}
+	if *role != "member" && *role != "coordinator" {
+		fmt.Fprintf(stderr, "wdptd: unknown -role %q (want coordinator or member)\n", *role)
+		return 2
+	}
+	if *role == "coordinator" && strings.TrimSpace(*clusterPeers) == "" {
+		fmt.Fprintln(stderr, "wdptd: -role coordinator requires -cluster-peers")
+		return 2
+	}
+	if *role == "member" && strings.TrimSpace(*clusterPeers) != "" {
+		fmt.Fprintln(stderr, "wdptd: -cluster-peers requires -role coordinator")
 		return 2
 	}
 	queryLog, logClose, err := openQueryLog(*queryLogDest, stdout, stderr)
@@ -170,6 +199,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "wdptd: %v\n", err)
 		return 2
 	}
+	handler := http.Handler(srv)
+	if *role == "coordinator" {
+		peers := splitPeers(*clusterPeers)
+		coord, cerr := cluster.NewCoordinator(cluster.CoordinatorConfig{
+			Local:        srv,
+			Peers:        peers,
+			VirtualNodes: *vnodes,
+			Peer:         cluster.PeerConfig{ProbeInterval: *healthInterval},
+		})
+		if cerr != nil {
+			fmt.Fprintf(stderr, "wdptd: %v\n", cerr)
+			return 2
+		}
+		probeCtx, probeCancel := context.WithCancel(context.Background())
+		defer probeCancel()
+		coord.Start(probeCtx)
+		defer coord.Close()
+		handler = coord
+		fmt.Fprintf(stdout, "wdptd: coordinator over %d peer(s), %d virtual nodes\n", len(coord.Ring().Peers()), coord.Ring().VirtualNodes())
+	}
 	addr := *listen
 	if *selfcheck {
 		addr = "127.0.0.1:0"
@@ -181,7 +230,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	// ReadHeaderTimeout bounds slow-header clients (wdptlint R9: never run
 	// an http.Server without it).
-	hs := &http.Server{Handler: srv, ReadHeaderTimeout: 5 * time.Second}
+	hs := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
@@ -225,6 +274,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 0
 		}
 	}
+}
+
+// splitPeers parses the comma-separated -cluster-peers list, dropping empty
+// entries.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // shutdown drains in-flight queries under the deadline (cancelling their

@@ -36,6 +36,12 @@
 //	    os.Rename are forbidden outside the sanctioned crash-safe writer
 //	    (internal/db/snapshot/atomic.go) — durable state must go through
 //	    temp file + fsync + atomic rename (see docs/ROBUSTNESS.md)
+//	R17 timeout-bounded outbound HTTP: in the peer-dialing packages
+//	    (internal/cluster and its subpackages, internal/server/client),
+//	    the package-level http.Get/Head/Post/PostForm helpers,
+//	    http.DefaultClient, and http.Client literals without a Timeout
+//	    are forbidden — a hung peer must not pin a scatter leg, health
+//	    probe, or failover walk forever (see docs/CLUSTER.md)
 //
 // R10-R13 are whole-program rules: they run over a type-resolved
 // cross-package call graph of the full loaded closure (see graphrules.go
@@ -206,6 +212,7 @@ var allRules = []ruleSpec{
 	{"R14", "internal/obs metric-name registries: snake_case, unique, exposition names documented in the glossary"},
 	{"R15", "cqeval/core kernels stay ID-native: no deprecated db string accessors, per-row string map keys, or Tuple string comparisons in loops"},
 	{"R16", "internal/db must not call os.Create/os.WriteFile/os.Rename outside the crash-safe snapshot writer"},
+	{"R17", "outbound HTTP in cluster/client packages: no http.Get-style helpers, no http.DefaultClient, every http.Client literal sets Timeout"},
 }
 
 func parseRules(s string) (map[string]bool, error) {

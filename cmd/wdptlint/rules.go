@@ -81,6 +81,9 @@ func lintPackage(l *loader, p *lintPkg, enabled map[string]bool) []Finding {
 		if enabled["R16"] && persistencePkg(p.rel) {
 			out = append(out, lintDurableWrites(l, p, f)...)
 		}
+		if enabled["R17"] && outboundHTTPPkg(p.rel) {
+			out = append(out, lintOutboundHTTP(l, p, f)...)
+		}
 	}
 	// R14 spans the registry variables of the whole package (uniqueness is
 	// cross-file), so it runs once after the per-file rules.
@@ -549,7 +552,7 @@ func checkGlossary(l *loader, lit *ast.CompositeLit) []Finding {
 //     produce an invalid or colliding Prometheus metric name;
 //   - uniqueness: no name is registered twice across the registries;
 //   - glossary: names in the exposition-facing registries (histNames,
-//     gaugeNames, runtimeMetricNames) are documented in
+//     gaugeNames, counterVecNames, runtimeMetricNames) are documented in
 //     docs/OBSERVABILITY.md. counterNames' glossary containment is R6's
 //     job and is not re-checked here.
 //
@@ -561,6 +564,7 @@ var metricRegistryVars = map[string]bool{
 	"counterNames":       true,
 	"histNames":          true,
 	"gaugeNames":         true,
+	"counterVecNames":    true,
 	"runtimeMetricNames": true,
 }
 
@@ -1180,6 +1184,91 @@ func isTupleComponent(l *loader, p *lintPkg, e ast.Expr) bool {
 		return false
 	}
 	return named.Obj().Name() == "Tuple" && l.relOf(named.Obj().Pkg().Path()) == "internal/db"
+}
+
+// ---------------------------------------------------------------------------
+// R17 — outbound HTTP must be timeout-bounded.
+//
+// The cluster coordinator and the typed API client are the packages that
+// open connections to peers, and a peer that accepts the connection and
+// then hangs must not pin the caller forever: scatter-gather legs, health
+// probes, and failover walks all assume an exchange eventually returns.
+// Request contexts carry the per-query deadline, but a context only exists
+// once a request is built — the construction-site invariant is that every
+// *http.Client in these packages carries a Timeout as the transport safety
+// net (client.DefaultTimeout is the sanctioned value). The rule flags, in
+// the outbound-HTTP packages only:
+//
+//   - the package-level net/http helpers (http.Get / Head / Post /
+//     PostForm), which route through the timeout-less http.DefaultClient
+//     and take no context at all;
+//   - any other use of http.DefaultClient (it is shared, global, and has
+//     no Timeout);
+//   - an http.Client composite literal that does not set Timeout.
+//
+// Calls through a caller-provided *http.Client are exempt — construction
+// sites are where the rule looks, mirroring R9's http.Server check.
+
+// outboundHTTPPkg reports whether R17 applies: the packages that dial out
+// to wdptd peers.
+func outboundHTTPPkg(rel string) bool {
+	return rel == "internal/cluster" || strings.HasPrefix(rel, "internal/cluster/") ||
+		rel == "internal/server/client"
+}
+
+func lintOutboundHTTP(l *loader, p *lintPkg, f *ast.File) []Finding {
+	var out []Finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			t := p.info.TypeOf(n)
+			if t == nil || !isHTTPClientType(t) {
+				return true
+			}
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					// A positional literal fills every field, including
+					// Timeout.
+					return true
+				}
+				if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Timeout" {
+					return true
+				}
+			}
+			out = append(out, l.finding(n.Pos(), "R17",
+				"http.Client literal does not set Timeout: a hung peer pins the connection forever; set client.DefaultTimeout or bound every request with a context"))
+		case *ast.CallExpr:
+			fn := calleeFunc(p.info, n)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "net/http" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // method on an explicitly constructed client
+			}
+			switch fn.Name() {
+			case "Get", "Head", "Post", "PostForm":
+				out = append(out, l.finding(n.Pos(), "R17",
+					"http.%s uses the timeout-less http.DefaultClient and carries no context: build the request with http.NewRequestWithContext and send it through a Timeout-bearing client", fn.Name()))
+			}
+		case *ast.SelectorExpr:
+			if obj, ok := p.info.Uses[n.Sel].(*types.Var); ok &&
+				obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "DefaultClient" {
+				out = append(out, l.finding(n.Pos(), "R17",
+					"http.DefaultClient has no Timeout: construct an http.Client with Timeout (client.DefaultTimeout) instead"))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isHTTPClientType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "net/http" && named.Obj().Name() == "Client"
 }
 
 // ---------------------------------------------------------------------------

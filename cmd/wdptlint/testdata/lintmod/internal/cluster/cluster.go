@@ -1,0 +1,53 @@
+// Package cluster exercises the R17 outbound-HTTP timeout rule: the
+// coordinator package dials peers, so every exchange must be bounded by a
+// client Timeout or a request context.
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Bare fetches through the package-level helper, which routes through the
+// timeout-less http.DefaultClient and ignores the context entirely.
+func Bare(ctx context.Context, url string) (*http.Response, error) {
+	return http.Get(url) // want R17
+}
+
+// BarePost is the POST variant of the same hazard.
+func BarePost(ctx context.Context, url string) (*http.Response, error) {
+	return http.Post(url, "application/json", nil) // want R17
+}
+
+// Default sends through the shared global client, which has no Timeout.
+func Default(ctx context.Context, req *http.Request) (*http.Response, error) {
+	return http.DefaultClient.Do(req) // want R17
+}
+
+// Unbounded constructs a client that never times an exchange out.
+func Unbounded() *http.Client {
+	return &http.Client{} // want R17
+}
+
+// NoTimeout sets other fields but still no Timeout.
+func NoTimeout(rt http.RoundTripper) *http.Client {
+	return &http.Client{Transport: rt} // want R17
+}
+
+// Bounded sets Timeout; exempt.
+func Bounded() *http.Client {
+	return &http.Client{Timeout: 5 * time.Minute}
+}
+
+// ThroughProvided sends through a caller-constructed client; construction
+// sites are where R17 looks, so this is exempt.
+func ThroughProvided(ctx context.Context, hc *http.Client, req *http.Request) (*http.Response, error) {
+	return hc.Do(req)
+}
+
+// Suppressed documents a deliberate exception.
+func Suppressed() *http.Client {
+	//lint:ignore R17 probe client: every request carries its own context deadline
+	return &http.Client{}
+}

@@ -44,3 +44,10 @@ func Suppressed(h http.Handler) *http.Server {
 	//lint:ignore R9 test-only server torn down before any client connects
 	return &http.Server{Handler: h}
 }
+
+// ClientElsewhere constructs a timeout-less http.Client outside the
+// outbound-HTTP packages; R17 is scoped to internal/cluster and
+// internal/server/client, so this stays silent.
+func ClientElsewhere() *http.Client {
+	return &http.Client{}
+}

@@ -1,0 +1,20 @@
+// Package client exercises R17's second scoped package: the typed API
+// client is the other place outbound connections to wdptd are opened.
+package client
+
+import (
+	"context"
+	"net/http"
+)
+
+// Probe head-checks a peer through the package-level helper — the
+// timeout-less default client again.
+func Probe(ctx context.Context, url string) (*http.Response, error) {
+	return http.Head(url) // want R17
+}
+
+// Fetch sends through a caller-provided client; exempt — R17 polices
+// construction sites and the default-client escape hatches.
+func Fetch(ctx context.Context, hc *http.Client, req *http.Request) (*http.Response, error) {
+	return hc.Do(req)
+}

@@ -1,0 +1,582 @@
+// Command wdptstress is an open-loop load generator for a running wdptd (or
+// a wdptd cluster coordinator — the harness only speaks the public HTTP
+// API, so both look the same to it).
+//
+// Usage:
+//
+//	wdptstress -endpoint http://127.0.0.1:8080
+//	wdptstress -endpoint ... -qps 50,200,400 -duration 10s
+//	wdptstress -endpoint ... -mix scan=1,join=1,union=2 -seed 7
+//	wdptstress -endpoint ... -max-tuples 5000 -wall-ms 200
+//
+// The run is split into phases, one per entry of the comma-separated -qps
+// ramp profile, each -duration long. Within a phase the generator is
+// open-loop: it fires requests on a fixed schedule derived from the target
+// rate and never slows down because the server is slow — latencies under
+// overload measure queueing, which is the point of a stress harness. When
+// more than -max-inflight requests are outstanding, newly scheduled
+// requests are dropped and counted under the "saturated" error class
+// instead of silently closing the loop.
+//
+// The query mix is drawn per scheduled request from a seeded source, so the
+// exact sequence of (dataset, query-kind) pairs is a pure function of -seed
+// and replays across runs and against different servers. Queries are
+// constructed from the server's own /v1/datasets listing: for every dataset
+// the harness picks the relation with the most rows (per the per-relation
+// row counts the endpoint reports), probes its arity, and derives three
+// query kinds from it — "scan" (single atom), "join" (two chained atoms),
+// and "union" (a two-member union, which a cluster coordinator evaluates
+// scatter-gather). -mix weights these kinds.
+//
+// Results are written as STRESS_<date><suffix>.json into -out. The
+// artifact uses the BENCH_*.json shape that cmd/benchdiff reads —
+// experiments keyed by phase id, each carrying timing points with
+// min/p50/p95/p99 — so two stress runs diff with the same tool and the
+// same tolerance gates as the micro-benchmarks:
+//
+//	benchdiff STRESS_old.json STRESS_new.json
+//
+// Timing point 0 aggregates the whole phase; the following points are the
+// per-kind latencies in sorted kind order (positions are stable because
+// the mix is fixed for a run). Each experiment additionally records the
+// target and achieved rate plus an error taxonomy keyed by the typed error
+// codes of the API (deadline, tuple_budget, queue_full, ...), "transport"
+// for connection failures, and "saturated" for open-loop drops; benchdiff
+// ignores the extra fields.
+//
+// Exit codes: 0 run completed, 1 setup or transport-level failure before
+// the run started, 2 usage error. Server-side errors during the run are
+// data (the taxonomy), not process failures.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"wdpt/internal/obs"
+	"wdpt/internal/server"
+	"wdpt/internal/server/client"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// stressPoint is one latency summary in the benchdiff timing-point shape,
+// labeled with the query kind it aggregates ("all" for the whole phase).
+type stressPoint struct {
+	Kind  string `json:"kind"`
+	MinNS int64  `json:"min_ns"`
+	P50NS int64  `json:"p50_ns"`
+	P95NS int64  `json:"p95_ns"`
+	P99NS int64  `json:"p99_ns"`
+	Reps  int    `json:"reps"`
+}
+
+// stressExperiment is one phase of the ramp in the benchdiff experiment
+// shape plus the stress-specific rate and error-taxonomy fields.
+type stressExperiment struct {
+	ID          string         `json:"id"`
+	TargetQPS   float64        `json:"target_qps"`
+	AchievedQPS float64        `json:"achieved_qps"`
+	Sent        int            `json:"sent"`
+	OK          int            `json:"ok"`
+	Truncated   int            `json:"truncated,omitempty"`
+	Errors      map[string]int `json:"errors,omitempty"`
+	ElapsedNS   int64          `json:"elapsed_ns"`
+	Timings     []stressPoint  `json:"timings"`
+}
+
+// stressArtifact is the top-level STRESS_<date><suffix>.json document,
+// benchdiff-decodable (date/commit/go_version/quick/parallelism/experiments
+// match the BENCH shape).
+type stressArtifact struct {
+	Date        string             `json:"date"`
+	Commit      string             `json:"commit"`
+	GoVersion   string             `json:"go_version"`
+	Quick       bool               `json:"quick"`
+	Parallelism int                `json:"parallelism"`
+	Endpoint    string             `json:"endpoint"`
+	Seed        int64              `json:"seed"`
+	Experiments []stressExperiment `json:"experiments"`
+}
+
+// mixEntry is one weighted query kind of the -mix profile.
+type mixEntry struct {
+	kind   string
+	weight int64
+}
+
+// target is one dataset's prepared query set: the same three texts are
+// reused for every draw, so the schedule stays a pure function of the seed.
+type target struct {
+	dataset  string
+	relation string
+	arity    int
+	queries  map[string]string
+}
+
+// commitStamp identifies the stressed commit: WDPT_COMMIT when set (CI
+// passes the exact SHA it checked out), otherwise git rev-parse HEAD, and
+// the empty string when neither is available.
+func commitStamp() string {
+	if c := strings.TrimSpace(os.Getenv("WDPT_COMMIT")); c != "" {
+		return c
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wdptstress", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	endpoint := fs.String("endpoint", "", "wdptd base URL (required), e.g. http://127.0.0.1:8080")
+	qpsList := fs.String("qps", "100", "comma-separated per-phase target rates (the ramp profile)")
+	duration := fs.Duration("duration", 3*time.Second, "duration of each phase")
+	mixSpec := fs.String("mix", "scan=1,join=1,union=2", "weighted query mix over kinds scan, join, union")
+	seed := fs.Int64("seed", 1, "seed for the query-draw schedule")
+	parallelism := fs.Int("parallelism", 1, "per-request Solve worker-pool bound (1 sequential, 0 NumCPU)")
+	wallMS := fs.Int64("wall-ms", 0, "per-request wall budget in milliseconds (0 = none)")
+	maxTuples := fs.Int64("max-tuples", 0, "per-request tuple budget (0 = none)")
+	maxAnswers := fs.Int64("max-answers", 0, "per-request answer cap (0 = none)")
+	maxInflight := fs.Int("max-inflight", 256, "outstanding-request bound; drops beyond it count as \"saturated\"")
+	outDir := fs.String("out", ".", "directory for the STRESS_<date><suffix>.json artifact")
+	suffix := fs.String("suffix", "", "artifact filename suffix, e.g. -p8 -> STRESS_<date>-p8.json")
+	quick := fs.Bool("quick", false, "smoke mode: cap each phase at 500ms")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *endpoint == "" {
+		fmt.Fprintln(stderr, "wdptstress: -endpoint is required")
+		return 2
+	}
+	phases, err := parseQPS(*qpsList)
+	if err != nil {
+		fmt.Fprintf(stderr, "wdptstress: %v\n", err)
+		return 2
+	}
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "wdptstress: %v\n", err)
+		return 2
+	}
+	if *maxInflight < 1 {
+		fmt.Fprintln(stderr, "wdptstress: -max-inflight must be >= 1")
+		return 2
+	}
+	phaseDur := *duration
+	if *quick && phaseDur > 500*time.Millisecond {
+		phaseDur = 500 * time.Millisecond
+	}
+	if phaseDur <= 0 {
+		fmt.Fprintln(stderr, "wdptstress: -duration must be positive")
+		return 2
+	}
+
+	ctx := context.Background()
+	cl := client.New(*endpoint, nil)
+	targets, err := buildTargets(ctx, cl, *parallelism)
+	if err != nil {
+		fmt.Fprintf(stderr, "wdptstress: %v\n", err)
+		return 1
+	}
+	var budget *server.BudgetSpec
+	if *wallMS > 0 || *maxTuples > 0 || *maxAnswers > 0 {
+		budget = &server.BudgetSpec{WallMS: *wallMS, MaxTuples: *maxTuples, MaxAnswers: *maxAnswers}
+	}
+
+	art := stressArtifact{
+		Date:        time.Now().Format("2006-01-02"),
+		Commit:      commitStamp(),
+		GoVersion:   runtime.Version(),
+		Quick:       *quick,
+		Parallelism: *parallelism,
+		Endpoint:    *endpoint,
+		Seed:        *seed,
+	}
+	// One rng for the whole ramp: the draw sequence across phases is a
+	// single seeded stream, so adding a phase never reshuffles earlier ones.
+	rng := rand.New(rand.NewSource(*seed))
+	for i, qps := range phases {
+		id := fmt.Sprintf("S%d-qps%s", i+1, strconv.FormatFloat(qps, 'g', -1, 64))
+		exp := runPhase(ctx, cl, phaseCfg{
+			id:          id,
+			qps:         qps,
+			duration:    phaseDur,
+			mix:         mix,
+			targets:     targets,
+			parallelism: *parallelism,
+			budget:      budget,
+			maxInflight: *maxInflight,
+		}, rng)
+		art.Experiments = append(art.Experiments, exp)
+		fmt.Fprintf(stdout, "%s: target %g qps, achieved %.1f qps, sent %d, ok %d, truncated %d, errors %d, p50 %v p95 %v p99 %v\n",
+			exp.ID, exp.TargetQPS, exp.AchievedQPS, exp.Sent, exp.OK, exp.Truncated, errCount(exp.Errors),
+			time.Duration(exp.Timings[0].P50NS).Round(time.Microsecond),
+			time.Duration(exp.Timings[0].P95NS).Round(time.Microsecond),
+			time.Duration(exp.Timings[0].P99NS).Round(time.Microsecond))
+	}
+
+	path := filepath.Join(*outDir, "STRESS_"+art.Date+*suffix+".json")
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "wdptstress: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(stderr, "wdptstress: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", path)
+	return 0
+}
+
+// parseQPS parses the comma-separated ramp profile.
+func parseQPS(s string) ([]float64, error) {
+	var phases []float64
+	for _, part := range strings.Split(s, ",") {
+		q, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || q <= 0 {
+			return nil, fmt.Errorf("bad -qps entry %q (want a positive rate)", part)
+		}
+		phases = append(phases, q)
+	}
+	return phases, nil
+}
+
+// parseMix parses "scan=1,join=1,union=2" into a weighted kind list, sorted
+// by kind so the artifact's timing-point order is stable.
+func parseMix(s string) ([]mixEntry, error) {
+	known := map[string]bool{"scan": true, "join": true, "union": true}
+	var mix []mixEntry
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(s, ",") {
+		kind, weight, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -mix entry %q (want kind=weight)", part)
+		}
+		kind = strings.TrimSpace(kind)
+		if !known[kind] {
+			return nil, fmt.Errorf("unknown -mix kind %q (want scan, join, or union)", kind)
+		}
+		if seen[kind] {
+			return nil, fmt.Errorf("duplicate -mix kind %q", kind)
+		}
+		seen[kind] = true
+		w, err := strconv.ParseInt(strings.TrimSpace(weight), 10, 64)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad -mix weight %q (want a non-negative integer)", weight)
+		}
+		if w > 0 {
+			mix = append(mix, mixEntry{kind: kind, weight: w})
+		}
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("-mix selects no kinds")
+	}
+	sort.Slice(mix, func(i, j int) bool { return mix[i].kind < mix[j].kind })
+	return mix, nil
+}
+
+// drawKind picks a mix kind by weight from the seeded source.
+func drawKind(mix []mixEntry, rng *rand.Rand) string {
+	var total int64
+	for _, m := range mix {
+		total += m.weight
+	}
+	n := rng.Int63n(total)
+	for _, m := range mix {
+		if n < m.weight {
+			return m.kind
+		}
+		n -= m.weight
+	}
+	return mix[len(mix)-1].kind
+}
+
+// buildTargets derives the query set from the server's /v1/datasets
+// listing: per dataset, the relation with the most rows (name-ordered
+// tiebreak), its arity probed with a one-answer query, and the three query
+// kinds built over it. Datasets with no probeable relation are skipped.
+func buildTargets(ctx context.Context, cl *client.Client, parallelism int) ([]target, error) {
+	list, err := cl.Datasets(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("listing datasets: %w", err)
+	}
+	var targets []target
+	for _, d := range list.Datasets {
+		// Candidate relations by row count descending, name ascending — the
+		// biggest relation makes the most interesting load, and the order is
+		// deterministic so every run probes the same way.
+		type relRows struct {
+			name string
+			rows int
+		}
+		var rels []relRows
+		for name, rows := range d.Rows {
+			if rows > 0 {
+				rels = append(rels, relRows{name, rows})
+			}
+		}
+		sort.Slice(rels, func(i, j int) bool {
+			if rels[i].rows != rels[j].rows {
+				return rels[i].rows > rels[j].rows
+			}
+			return rels[i].name < rels[j].name
+		})
+		for _, r := range rels {
+			arity, err := probeArity(ctx, cl, d.Name, r.name, parallelism)
+			if err != nil {
+				return nil, err
+			}
+			if arity == 0 {
+				continue
+			}
+			targets = append(targets, target{
+				dataset:  d.Name,
+				relation: r.name,
+				arity:    arity,
+				queries:  buildQueries(r.name, arity),
+			})
+			break
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("no usable dataset: every relation failed the arity probe")
+	}
+	return targets, nil
+}
+
+// probeArity finds the relation's arity by issuing one-answer scans of
+// increasing width: the dataset listing guarantees the relation has rows,
+// so the correct arity is the one that yields an answer. Probes at the
+// wrong arity fail or come back empty; both are skipped. Only transport
+// errors abort.
+func probeArity(ctx context.Context, cl *client.Client, dataset, relation string, parallelism int) (int, error) {
+	for arity := 1; arity <= 6; arity++ {
+		req := server.Request{
+			Dataset:     dataset,
+			Query:       "SELECT ?y0 WHERE " + atom(relation, 0, arity),
+			Mode:        "enumerate",
+			Parallelism: parallelism,
+			Budget:      &server.BudgetSpec{MaxAnswers: 1},
+		}
+		qr, err := cl.Query(ctx, req)
+		if err != nil {
+			return 0, fmt.Errorf("probing %s.%s: %w", dataset, relation, err)
+		}
+		if qr.Report != nil && qr.Report.AnswerCount != nil && *qr.Report.AnswerCount > 0 {
+			return arity, nil
+		}
+	}
+	return 0, nil
+}
+
+// atom renders relation(?y<from>, ..., ?y<from+arity-1>).
+func atom(relation string, from, arity int) string {
+	vars := make([]string, arity)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("?y%d", from+i)
+	}
+	return relation + "(" + strings.Join(vars, ", ") + ")"
+}
+
+// buildQueries derives the three query kinds over one relation: a single-
+// atom scan, a two-atom chain join (the last variable of the first atom is
+// the first of the second), and a two-member union projecting opposite
+// ends of the atom — the union is what a cluster coordinator scatters.
+func buildQueries(relation string, arity int) map[string]string {
+	first := atom(relation, 0, arity)
+	second := atom(relation, arity-1, arity)
+	return map[string]string{
+		"scan":  "SELECT ?y0 WHERE " + first,
+		"join":  "SELECT ?y0 WHERE (" + first + " AND " + second + ")",
+		"union": "SELECT ?y0 WHERE " + first + fmt.Sprintf(" UNION SELECT ?y%d WHERE ", arity-1) + first,
+	}
+}
+
+// phaseCfg carries one phase's parameters.
+type phaseCfg struct {
+	id          string
+	qps         float64
+	duration    time.Duration
+	mix         []mixEntry
+	targets     []target
+	parallelism int
+	budget      *server.BudgetSpec
+	maxInflight int
+}
+
+// recorder accumulates one phase's outcomes under a lock. Latencies are
+// recorded for answered requests (200 and 206); errors only count.
+type recorder struct {
+	mu        sync.Mutex
+	all       []time.Duration
+	byKind    map[string][]time.Duration
+	ok        int
+	truncated int
+	errs      map[string]int
+}
+
+func newRecorder() *recorder {
+	return &recorder{byKind: make(map[string][]time.Duration), errs: make(map[string]int)}
+}
+
+func (rec *recorder) answer(kind string, lat time.Duration, truncated bool) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	rec.all = append(rec.all, lat)
+	rec.byKind[kind] = append(rec.byKind[kind], lat)
+	if truncated {
+		rec.truncated++
+	} else {
+		rec.ok++
+	}
+}
+
+func (rec *recorder) failure(class string) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	rec.errs[class]++
+}
+
+// runPhase drives one open-loop phase and summarizes it into an experiment.
+func runPhase(ctx context.Context, cl *client.Client, cfg phaseCfg, rng *rand.Rand) stressExperiment {
+	interval := time.Duration(float64(time.Second) / cfg.qps)
+	rec := newRecorder()
+	sem := make(chan struct{}, cfg.maxInflight)
+	var wg sync.WaitGroup
+	start := time.Now()
+	sent := 0
+	for i := 0; ; i++ {
+		at := start.Add(time.Duration(i) * interval)
+		if at.Sub(start) >= cfg.duration {
+			break
+		}
+		// The draw precedes the admission check so the (dataset, kind)
+		// sequence is a pure function of the seed even under saturation.
+		tgt := cfg.targets[rng.Intn(len(cfg.targets))]
+		kind := drawKind(cfg.mix, rng)
+		if d := time.Until(at); d > 0 {
+			time.Sleep(d)
+		}
+		sent++
+		req := server.Request{
+			Dataset:     tgt.dataset,
+			Query:       tgt.queries[kind],
+			Mode:        "enumerate",
+			Parallelism: cfg.parallelism,
+			Budget:      cfg.budget,
+		}
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				fire(ctx, cl, req, kind, rec)
+			}()
+		default:
+			// Open loop: the schedule never waits for capacity; the drop is
+			// the signal that the target rate exceeded what -max-inflight
+			// connections can carry.
+			rec.failure("saturated")
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return summarize(cfg, rec, sent, elapsed)
+}
+
+// fire executes one request and records its outcome.
+func fire(ctx context.Context, cl *client.Client, req server.Request, kind string, rec *recorder) {
+	start := time.Now()
+	qr, err := cl.Query(ctx, req)
+	lat := time.Since(start)
+	switch {
+	case err != nil:
+		rec.failure("transport")
+	case qr.Status == 200:
+		rec.answer(kind, lat, false)
+	case qr.Status == 206:
+		rec.answer(kind, lat, true)
+	case qr.Err != nil && qr.Err.Code != "":
+		rec.failure(qr.Err.Code)
+	default:
+		rec.failure("http_" + strconv.Itoa(qr.Status))
+	}
+}
+
+// summarize folds a phase's recorder into the artifact experiment: point 0
+// aggregates all answered requests, then one point per mix kind in sorted
+// order (zero-filled when a kind saw no answers, keeping point positions
+// stable for benchdiff).
+func summarize(cfg phaseCfg, rec *recorder, sent int, elapsed time.Duration) stressExperiment {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	exp := stressExperiment{
+		ID:        cfg.id,
+		TargetQPS: cfg.qps,
+		Sent:      sent,
+		OK:        rec.ok,
+		Truncated: rec.truncated,
+		ElapsedNS: elapsed.Nanoseconds(),
+	}
+	if elapsed > 0 {
+		exp.AchievedQPS = float64(rec.ok+rec.truncated) / elapsed.Seconds()
+	}
+	if len(rec.errs) > 0 {
+		exp.Errors = make(map[string]int, len(rec.errs))
+		for class, n := range rec.errs {
+			exp.Errors[class] = n
+		}
+	}
+	exp.Timings = append(exp.Timings, point("all", rec.all))
+	for _, m := range cfg.mix {
+		exp.Timings = append(exp.Timings, point(m.kind, rec.byKind[m.kind]))
+	}
+	return exp
+}
+
+// point summarizes one latency series with exact nearest-rank percentiles.
+func point(kind string, lats []time.Duration) stressPoint {
+	if len(lats) == 0 {
+		return stressPoint{Kind: kind}
+	}
+	sorted := make([]time.Duration, len(lats))
+	copy(sorted, lats)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return stressPoint{
+		Kind:  kind,
+		MinNS: sorted[0].Nanoseconds(),
+		P50NS: obs.QuantileSorted(sorted, 0.50).Nanoseconds(),
+		P95NS: obs.QuantileSorted(sorted, 0.95).Nanoseconds(),
+		P99NS: obs.QuantileSorted(sorted, 0.99).Nanoseconds(),
+		Reps:  len(sorted),
+	}
+}
+
+// errCount totals an error taxonomy.
+func errCount(errs map[string]int) int {
+	n := 0
+	for _, v := range errs {
+		n += v
+	}
+	return n
+}

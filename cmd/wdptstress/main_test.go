@@ -1,0 +1,281 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wdpt/internal/db"
+	"wdpt/internal/gen"
+	"wdpt/internal/server"
+	"wdpt/internal/sparql"
+)
+
+// startStressServer runs a wdptd over a generated chain dataset and returns
+// its base URL.
+func startStressServer(t *testing.T, d *db.Database) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.txt")
+	if err := os.WriteFile(path, []byte(sparql.FormatDatabase(d)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := server.NewRegistry(map[string]string{"chain": path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.NewServer(server.Config{Registry: reg, MaxInFlight: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	return hs.URL
+}
+
+func TestParseQPS(t *testing.T) {
+	phases, err := parseQPS(" 50, 200,400 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 3 || phases[0] != 50 || phases[2] != 400 {
+		t.Errorf("parseQPS = %v, want [50 200 400]", phases)
+	}
+	for _, bad := range []string{"", "0", "-5", "fast"} {
+		if _, err := parseQPS(bad); err == nil {
+			t.Errorf("parseQPS(%q) did not fail", bad)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("union=2,scan=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 2 || mix[0].kind != "scan" || mix[1].kind != "union" {
+		t.Errorf("parseMix not sorted by kind: %+v", mix)
+	}
+	for _, bad := range []string{"", "scan", "scan=x", "warp=1", "scan=1,scan=2", "scan=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) did not fail", bad)
+		}
+	}
+}
+
+// TestDrawScheduleIsSeedDeterministic pins the load schedule as a pure
+// function of the seed: same seed, same (kind) sequence; different seed,
+// (almost surely) a different one.
+func TestDrawScheduleIsSeedDeterministic(t *testing.T) {
+	mix, err := parseMix("scan=1,join=1,union=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	draw := func(seed int64) string {
+		rng := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		for i := 0; i < 256; i++ {
+			b.WriteString(drawKind(mix, rng))
+			b.WriteByte(' ')
+		}
+		return b.String()
+	}
+	if draw(7) != draw(7) {
+		t.Error("same seed produced different draw sequences")
+	}
+	if draw(7) == draw(8) {
+		t.Error("different seeds produced the same 256-draw sequence")
+	}
+}
+
+func TestBuildQueriesShapes(t *testing.T) {
+	q := buildQueries("E", 2)
+	want := map[string]string{
+		"scan":  "SELECT ?y0 WHERE E(?y0, ?y1)",
+		"join":  "SELECT ?y0 WHERE (E(?y0, ?y1) AND E(?y1, ?y2))",
+		"union": "SELECT ?y0 WHERE E(?y0, ?y1) UNION SELECT ?y1 WHERE E(?y0, ?y1)",
+	}
+	for kind, text := range want {
+		if q[kind] != text {
+			t.Errorf("%s query = %q, want %q", kind, q[kind], text)
+		}
+		if kind == "union" {
+			if _, err := sparql.ParseUnionQuery(text); err != nil {
+				t.Errorf("union query does not parse: %v", err)
+			}
+		} else if _, err := sparql.ParseQuery(text); err != nil {
+			t.Errorf("%s query does not parse: %v", kind, err)
+		}
+	}
+	// Arity 1 degenerates to self-joins and a union of identical trees,
+	// which must still parse.
+	for kind, text := range buildQueries("R", 1) {
+		var err error
+		if kind == "union" {
+			_, err = sparql.ParseUnionQuery(text)
+		} else {
+			_, err = sparql.ParseQuery(text)
+		}
+		if err != nil {
+			t.Errorf("arity-1 %s query %q does not parse: %v", kind, text, err)
+		}
+	}
+}
+
+// benchdiffArtifact mirrors exactly what cmd/benchdiff decodes, pinning
+// that a STRESS artifact stays consumable by it.
+type benchdiffArtifact struct {
+	Date        string `json:"date"`
+	Commit      string `json:"commit"`
+	GoVersion   string `json:"go_version"`
+	Quick       bool   `json:"quick"`
+	Parallelism int    `json:"parallelism"`
+	Experiments []struct {
+		ID        string `json:"id"`
+		ElapsedNS int64  `json:"elapsed_ns"`
+		Timings   []struct {
+			MinNS int64 `json:"min_ns"`
+			P50NS int64 `json:"p50_ns"`
+			P95NS int64 `json:"p95_ns"`
+			P99NS int64 `json:"p99_ns"`
+			Reps  int   `json:"reps"`
+		} `json:"timings"`
+	} `json:"experiments"`
+}
+
+// TestStressRunWritesBenchdiffArtifact drives a short two-phase ramp
+// against a live server and checks the artifact end to end: phase ids,
+// stable timing-point layout, monotone percentiles, and benchdiff
+// decodability.
+func TestStressRunWritesBenchdiffArtifact(t *testing.T) {
+	url := startStressServer(t, gen.ChainDatabase(4))
+	out := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-endpoint", url, "-qps", "200,400", "-duration", "200ms",
+		"-seed", "7", "-out", out, "-suffix", "-test",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	path := filepath.Join(out, "STRESS_"+time.Now().Format("2006-01-02")+"-test.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+
+	var art stressArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.Seed != 7 || art.Endpoint != url || art.GoVersion == "" {
+		t.Errorf("artifact header = %+v", art)
+	}
+	if len(art.Experiments) != 2 {
+		t.Fatalf("got %d experiments, want 2 (one per ramp phase)", len(art.Experiments))
+	}
+	for i, want := range []string{"S1-qps200", "S2-qps400"} {
+		if art.Experiments[i].ID != want {
+			t.Errorf("experiment %d id = %q, want %q", i, art.Experiments[i].ID, want)
+		}
+	}
+	for _, e := range art.Experiments {
+		if e.OK+e.Truncated == 0 {
+			t.Fatalf("%s answered no requests: %+v", e.ID, e)
+		}
+		// Point 0 aggregates the phase; then one point per mix kind sorted
+		// (default mix: join, scan, union).
+		if len(e.Timings) != 4 {
+			t.Fatalf("%s has %d timing points, want 4", e.ID, len(e.Timings))
+		}
+		for i, kind := range []string{"all", "join", "scan", "union"} {
+			if e.Timings[i].Kind != kind {
+				t.Errorf("%s point %d kind = %q, want %q", e.ID, i, e.Timings[i].Kind, kind)
+			}
+		}
+		p := e.Timings[0]
+		if p.Reps == 0 || p.MinNS <= 0 {
+			t.Errorf("%s aggregate point empty: %+v", e.ID, p)
+		}
+		if p.MinNS > p.P50NS || p.P50NS > p.P95NS || p.P95NS > p.P99NS {
+			t.Errorf("%s percentiles not monotone: %+v", e.ID, p)
+		}
+		if e.AchievedQPS <= 0 {
+			t.Errorf("%s achieved qps = %v", e.ID, e.AchievedQPS)
+		}
+	}
+
+	var bd benchdiffArtifact
+	if err := json.Unmarshal(data, &bd); err != nil {
+		t.Fatalf("artifact not benchdiff-decodable: %v", err)
+	}
+	if len(bd.Experiments) != 2 || len(bd.Experiments[0].Timings) != 4 ||
+		bd.Experiments[0].Timings[0].P95NS == 0 {
+		t.Errorf("benchdiff view lost data: %+v", bd)
+	}
+}
+
+// TestStressErrorTaxonomy pins that server-side budget trips land in the
+// error taxonomy under their typed code rather than failing the run.
+func TestStressErrorTaxonomy(t *testing.T) {
+	url := startStressServer(t, gen.ChainDatabase(4))
+	out := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-endpoint", url, "-qps", "200", "-duration", "150ms",
+		"-seed", "1", "-max-tuples", "1", "-out", out, "-suffix", "-err",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d\nstderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(filepath.Join(out, "STRESS_"+time.Now().Format("2006-01-02")+"-err.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art stressArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Experiments) != 1 {
+		t.Fatalf("got %d experiments, want 1", len(art.Experiments))
+	}
+	e := art.Experiments[0]
+	if e.Errors["tuple_budget"] == 0 {
+		t.Errorf("tuple-budget trips missing from taxonomy: %+v", e.Errors)
+	}
+}
+
+// TestQuickCapsPhaseDuration keeps the smoke path fast: -quick must bound
+// each phase regardless of -duration.
+func TestQuickCapsPhaseDuration(t *testing.T) {
+	url := startStressServer(t, gen.ChainDatabase(4))
+	out := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	start := time.Now()
+	code := run([]string{
+		"-endpoint", url, "-qps", "100", "-duration", "1h", "-quick",
+		"-out", out, "-suffix", "-quick",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d\nstderr: %s", code, stderr.String())
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("-quick run took %v", elapsed)
+	}
+	var art stressArtifact
+	data, err := os.ReadFile(filepath.Join(out, "STRESS_"+time.Now().Format("2006-01-02")+"-quick.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatal(err)
+	}
+	if !art.Quick {
+		t.Error("artifact not stamped quick")
+	}
+}

@@ -1,0 +1,456 @@
+// Integration tests for the cluster coordinator: a real fleet (httptest
+// members + a coordinator front end) evaluated against a single plain wdptd
+// node serving the same datasets. The load-bearing assertions are raw-body
+// byte comparisons — the scatter-gather merge contract is that a client
+// cannot tell a coordinator from a single node by looking at response
+// bytes.
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wdpt/internal/cluster"
+	"wdpt/internal/db"
+	"wdpt/internal/gen"
+	"wdpt/internal/guard"
+	"wdpt/internal/obs"
+	"wdpt/internal/server"
+	"wdpt/internal/server/client"
+	"wdpt/internal/sparql"
+)
+
+// unionQuery is a 4-member union over the chain database: enough members to
+// spread across every peer of a 3-member fleet with wraparound.
+const unionQuery = "SELECT ?y0 WHERE E(?y0, ?y1)" +
+	" UNION SELECT ?y1 WHERE E(?y0, ?y1)" +
+	" UNION SELECT ?y0 WHERE (E(?y0, ?y1) AND E(?y1, ?y2))" +
+	" UNION SELECT ?y2 WHERE (E(?y0, ?y1) AND E(?y1, ?y2))"
+
+// writeDataset renders d into a file under a fresh temp dir.
+func writeDataset(t *testing.T, d *db.Database) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.txt")
+	if err := os.WriteFile(path, []byte(sparql.FormatDatabase(d)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// newNode builds one wdptd server over the given specs. Every node of a
+// fleet gets its own registry over the same dataset files — the deployment
+// contract docs/CLUSTER.md states.
+func newNode(t *testing.T, cfg server.Config, specs map[string]string) *server.Server {
+	t.Helper()
+	reg, err := server.NewRegistry(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Registry = reg
+	srv, err := server.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// fleet is a running test cluster plus the plain single node it is compared
+// against.
+type fleet struct {
+	coord    *cluster.Coordinator
+	coordCl  *client.Client
+	coordURL string
+	members  []*httptest.Server
+	// memberHits counts /v1/query arrivals per member, index-aligned with
+	// members.
+	memberHits []*atomic.Int64
+	single     *client.Client
+}
+
+// startFleet starts n members, a coordinator over them, and a plain
+// single-node reference server, all over the same dataset files.
+func startFleet(t *testing.T, n int, specs map[string]string, cfg server.Config) *fleet {
+	t.Helper()
+	f := &fleet{}
+	var endpoints []string
+	for i := 0; i < n; i++ {
+		srv := newNode(t, cfg, specs)
+		hits := &atomic.Int64{}
+		hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/query" {
+				hits.Add(1)
+			}
+			srv.ServeHTTP(w, r)
+		}))
+		t.Cleanup(hs.Close)
+		f.members = append(f.members, hs)
+		f.memberHits = append(f.memberHits, hits)
+		endpoints = append(endpoints, hs.URL)
+	}
+	local := newNode(t, cfg, specs)
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		Local: local,
+		Peers: endpoints,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.coord = coord
+	chs := httptest.NewServer(coord)
+	t.Cleanup(chs.Close)
+	f.coordURL = chs.URL
+	f.coordCl = client.New(chs.URL, nil)
+
+	single := newNode(t, cfg, specs)
+	shs := httptest.NewServer(single)
+	t.Cleanup(shs.Close)
+	f.single = client.New(shs.URL, nil)
+	return f
+}
+
+// bothBodies queries the coordinator and the single node with the same
+// request and returns both results.
+func (f *fleet) bothBodies(t *testing.T, req server.Request) (*client.QueryResult, *client.QueryResult) {
+	t.Helper()
+	got, err := f.coordCl.Query(context.Background(), req)
+	if err != nil {
+		t.Fatalf("coordinator query: %v", err)
+	}
+	want, err := f.single.Query(context.Background(), req)
+	if err != nil {
+		t.Fatalf("single-node query: %v", err)
+	}
+	return got, want
+}
+
+func chainSpecs(t *testing.T) map[string]string {
+	t.Helper()
+	return map[string]string{"chain": writeDataset(t, gen.ChainDatabase(4))}
+}
+
+// TestScatterGatherByteParity is the acceptance pin: for enumerate and
+// maximal at P ∈ {1, 8}, the coordinator's merged union body is
+// byte-identical to the single-node response, and the members actually
+// carried the legs.
+func TestScatterGatherByteParity(t *testing.T) {
+	f := startFleet(t, 3, chainSpecs(t), server.Config{MaxInFlight: 16})
+	for _, mode := range []string{"enumerate", "maximal"} {
+		for _, par := range []int{1, 8} {
+			t.Run(fmt.Sprintf("%s_p%d", mode, par), func(t *testing.T) {
+				req := server.Request{Dataset: "chain", Query: unionQuery, Mode: mode, Parallelism: par}
+				got, want := f.bothBodies(t, req)
+				if want.Status != http.StatusOK {
+					t.Fatalf("single node status %d: %s", want.Status, want.Body)
+				}
+				if got.Status != want.Status || !bytes.Equal(got.Body, want.Body) {
+					t.Fatalf("coordinator body diverged:\n%s\nwant:\n%s", got.Body, want.Body)
+				}
+				if got.Report.AnswerCount == nil || *got.Report.AnswerCount == 0 {
+					t.Fatal("merged union returned no answers")
+				}
+			})
+		}
+	}
+	if got := f.coord.Peers().Healthy(); len(got) != 3 {
+		t.Fatalf("healthy peers = %d, want 3", len(got))
+	}
+	hits := int64(0)
+	for _, h := range f.memberHits {
+		if h.Load() == 0 {
+			t.Error("a member carried no scatter legs")
+		}
+		hits += h.Load()
+	}
+	if hits == 0 {
+		t.Fatal("no member traffic at all — scatter never happened")
+	}
+	snap := f.coord.Peers() // state sanity only; counters live on the local server
+	_ = snap
+}
+
+// TestScatterDeterminismUnderSeededDelays is the determinism pin (ISSUE
+// satellite 3): seeded delays at the par.task fault site shuffle the order
+// scatter legs complete in, across several seeds and P ∈ {1, 8}, and every
+// response stays byte-identical to the undelayed baseline — including the
+// maximal mode, whose merge is order-sensitive if implemented naively.
+func TestScatterDeterminismUnderSeededDelays(t *testing.T) {
+	f := startFleet(t, 3, chainSpecs(t), server.Config{MaxInFlight: 16})
+	baselines := map[string][]byte{}
+	for _, mode := range []string{"enumerate", "maximal"} {
+		for _, par := range []int{1, 8} {
+			req := server.Request{Dataset: "chain", Query: unionQuery, Mode: mode, Parallelism: par}
+			res, err := f.coordCl.Query(context.Background(), req)
+			if err != nil || res.Status != http.StatusOK {
+				t.Fatalf("baseline %s p%d: %v status %d", mode, par, err, res.Status)
+			}
+			baselines[mode+fmt.Sprint(par)] = res.Body
+		}
+	}
+	for _, seed := range []int64{1, 7, 42} {
+		restore := guard.Activate(guard.NewInjector(seed).DelayProb(guard.SiteParTask, 0.7, 2*time.Millisecond))
+		for _, mode := range []string{"enumerate", "maximal"} {
+			for _, par := range []int{1, 8} {
+				req := server.Request{Dataset: "chain", Query: unionQuery, Mode: mode, Parallelism: par}
+				res, err := f.coordCl.Query(context.Background(), req)
+				if err != nil || res.Status != http.StatusOK {
+					restore()
+					t.Fatalf("seed %d %s p%d: %v status %d", seed, mode, par, err, res.Status)
+				}
+				if !bytes.Equal(res.Body, baselines[mode+fmt.Sprint(par)]) {
+					restore()
+					t.Fatalf("seed %d %s p%d: body diverged from baseline:\n%s\nwant:\n%s",
+						seed, mode, par, res.Body, baselines[mode+fmt.Sprint(par)])
+				}
+			}
+		}
+		restore()
+	}
+}
+
+// TestScatterFallsBackWhenMemberDies pins the guard-ladder degrade path: a
+// member killed out from under the fleet turns its scatter legs into
+// transport errors, the coordinator replays the query locally, and the
+// response is still byte-identical to the single node's. The dead peer is
+// demoted, and subsequent unions scatter over the survivors and stay
+// byte-identical too.
+func TestScatterFallsBackWhenMemberDies(t *testing.T) {
+	f := startFleet(t, 3, chainSpecs(t), server.Config{MaxInFlight: 16})
+	dead := f.members[1]
+	deadURL := dead.URL
+	dead.Close()
+
+	req := server.Request{Dataset: "chain", Query: unionQuery, Parallelism: 8}
+	got, want := f.bothBodies(t, req)
+	if got.Status != http.StatusOK || !bytes.Equal(got.Body, want.Body) {
+		t.Fatalf("post-kill body diverged (status %d):\n%s\nwant:\n%s", got.Status, got.Body, want.Body)
+	}
+	if f.coord.Peers().IsHealthy(deadURL) {
+		t.Fatal("dead peer still marked healthy after failed legs")
+	}
+	st := f.coord.Peers().States()
+	if len(st) != 3 {
+		t.Fatalf("peer states = %d, want 3", len(st))
+	}
+
+	// Two survivors remain: the next union scatters across them and still
+	// matches the single node byte for byte.
+	got2, want2 := f.bothBodies(t, server.Request{Dataset: "chain", Query: unionQuery, Mode: "maximal", Parallelism: 1})
+	if got2.Status != http.StatusOK || !bytes.Equal(got2.Body, want2.Body) {
+		t.Fatalf("survivor scatter diverged:\n%s\nwant:\n%s", got2.Body, want2.Body)
+	}
+}
+
+// TestScatterFallbackOnBudgetTrip pins the budget degrade path: legs carry
+// the request budget, a per-leg trip makes the scatter non-clean, and the
+// local replay serves the exact single-node guard taxonomy (413
+// tuple_budget with meter readings). Bodies are not compared byte-wise here
+// — trip payloads carry elapsed_ms — the taxonomy and counters are the
+// contract (docs/CLUSTER.md).
+func TestScatterFallbackOnBudgetTrip(t *testing.T) {
+	f := startFleet(t, 3, chainSpecs(t), server.Config{MaxInFlight: 16})
+	res, err := f.coordCl.Query(context.Background(), server.Request{
+		Dataset: "chain", Query: unionQuery, Parallelism: 1,
+		Budget: &server.BudgetSpec{MaxTuples: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusRequestEntityTooLarge || res.Err == nil || res.Err.Code != "tuple_budget" {
+		t.Fatalf("status %d payload %+v, want 413 tuple_budget", res.Status, res.Err)
+	}
+	if res.Err.Tuples < 1 {
+		t.Errorf("trip payload carries Tuples=%d, want >= 1", res.Err.Tuples)
+	}
+}
+
+// TestAnswerCapIsNotScattered pins two contracts at once: a MaxAnswers
+// budget (global truncation) is never scattered, and the proxied degraded
+// 206 body is byte-identical to the single node's — the "degraded responses
+// stay byte-identical" half of the parity contract, on a body with no
+// timing fields.
+func TestAnswerCapIsNotScattered(t *testing.T) {
+	f := startFleet(t, 3, chainSpecs(t), server.Config{MaxInFlight: 16})
+	req := server.Request{Dataset: "chain", Query: unionQuery, Parallelism: 1,
+		Budget: &server.BudgetSpec{MaxAnswers: 1}}
+	got, want := f.bothBodies(t, req)
+	if want.Status != http.StatusPartialContent {
+		t.Fatalf("single node status %d, want 206", want.Status)
+	}
+	if got.Status != want.Status || !bytes.Equal(got.Body, want.Body) {
+		t.Fatalf("proxied 206 diverged (status %d):\n%s\nwant:\n%s", got.Status, got.Body, want.Body)
+	}
+}
+
+// TestWidthBoundNotMaskedByScatter pins that a coordinator with a width
+// bound rejects exactly like a single node instead of scattering the
+// members (which individually evaluate fine) and serving a merged 200.
+func TestWidthBoundNotMaskedByScatter(t *testing.T) {
+	specs := chainSpecs(t)
+	cfg := server.Config{MaxInFlight: 16, WidthBound: 1}
+	f := startFleet(t, 3, specs, cfg)
+	// A triangle member has treewidth 2; the other member is within bound.
+	q := "SELECT ?x WHERE (E(?x, ?y) AND E(?y, ?z) AND E(?z, ?x)) UNION SELECT ?x WHERE E(?x, ?y)"
+	got, want := f.bothBodies(t, server.Request{Dataset: "chain", Query: q})
+	if want.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("single node status %d, want 422", want.Status)
+	}
+	if got.Status != want.Status || !bytes.Equal(got.Body, want.Body) {
+		t.Fatalf("width-bound body diverged (status %d):\n%s\nwant:\n%s", got.Status, got.Body, want.Body)
+	}
+}
+
+// TestProxyRoutesToOwnerAndFailsOver pins dataset routing: a single-tree
+// query lands on the ring owner (byte-identical body), and with the owner
+// killed the coordinator fails over — the answer still matches the single
+// node byte for byte.
+func TestProxyRoutesToOwnerAndFailsOver(t *testing.T) {
+	f := startFleet(t, 3, chainSpecs(t), server.Config{MaxInFlight: 16})
+	req := server.Request{Dataset: "chain", Query: "SELECT ?y0 WHERE E(?y0, ?y1)", Parallelism: 1}
+	got, want := f.bothBodies(t, req)
+	if got.Status != http.StatusOK || !bytes.Equal(got.Body, want.Body) {
+		t.Fatalf("proxied body diverged:\n%s\nwant:\n%s", got.Body, want.Body)
+	}
+	owner := f.coord.Ring().Owner("chain")
+	ownerIdx := -1
+	for i, hs := range f.members {
+		if hs.URL == owner {
+			ownerIdx = i
+		}
+	}
+	if ownerIdx < 0 {
+		t.Fatalf("ring owner %q is not a member", owner)
+	}
+	if f.memberHits[ownerIdx].Load() == 0 {
+		t.Fatal("ring owner saw no proxied traffic")
+	}
+
+	f.members[ownerIdx].Close()
+	got2, want2 := f.bothBodies(t, req)
+	if got2.Status != http.StatusOK || !bytes.Equal(got2.Body, want2.Body) {
+		t.Fatalf("failover body diverged:\n%s\nwant:\n%s", got2.Body, want2.Body)
+	}
+	if f.coord.Peers().IsHealthy(owner) {
+		t.Fatal("killed owner still marked healthy")
+	}
+}
+
+// TestAllPeersDownServesLocally pins the last rung: with every member dead
+// the coordinator evaluates locally and the response still matches the
+// single node byte for byte, for both the proxy and scatter paths.
+func TestAllPeersDownServesLocally(t *testing.T) {
+	f := startFleet(t, 2, chainSpecs(t), server.Config{MaxInFlight: 16})
+	for _, hs := range f.members {
+		hs.Close()
+	}
+	for _, q := range []string{"SELECT ?y0 WHERE E(?y0, ?y1)", unionQuery} {
+		got, want := f.bothBodies(t, server.Request{Dataset: "chain", Query: q, Parallelism: 1})
+		if got.Status != http.StatusOK || !bytes.Equal(got.Body, want.Body) {
+			t.Fatalf("local-fallback body diverged for %q:\n%s\nwant:\n%s", q, got.Body, want.Body)
+		}
+	}
+}
+
+// TestClusterStatusEndpoint pins GET /v1/cluster: role, sorted peers, and a
+// ring assignment whose owners are members of the fleet.
+func TestClusterStatusEndpoint(t *testing.T) {
+	f := startFleet(t, 3, chainSpecs(t), server.Config{MaxInFlight: 16})
+	resp, err := http.Get(f.coordURL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var st cluster.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != "coordinator" {
+		t.Fatalf("role = %q", st.Role)
+	}
+	if len(st.Peers) != 3 {
+		t.Fatalf("peers = %d, want 3", len(st.Peers))
+	}
+	for i := 1; i < len(st.Peers); i++ {
+		if st.Peers[i-1].Endpoint >= st.Peers[i].Endpoint {
+			t.Fatal("peer states not sorted by endpoint")
+		}
+	}
+	owner, ok := st.Datasets["chain"]
+	if !ok {
+		t.Fatal("dataset assignment missing")
+	}
+	found := false
+	for _, p := range st.Peers {
+		if p.Endpoint == owner {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("owner %q is not a fleet member", owner)
+	}
+}
+
+// TestClusterMetricsExposed pins the observability satellite: after cluster
+// traffic, the coordinator's /metrics carries the per-peer latency
+// histogram family, the per-endpoint attempt counters, and the cluster.*
+// counters (via the local server's stats sink).
+func TestClusterMetricsExposed(t *testing.T) {
+	f := startFleet(t, 3, chainSpecs(t), server.Config{MaxInFlight: 16})
+	if _, err := f.coordCl.Query(context.Background(), server.Request{Dataset: "chain", Query: unionQuery}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.coordCl.Query(context.Background(), server.Request{Dataset: "chain", Query: "SELECT ?y0 WHERE E(?y0, ?y1)"}); err != nil {
+		t.Fatal(err)
+	}
+	text, err := f.coordCl.MetricsText(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{
+		"wdptd_cluster_peer_latency_seconds",
+		"wdptd_client_endpoint_attempts_total",
+		"wdpt_cluster_scatters_total",
+		"wdpt_cluster_route_proxied_total",
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+	fams, err := obs.ParsePromText(text)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	if len(fams) == 0 {
+		t.Fatal("empty exposition")
+	}
+	st := f.coord.Peers()
+	for _, ps := range st.States() {
+		if !ps.Healthy {
+			t.Errorf("peer %s unexpectedly unhealthy", ps.Endpoint)
+		}
+	}
+}
+
+// TestCoordinatorStartClose pins the probe lifecycle: Start launches the
+// prober, probes mark a live fleet healthy, and Close joins cleanly.
+func TestCoordinatorStartClose(t *testing.T) {
+	specs := chainSpecs(t)
+	f := startFleet(t, 2, specs, server.Config{MaxInFlight: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	f.coord.Start(ctx)
+	f.coord.Peers().ProbeAll(ctx)
+	if got := len(f.coord.Peers().Healthy()); got != 2 {
+		t.Fatalf("healthy after probe = %d, want 2", got)
+	}
+	f.coord.Close()
+}

@@ -1,0 +1,259 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"wdpt/internal/obs"
+)
+
+// Peer health defaults.
+const (
+	// DefaultProbeInterval is the background health-probe period.
+	DefaultProbeInterval = 2 * time.Second
+	// DefaultProbeTimeout bounds one health probe exchange.
+	DefaultProbeTimeout = 2 * time.Second
+	// DefaultFailThreshold is the number of consecutive failed exchanges
+	// that flips a peer unhealthy. 1 fails fast: a coordinator that just
+	// watched a query die should not route the next one the same way.
+	DefaultFailThreshold = 1
+)
+
+// PeerConfig configures a peer table.
+type PeerConfig struct {
+	// ProbeInterval is the background probe period (DefaultProbeInterval
+	// when zero).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe exchange (DefaultProbeTimeout when
+	// zero).
+	ProbeTimeout time.Duration
+	// FailThreshold is the consecutive-failure count that flips a peer
+	// unhealthy (DefaultFailThreshold when zero).
+	FailThreshold int
+	// Stats receives the cluster.* counters (nil disables).
+	Stats *obs.Stats
+	// Latency receives per-peer exchange latencies, labeled
+	// peer/kind/outcome (nil disables).
+	Latency *obs.HistVec
+	// Probe overrides the health-probe exchange (tests). The default GETs
+	// <endpoint>/healthz with a Timeout-bearing client and treats any
+	// non-2xx status or transport error as failure.
+	Probe func(ctx context.Context, endpoint string) error
+}
+
+// PeerState is one peer's point-in-time health, as reported by
+// GET /v1/cluster.
+type PeerState struct {
+	// Endpoint is the peer's base URL.
+	Endpoint string `json:"endpoint"`
+	// Healthy reports whether the peer is currently routable.
+	Healthy bool `json:"healthy"`
+	// ConsecFails is the current consecutive-failure streak.
+	ConsecFails int `json:"consec_fails"`
+	// LastErr is the most recent failure, empty after a success.
+	LastErr string `json:"last_err,omitempty"`
+}
+
+// peerEntry is the mutable state behind one PeerState.
+type peerEntry struct {
+	healthy     bool
+	consecFails int
+	lastErr     string
+}
+
+// Peers is a health-checked peer table: a fixed endpoint set whose
+// health flips on probe results and live exchange outcomes. All methods
+// are safe for concurrent use. Endpoints are tracked in sorted order so
+// every read (Healthy, States) is deterministic.
+type Peers struct {
+	endpoints []string // sorted, deduped
+	cfg       PeerConfig
+	hc        *http.Client
+
+	mu    sync.Mutex
+	state map[string]*peerEntry
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewPeers builds a peer table over the given endpoints. Peers start
+// healthy — optimistic routing lets a cluster serve before the first probe
+// round, and a bad peer is demoted by its first failed exchange.
+func NewPeers(endpoints []string, cfg PeerConfig) *Peers {
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = DefaultProbeTimeout
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = DefaultFailThreshold
+	}
+	r := NewRing(endpoints, 1) // reuse the sort/dedup normalization
+	p := &Peers{
+		endpoints: r.Peers(),
+		cfg:       cfg,
+		hc:        &http.Client{Timeout: cfg.ProbeTimeout},
+		state:     make(map[string]*peerEntry),
+		stop:      make(chan struct{}),
+	}
+	for _, ep := range p.endpoints {
+		p.state[ep] = &peerEntry{healthy: true}
+	}
+	return p
+}
+
+// Endpoints returns the sorted, deduped endpoint list (copy).
+func (p *Peers) Endpoints() []string {
+	return append([]string(nil), p.endpoints...)
+}
+
+// Healthy returns the currently-healthy endpoints in sorted order.
+func (p *Peers) Healthy() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.endpoints))
+	for _, ep := range p.endpoints {
+		if p.state[ep].healthy {
+			out = append(out, ep)
+		}
+	}
+	return out
+}
+
+// IsHealthy reports whether the endpoint is currently routable. Unknown
+// endpoints are unhealthy.
+func (p *Peers) IsHealthy(endpoint string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := p.state[endpoint]
+	return e != nil && e.healthy
+}
+
+// States returns every peer's state in sorted endpoint order.
+func (p *Peers) States() []PeerState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PeerState, 0, len(p.endpoints))
+	for _, ep := range p.endpoints {
+		e := p.state[ep]
+		out = append(out, PeerState{
+			Endpoint:    ep,
+			Healthy:     e.healthy,
+			ConsecFails: e.consecFails,
+			LastErr:     e.lastErr,
+		})
+	}
+	return out
+}
+
+// MarkSuccess records a successful exchange with the endpoint, resetting
+// its failure streak and flipping it healthy if it was not.
+func (p *Peers) MarkSuccess(endpoint string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := p.state[endpoint]
+	if e == nil {
+		return
+	}
+	e.consecFails = 0
+	e.lastErr = ""
+	if !e.healthy {
+		e.healthy = true
+		p.cfg.Stats.Inc(obs.CtrClusterHealthTransitions)
+	}
+}
+
+// MarkFailure records a failed exchange with the endpoint. The peer flips
+// unhealthy once its consecutive-failure streak reaches the threshold.
+func (p *Peers) MarkFailure(endpoint string, err error) {
+	p.cfg.Stats.Inc(obs.CtrClusterPeerFailures)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := p.state[endpoint]
+	if e == nil {
+		return
+	}
+	e.consecFails++
+	if err != nil {
+		e.lastErr = err.Error()
+	}
+	if e.healthy && e.consecFails >= p.cfg.FailThreshold {
+		e.healthy = false
+		p.cfg.Stats.Inc(obs.CtrClusterHealthTransitions)
+	}
+}
+
+// Start launches the background probe loop. Close joins it.
+func (p *Peers) Start(ctx context.Context) {
+	p.wg.Add(1)
+	//lint:ignore R11 joined by protocol across functions: Close closes p.stop and Waits on p.wg, and the loop's only blocking points select on p.stop/ctx — the prober cannot outlive Close
+	go func() {
+		defer p.wg.Done()
+		ticker := time.NewTicker(p.cfg.ProbeInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				p.ProbeAll(ctx)
+			}
+		}
+	}()
+}
+
+// Close stops the probe loop and waits for it to exit. Safe to call
+// without Start; not safe to call twice.
+func (p *Peers) Close() {
+	close(p.stop)
+	p.wg.Wait()
+}
+
+// ProbeAll probes every peer once, in sorted order, updating health state
+// and recording per-peer probe latencies.
+func (p *Peers) ProbeAll(ctx context.Context) {
+	for _, ep := range p.endpoints {
+		p.cfg.Stats.Inc(obs.CtrClusterHealthProbes)
+		start := time.Now()
+		err := p.probeOne(ctx, ep)
+		outcome := "ok"
+		if err != nil {
+			outcome = "error"
+		}
+		p.cfg.Latency.With(ep, "probe", outcome).Observe(time.Since(start))
+		if err != nil {
+			p.MarkFailure(ep, err)
+		} else {
+			p.MarkSuccess(ep)
+		}
+	}
+}
+
+// probeOne runs one health probe against the endpoint.
+func (p *Peers) probeOne(ctx context.Context, endpoint string) error {
+	if p.cfg.Probe != nil {
+		return p.cfg.Probe(ctx, endpoint)
+	}
+	ctx, cancel := context.WithTimeout(ctx, p.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, endpoint+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("cluster: %s/healthz: HTTP %d", endpoint, resp.StatusCode)
+	}
+	return nil
+}

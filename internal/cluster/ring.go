@@ -1,0 +1,192 @@
+// Package cluster is the sharded-wdptd coordination layer: a deterministic
+// consistent-hash ring for dataset-level routing, a health-checked peer
+// table, and a coordinator HTTP front end that proxies queries to ring
+// owners and scatter-gathers union members across peers while preserving
+// the single-node byte-identical response contract (docs/CLUSTER.md).
+//
+// The paper's φ_cq translation (PAPER.md §5) makes every member of a Union
+// an independent CQ evaluation; the coordinator exploits exactly that
+// independence: members are evaluated on different nodes and the partial
+// answer sets merged and canonically re-sorted, so the merged body is
+// byte-identical to single-node Union.Solve.
+//
+// Everything here follows the repo's determinism discipline: the ring is a
+// pure function of (peer list, virtual-node count), with no map-iteration
+// or math/rand dependence anywhere in the routing decision.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVirtualNodes is the per-peer virtual-node count when NewRing is
+// given zero. 64 points per peer keeps the maximum/mean load ratio under
+// ~1.3 for small fleets while the ring stays tiny (a few KB).
+const DefaultVirtualNodes = 64
+
+// ringPoint is one virtual node on the ring.
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// Ring is a deterministic consistent-hash ring over a fixed peer list.
+// Construction sorts and dedups the peers, places vnodes virtual points
+// per peer at FNV-64a("peer#i"), and sorts the points by (hash, peer) —
+// the peer tiebreak makes even hash collisions deterministic. Lookup is a
+// binary-search successor walk; among points with the exact same hash the
+// rendezvous (highest-random-weight) score of (key, peer) breaks the tie,
+// so ownership never depends on map iteration, randomness, or insertion
+// order. A Ring is immutable after construction and safe for concurrent
+// use.
+type Ring struct {
+	peers  []string // sorted, deduped
+	vnodes int
+	points []ringPoint // sorted by (hash, peer)
+}
+
+// NewRing builds a ring over the given peers with vnodes virtual nodes per
+// peer (DefaultVirtualNodes when vnodes <= 0). Peers are copied, sorted,
+// and deduped; empty peer strings are dropped. A ring over zero peers is
+// valid and owns nothing.
+func NewRing(peers []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	uniq := make([]string, 0, len(peers))
+	seen := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		uniq = append(uniq, p)
+	}
+	sort.Strings(uniq)
+	r := &Ring{peers: uniq, vnodes: vnodes}
+	r.points = make([]ringPoint, 0, len(uniq)*vnodes)
+	for _, p := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", p, i)), peer: p})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r
+}
+
+// hash64 is FNV-64a with a murmur3-style finalizer: stable across
+// processes and Go versions (unlike maphash or map iteration). Raw FNV-64a
+// barely mixes the final input bytes — keys differing only in a trailing
+// character land a few primes apart, which on a ring whose average arc is
+// ~2^64/points means sequential dataset names cluster onto one owner. The
+// finalizer's two multiply-xorshift rounds give full avalanche.
+func hash64(s string) uint64 {
+	f := fnv.New64a()
+	_, _ = f.Write([]byte(s))
+	h := f.Sum64()
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Peers returns the sorted, deduped peer list (copy).
+func (r *Ring) Peers() []string {
+	return append([]string(nil), r.peers...)
+}
+
+// VirtualNodes returns the per-peer virtual-node count.
+func (r *Ring) VirtualNodes() int { return r.vnodes }
+
+// Owner returns the peer owning key: the successor point clockwise from
+// FNV-64a(key), wrapping at the top of the ring. When several points carry
+// the exact successor hash, the peer with the highest rendezvous score
+// hash64(key + "\x00" + peer) wins — a deterministic tiebreak that does
+// not depend on vnode insertion order. Empty string on an empty ring.
+func (r *Ring) Owner(key string) string {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Owners returns up to n distinct peers in deterministic failover order
+// for key: the owner first, then the next distinct peers clockwise around
+// the ring. The order is the routing contract — a coordinator that fails
+// over walks this list left to right, so every coordinator in the fleet
+// agrees on the fallback sequence.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.peers) {
+		n = len(r.peers)
+	}
+	kh := hash64(key)
+	// Successor: first point with hash >= kh, wrapping.
+	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= kh })
+	if idx == len(r.points) {
+		idx = 0
+	}
+	// Exact-hash collision group at the successor: pick by rendezvous score.
+	start := idx
+	if r.points[idx].hash == r.points[(idx+1)%len(r.points)].hash {
+		start = r.rendezvousStart(key, idx)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)].peer
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// rendezvousStart resolves an exact-hash collision group: among the
+// contiguous run of points sharing points[idx].hash, the point whose peer
+// has the highest rendezvous score for key is the effective successor.
+// Ties on the score fall back to lexicographic peer order (the points are
+// already peer-sorted within a hash run).
+func (r *Ring) rendezvousStart(key string, idx int) int {
+	h := r.points[idx].hash
+	lo := idx
+	for lo > 0 && r.points[lo-1].hash == h {
+		lo--
+	}
+	hi := idx
+	for hi+1 < len(r.points) && r.points[hi+1].hash == h {
+		hi++
+	}
+	best := lo
+	bestScore := hash64(key + "\x00" + r.points[lo].peer)
+	for i := lo + 1; i <= hi; i++ {
+		if s := hash64(key + "\x00" + r.points[i].peer); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// Assignment returns every key's owner as a map — the bulk form used by
+// rebalance checks and the /v1/cluster status endpoint.
+func (r *Ring) Assignment(keys []string) map[string]string {
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		out[k] = r.Owner(k)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingDeterministicAcrossConstruction(t *testing.T) {
+	peers := []string{"http://c:3", "http://a:1", "http://b:2"}
+	shuffled := []string{"http://b:2", "http://c:3", "http://a:1", "http://a:1"}
+	r1 := NewRing(peers, 64)
+	r2 := NewRing(shuffled, 64)
+	if !reflect.DeepEqual(r1.Peers(), r2.Peers()) {
+		t.Fatalf("peer normalization differs: %v vs %v", r1.Peers(), r2.Peers())
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("dataset-%d", i)
+		if o1, o2 := r1.Owner(key), r2.Owner(key); o1 != o2 {
+			t.Fatalf("owner(%q) differs across construction order: %q vs %q", key, o1, o2)
+		}
+	}
+}
+
+func TestRingOwnerStableUnderRepeats(t *testing.T) {
+	r := NewRing([]string{"http://a:1", "http://b:2", "http://c:3"}, 0)
+	if r.VirtualNodes() != DefaultVirtualNodes {
+		t.Fatalf("vnodes = %d, want default %d", r.VirtualNodes(), DefaultVirtualNodes)
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("ds%d", i)
+		first := r.Owner(key)
+		for j := 0; j < 5; j++ {
+			if got := r.Owner(key); got != first {
+				t.Fatalf("owner(%q) unstable: %q then %q", key, first, got)
+			}
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(nil, 8)
+	if got := empty.Owner("x"); got != "" {
+		t.Fatalf("empty ring owner = %q", got)
+	}
+	if got := empty.Owners("x", 3); got != nil {
+		t.Fatalf("empty ring owners = %v", got)
+	}
+	single := NewRing([]string{"http://only:1"}, 8)
+	for _, key := range []string{"", "a", "music", "chain"} {
+		if got := single.Owner(key); got != "http://only:1" {
+			t.Fatalf("single-peer owner(%q) = %q", key, got)
+		}
+	}
+}
+
+func TestRingOwnersDistinctAndOrdered(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	r := NewRing(peers, 32)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owners := r.Owners(key, 10) // n > len(peers): clamped
+		if len(owners) != len(peers) {
+			t.Fatalf("owners(%q) = %v, want all %d peers", key, owners, len(peers))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("owners(%q) repeats %q: %v", key, o, owners)
+			}
+			seen[o] = true
+		}
+		if owners[0] != r.Owner(key) {
+			t.Fatalf("owners[0] %q != Owner %q", owners[0], r.Owner(key))
+		}
+		// Prefix property: Owners(key, 2) is the first two of Owners(key, 4).
+		two := r.Owners(key, 2)
+		if !reflect.DeepEqual(two, owners[:2]) {
+			t.Fatalf("owners(%q,2) = %v not a prefix of %v", key, two, owners)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r := NewRing(peers, 64)
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("dataset-%d", i))]++
+	}
+	mean := n / len(peers)
+	for _, p := range peers {
+		if counts[p] == 0 {
+			t.Fatalf("peer %q owns nothing: %v", p, counts)
+		}
+		if counts[p] > 2*mean || counts[p] < mean/2 {
+			t.Fatalf("peer %q owns %d of %d (mean %d): ring badly unbalanced", p, counts[p], n, mean)
+		}
+	}
+}
+
+func TestRingRebalanceMovesOnlyDepartedShare(t *testing.T) {
+	before := NewRing([]string{"http://a:1", "http://b:2", "http://c:3"}, 64)
+	after := NewRing([]string{"http://a:1", "http://b:2"}, 64)
+	const n = 2000
+	moved := 0
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("dataset-%d", i)
+		was, is := before.Owner(key), after.Owner(key)
+		if was == "http://c:3" {
+			if is == "http://c:3" {
+				t.Fatalf("departed peer still owns %q", key)
+			}
+			continue // its share must move
+		}
+		if was != is {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the departed peer changed owner — consistent hashing must only move the departed share", moved)
+	}
+}
+
+func TestRingAssignment(t *testing.T) {
+	r := NewRing([]string{"http://a:1", "http://b:2"}, 16)
+	keys := []string{"music", "chain"}
+	got := r.Assignment(keys)
+	if len(got) != 2 {
+		t.Fatalf("assignment = %v", got)
+	}
+	for _, k := range keys {
+		if got[k] != r.Owner(k) {
+			t.Fatalf("assignment[%q] = %q, Owner = %q", k, got[k], r.Owner(k))
+		}
+	}
+}

@@ -253,7 +253,7 @@ func TestInjectorNthIsDeterministic(t *testing.T) {
 	in.FailNth(SiteDBMatching, 3)
 	var fails []int64
 	for i := int64(1); i <= 5; i++ {
-		if in.check(SiteDBMatching) {
+		if fail, _ := in.check(SiteDBMatching); fail {
 			fails = append(fails, i)
 		}
 	}
@@ -271,7 +271,7 @@ func TestInjectorProbReplaysFromSeed(t *testing.T) {
 		in.FailProb(SiteCQEvalSemijoin, 0.5)
 		out := make([]bool, 64)
 		for i := range out {
-			out[i] = in.check(SiteCQEvalSemijoin)
+			out[i], _ = in.check(SiteCQEvalSemijoin)
 		}
 		return out
 	}

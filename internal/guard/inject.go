@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // The registered fault-injection sites.
@@ -52,21 +53,32 @@ func Sites() []string {
 // replay exactly and parallel runs inject the same number of faults per
 // site count.
 type Injector struct {
-	mu   sync.Mutex
-	rng  *rand.Rand
-	hits map[string]int64
-	nth  map[string]int64
-	prob map[string]float64
+	mu    sync.Mutex
+	rng   *rand.Rand
+	hits  map[string]int64
+	nth   map[string]int64
+	prob  map[string]float64
+	delay map[string]delaySpec
+}
+
+// delaySpec is a per-site seeded-delay configuration: each hit sleeps up to
+// Max with probability P. Delays perturb scheduling (completion order of
+// parallel work), not correctness — determinism tests use them to shuffle
+// the order scatter-gather legs finish in.
+type delaySpec struct {
+	p   float64
+	max time.Duration
 }
 
 // NewInjector returns an injector whose probabilistic decisions are driven
 // by the given seed.
 func NewInjector(seed int64) *Injector {
 	return &Injector{
-		rng:  rand.New(rand.NewSource(seed)),
-		hits: make(map[string]int64),
-		nth:  make(map[string]int64),
-		prob: make(map[string]float64),
+		rng:   rand.New(rand.NewSource(seed)),
+		hits:  make(map[string]int64),
+		nth:   make(map[string]int64),
+		prob:  make(map[string]float64),
+		delay: make(map[string]delaySpec),
 	}
 }
 
@@ -89,6 +101,20 @@ func (in *Injector) FailProb(site string, p float64) *Injector {
 	return in
 }
 
+// DelayProb arranges for each hit of the site to sleep a seeded duration in
+// [0, max) with probability p. Sleeps happen outside the injector's lock, so
+// delayed sites stall only themselves — which is the point: a seeded delay
+// shuffles the completion order of parallel work (scatter-gather legs, pool
+// tasks) without changing any evaluation decision, letting determinism
+// tests assert byte-identical output under adversarial scheduling. It
+// returns the injector for chaining.
+func (in *Injector) DelayProb(site string, p float64, max time.Duration) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.delay[site] = delaySpec{p: p, max: max}
+	return in
+}
+
 // Hits returns how many times the site has been evaluated.
 func (in *Injector) Hits(site string) int64 {
 	in.mu.Lock()
@@ -96,18 +122,23 @@ func (in *Injector) Hits(site string) int64 {
 	return in.hits[site]
 }
 
-// check counts the hit and decides whether it fails.
-func (in *Injector) check(site string) bool {
+// check counts the hit and decides whether it fails and how long it should
+// stall first. The returned delay is slept by the caller OUTSIDE the lock,
+// so one delayed site never serializes the rest of the evaluation.
+func (in *Injector) check(site string) (fail bool, delay time.Duration) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.hits[site]++
+	if d, ok := in.delay[site]; ok && d.p > 0 && d.max > 0 && in.rng.Float64() < d.p {
+		delay = time.Duration(in.rng.Int63n(int64(d.max)))
+	}
 	if n, ok := in.nth[site]; ok && in.hits[site] == n {
-		return true
+		return true, delay
 	}
 	if p, ok := in.prob[site]; ok && p > 0 && in.rng.Float64() < p {
-		return true
+		return true, delay
 	}
-	return false
+	return false, delay
 }
 
 // active is the process-wide injector, nil when fault injection is off (the
@@ -131,7 +162,11 @@ func Fault(site string) {
 	if in == nil {
 		return
 	}
-	if in.check(site) {
+	fail, delay := in.check(site)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fail {
 		//lint:ignore R2 injected-fault unwinding: recovered into a *TripError error at the Solve boundary (AsError)
 		panic(&TripError{Reason: ErrInjected, Site: site})
 	}
@@ -148,7 +183,11 @@ func FaultErr(site string) error {
 	if in == nil {
 		return nil
 	}
-	if in.check(site) {
+	fail, delay := in.check(site)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fail {
 		return &TripError{Reason: ErrInjected, Site: site}
 	}
 	return nil

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterVecBasics(t *testing.T) {
+	v := NewCounterVec(CVecClientEndpointAttempts, "endpoint")
+	if got := v.Name(); got != "wdptd_client_endpoint_attempts" {
+		t.Fatalf("Name() = %q", got)
+	}
+	if got := v.LabelNames(); !reflect.DeepEqual(got, []string{"endpoint"}) {
+		t.Fatalf("LabelNames() = %v", got)
+	}
+	v.Inc("b")
+	v.Inc("a")
+	v.Add(2, "b")
+	v.Add(0, "zero") // n==0 must not create the series
+	if got := v.Get("b"); got != 3 {
+		t.Fatalf("Get(b) = %d, want 3", got)
+	}
+	if got := v.Get("missing"); got != 0 {
+		t.Fatalf("Get(missing) = %d, want 0", got)
+	}
+	series := v.Series()
+	want := []LabeledCount{
+		{Values: []string{"a"}, Count: 1},
+		{Values: []string{"b"}, Count: 3},
+	}
+	if !reflect.DeepEqual(series, want) {
+		t.Fatalf("Series() = %+v, want %+v", series, want)
+	}
+}
+
+func TestCounterVecNilAndArityMismatch(t *testing.T) {
+	var v *CounterVec
+	v.Inc("x")
+	v.Add(5, "x")
+	if got := v.Get("x"); got != 0 {
+		t.Fatalf("nil Get = %d", got)
+	}
+	if s := v.Series(); s != nil {
+		t.Fatalf("nil Series = %v", s)
+	}
+
+	two := NewCounterVec(CVecClientEndpointFailures, "endpoint", "kind")
+	two.Inc("only-one") // arity mismatch: dropped
+	if s := two.Series(); len(s) != 0 {
+		t.Fatalf("arity-mismatched Inc created series: %v", s)
+	}
+}
+
+func TestCounterVecConcurrent(t *testing.T) {
+	v := NewCounterVec(CVecClientEndpointAttempts, "endpoint")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ep := fmt.Sprintf("ep%d", g%4)
+			for i := 0; i < 1000; i++ {
+				v.Inc(ep)
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for _, s := range v.Series() {
+		total += s.Count
+	}
+	if total != 8000 {
+		t.Fatalf("total = %d, want 8000", total)
+	}
+}
+
+func TestCounterVecExposition(t *testing.T) {
+	v := NewCounterVec(CVecClientEndpointAttempts, "endpoint")
+	v.Add(4, "http://b:1")
+	v.Inc("http://a:1")
+	var e Exposition
+	e.CounterVec(v, "Per-endpoint client attempts.")
+	text := e.String()
+	wantLines := []string{
+		`wdptd_client_endpoint_attempts_total{endpoint="http://a:1"} 1`,
+		`wdptd_client_endpoint_attempts_total{endpoint="http://b:1"} 4`,
+	}
+	idx := -1
+	for _, line := range wantLines {
+		j := strings.Index(text, line)
+		if j < 0 {
+			t.Fatalf("exposition missing %q:\n%s", line, text)
+		}
+		if j < idx {
+			t.Fatalf("exposition series out of sorted order:\n%s", text)
+		}
+		idx = j
+	}
+	fams, err := ParsePromText(text)
+	if err != nil {
+		t.Fatalf("ParsePromText: %v", err)
+	}
+	fam := fams["wdptd_client_endpoint_attempts_total"]
+	if fam == nil || fam.Type != "counter" || len(fam.Samples) != 2 {
+		t.Fatalf("parsed family = %+v", fam)
+	}
+}

@@ -25,6 +25,10 @@ const (
 	HistAdmissionWait
 	// HistCacheLookup is the result-cache lookup latency (hits and misses).
 	HistCacheLookup
+	// HistClusterPeerLatency is the coordinator-observed wall time of one
+	// peer exchange (health probe, proxied query, or scatter leg), labeled
+	// by peer endpoint and outcome.
+	HistClusterPeerLatency
 
 	numHists // sentinel; keep last
 )
@@ -33,9 +37,10 @@ const (
 // that every name is snake-case, unique, and documented in
 // docs/OBSERVABILITY.md.
 var histNames = [numHists]string{
-	HistQueryDuration: "wdptd_query_duration_seconds",
-	HistAdmissionWait: "wdptd_admission_wait_seconds",
-	HistCacheLookup:   "wdptd_cache_lookup_seconds",
+	HistQueryDuration:      "wdptd_query_duration_seconds",
+	HistAdmissionWait:      "wdptd_admission_wait_seconds",
+	HistCacheLookup:        "wdptd_cache_lookup_seconds",
+	HistClusterPeerLatency: "wdptd_cluster_peer_latency_seconds",
 }
 
 // String returns the histogram's stable name.

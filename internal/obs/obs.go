@@ -165,6 +165,35 @@ const (
 	// CtrClientRetryGiveups counts client requests that exhausted the retry
 	// budget and returned the last throttled response.
 	CtrClientRetryGiveups
+	// CtrClientFailovers counts requests the multi-endpoint client moved to
+	// the next endpoint after a transport error or 5xx from the current one.
+	CtrClientFailovers
+
+	// CtrClusterRouteProxied counts /v1/query requests the coordinator
+	// proxied to the ring owner of the request's dataset.
+	CtrClusterRouteProxied
+	// CtrClusterRouteLocal counts /v1/query requests the coordinator served
+	// from its local evaluator because no healthy peer could take them.
+	CtrClusterRouteLocal
+	// CtrClusterScatters counts union queries split across peers by the
+	// coordinator's scatter-gather path.
+	CtrClusterScatters
+	// CtrClusterScatterFallbacks counts scatter-gather attempts abandoned in
+	// favor of local single-node evaluation because a peer tripped, degraded,
+	// or was unreachable mid-query.
+	CtrClusterScatterFallbacks
+	// CtrClusterFailovers counts proxied requests moved to the next distinct
+	// ring owner after the primary owner failed.
+	CtrClusterFailovers
+	// CtrClusterHealthProbes counts peer health probes issued by the
+	// coordinator's background checker.
+	CtrClusterHealthProbes
+	// CtrClusterHealthTransitions counts peer healthy⇄unhealthy state
+	// transitions observed by probes or live request outcomes.
+	CtrClusterHealthTransitions
+	// CtrClusterPeerFailures counts peer exchanges (probes, proxied queries,
+	// scatter legs) that ended in a transport error or 5xx.
+	CtrClusterPeerFailures
 
 	// CtrDictLookups counts string→term-ID dictionary probes performed at
 	// query boundaries (compiling query constants and parameter bindings).
@@ -242,6 +271,16 @@ var counterNames = [numCounters]string{
 	CtrClientAttempts:            "client.attempts",
 	CtrClientRetries:             "client.retries",
 	CtrClientRetryGiveups:        "client.retry_giveups",
+	CtrClientFailovers:           "client.failovers",
+
+	CtrClusterRouteProxied:      "cluster.route_proxied",
+	CtrClusterRouteLocal:        "cluster.route_local",
+	CtrClusterScatters:          "cluster.scatters",
+	CtrClusterScatterFallbacks:  "cluster.scatter_fallbacks",
+	CtrClusterFailovers:         "cluster.failovers",
+	CtrClusterHealthProbes:      "cluster.health_probes",
+	CtrClusterHealthTransitions: "cluster.health_transitions",
+	CtrClusterPeerFailures:      "cluster.peer_failures",
 
 	CtrDictLookups:     "db.dict_lookups",
 	CtrDictMisses:      "db.dict_misses",

@@ -145,6 +145,29 @@ func (e *Exposition) HistogramVec(v *HistVec, help string) {
 	e.Histogram(v.hist, help, v.labels, v.Series())
 }
 
+// CounterVec emits one registered labeled counter family as
+// <name>_total{labels}, series sorted by label values (the Series snapshot
+// order). A nil or empty family still emits its header, so the family set
+// is stable across scrapes.
+func (e *Exposition) CounterVec(v *CounterVec, help string) {
+	if v == nil {
+		return
+	}
+	name := v.Name() + "_total"
+	e.header(name, help, "counter")
+	for _, s := range v.Series() {
+		labels := make([]Label, 0, len(v.labels))
+		for i, ln := range v.labels {
+			val := ""
+			if i < len(s.Values) {
+				val = s.Values[i]
+			}
+			labels = append(labels, Label{Name: ln, Value: val})
+		}
+		e.sample(name, labels, strconv.FormatInt(s.Count, 10))
+	}
+}
+
 // WriteCounters emits every registered counter of st (zeros included, so
 // the sample set is stable across scrapes) as
 // wdpt_<name with dots replaced>_total, in registry declaration order.

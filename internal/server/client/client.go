@@ -27,17 +27,30 @@ type Client struct {
 	hc     *http.Client
 	policy RetryPolicy
 	st     *obs.Stats
+	// attempts and failures split the attempt counters per endpoint
+	// (labeled by base URL), so a fleet's metrics never conflate peers.
+	// Nil is the disabled state; derive with WithEndpointStats.
+	attempts *obs.CounterVec
+	failures *obs.CounterVec
 	// sleep and jitter are the backoff's injectable seams: tests replace
 	// them to pin the retry schedule without waiting or randomness.
 	sleep  func(ctx context.Context, d time.Duration) error
 	jitter func() float64
 }
 
+// DefaultTimeout bounds one HTTP exchange when New is given a nil
+// *http.Client. It is a transport safety net, not a query budget — request
+// deadlines travel in the context, and evaluation budgets in the request
+// document — so it is generous; its job is only to keep a hung peer from
+// pinning a connection forever (wdptlint R17).
+const DefaultTimeout = 5 * time.Minute
+
 // New builds a client for the given base URL (e.g. "http://127.0.0.1:8080").
-// A nil *http.Client uses http.DefaultClient.
+// A nil *http.Client uses a client with DefaultTimeout (never the
+// timeout-less http.DefaultClient).
 func New(base string, hc *http.Client) *Client {
 	if hc == nil {
-		hc = http.DefaultClient
+		hc = &http.Client{Timeout: DefaultTimeout}
 	}
 	return &Client{
 		base:   strings.TrimRight(base, "/"),
@@ -47,6 +60,9 @@ func New(base string, hc *http.Client) *Client {
 		jitter: defaultJitter,
 	}
 }
+
+// Base returns the client's base URL.
+func (c *Client) Base() string { return c.base }
 
 // QueryResult is one /v1/query exchange: the HTTP status, the raw body
 // (byte-identical to wdpteval -json output on success), and whichever of

@@ -1,0 +1,145 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"wdpt/internal/obs"
+	"wdpt/internal/server"
+)
+
+// Multi is a failover client over a fixed set of wdptd endpoints. It keeps
+// one Client per endpoint (sorted, deduped — the same normalization the
+// cluster ring applies, so "the next endpoint" means the same thing
+// everywhere) and a sticky cursor: requests go to the current endpoint
+// until an exchange fails at the transport level or the endpoint answers
+// 503, then the cursor advances to the next endpoint and the request is
+// retried there. A full lap without success returns the last failure.
+//
+// Failover is deliberately narrower than retry: per-endpoint retry (429
+// backoff, Retry-After) stays inside each endpoint's Client under its
+// RetryPolicy; Multi only moves between endpoints, and only on signals
+// that mean "this node cannot take requests" — a 504 deadline or 413
+// budget trip is a query outcome served by a healthy node and is returned
+// as data, never failed over (re-running a tripped query on another node
+// would just trip again, slower).
+type Multi struct {
+	clients []*Client // aligned with endpoints, sorted by base URL
+	st      *obs.Stats
+
+	mu  sync.Mutex
+	cur int
+}
+
+// NewMulti builds a failover client over the given endpoints. A nil
+// *http.Client follows New's defaulting (a DefaultTimeout-bounded client).
+// At least one endpoint is required.
+func NewMulti(endpoints []string, hc *http.Client) (*Multi, error) {
+	uniq := make(map[string]bool, len(endpoints))
+	var clients []*Client
+	for _, ep := range endpoints {
+		c := New(ep, hc)
+		if c.base == "" || uniq[c.base] {
+			continue
+		}
+		uniq[c.base] = true
+		clients = append(clients, c)
+	}
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("client: NewMulti requires at least one endpoint")
+	}
+	for i := 1; i < len(clients); i++ {
+		for j := i; j > 0 && clients[j-1].base > clients[j].base; j-- {
+			clients[j-1], clients[j] = clients[j], clients[j-1]
+		}
+	}
+	return &Multi{clients: clients, st: obs.NewStats()}, nil
+}
+
+// WithRetry returns a copy whose per-endpoint clients retry throttled
+// responses under the given policy.
+func (m *Multi) WithRetry(p RetryPolicy) *Multi {
+	return m.derive(func(c *Client) *Client { return c.WithRetry(p) })
+}
+
+// WithStats returns a copy that counts the aggregate client.* counters
+// (including client.failovers) into st.
+func (m *Multi) WithStats(st *obs.Stats) *Multi {
+	out := m.derive(func(c *Client) *Client { return c.WithStats(st) })
+	out.st = st
+	return out
+}
+
+// WithEndpointStats returns a copy whose per-endpoint clients record their
+// attempts and failures into the given labeled families.
+func (m *Multi) WithEndpointStats(attempts, failures *obs.CounterVec) *Multi {
+	return m.derive(func(c *Client) *Client { return c.WithEndpointStats(attempts, failures) })
+}
+
+// derive copies the Multi with each client mapped through f, resetting the
+// cursor (derived copies are independent).
+func (m *Multi) derive(f func(*Client) *Client) *Multi {
+	clients := make([]*Client, len(m.clients))
+	for i, c := range m.clients {
+		clients[i] = f(c)
+	}
+	return &Multi{clients: clients, st: m.st}
+}
+
+// Endpoints returns the endpoint base URLs in sorted order.
+func (m *Multi) Endpoints() []string {
+	out := make([]string, len(m.clients))
+	for i, c := range m.clients {
+		out[i] = c.base
+	}
+	return out
+}
+
+// Current returns the endpoint the cursor currently prefers.
+func (m *Multi) Current() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.clients[m.cur].base
+}
+
+// failoverResult classifies one exchange for the failover loop.
+func failoverResult(qr *QueryResult, err error) bool {
+	if err != nil {
+		return true // transport/decoding failure: the endpoint gave no answer
+	}
+	return qr.Status == http.StatusServiceUnavailable
+}
+
+// Query posts req to the current endpoint, failing over to the next on
+// transport errors and 503s. Like Client.Query, a non-2xx status from a
+// live endpoint is data, not an error.
+func (m *Multi) Query(ctx context.Context, req server.Request) (*QueryResult, error) {
+	m.mu.Lock()
+	start := m.cur
+	m.mu.Unlock()
+	var (
+		lastQR  *QueryResult
+		lastErr error
+	)
+	for i := 0; i < len(m.clients); i++ {
+		idx := (start + i) % len(m.clients)
+		c := m.clients[idx]
+		qr, err := c.Query(ctx, req)
+		if !failoverResult(qr, err) {
+			m.mu.Lock()
+			m.cur = idx
+			m.mu.Unlock()
+			return qr, err
+		}
+		lastQR, lastErr = qr, err
+		if ctx.Err() != nil {
+			break // cancelled: stop lapping the fleet
+		}
+		if i+1 < len(m.clients) {
+			m.st.Inc(obs.CtrClientFailovers)
+		}
+	}
+	return lastQR, lastErr
+}

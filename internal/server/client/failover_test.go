@@ -1,0 +1,206 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"wdpt/internal/obs"
+	"wdpt/internal/server"
+)
+
+// okServer serves a fixed 200 report body, counting arrivals.
+func okServer(t *testing.T, body string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	s := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(body))
+	}))
+	t.Cleanup(s.Close)
+	return s, &hits
+}
+
+const reportBody = `{"mode":"enumerate","engine":"auto","answer_count":0}`
+
+func TestEndpointStatsSplitPerEndpoint(t *testing.T) {
+	a, _ := okServer(t, reportBody)
+	attempts := obs.NewCounterVec(obs.CVecClientEndpointAttempts, "endpoint")
+	failures := obs.NewCounterVec(obs.CVecClientEndpointFailures, "endpoint")
+
+	good := New(a.URL, nil).WithEndpointStats(attempts, failures)
+	if _, err := good.Query(context.Background(), server.Request{Dataset: "d", Query: "q"}); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+
+	// A closed server: every attempt is a transport failure.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+	bad := New(deadURL, nil).WithEndpointStats(attempts, failures)
+	if _, err := bad.Query(context.Background(), server.Request{Dataset: "d", Query: "q"}); err == nil {
+		t.Fatal("Query against closed server: want transport error")
+	}
+
+	if got := attempts.Get(a.URL); got != 1 {
+		t.Fatalf("attempts{%s} = %d, want 1", a.URL, got)
+	}
+	if got := failures.Get(a.URL); got != 0 {
+		t.Fatalf("failures{%s} = %d, want 0", a.URL, got)
+	}
+	if got := attempts.Get(deadURL); got != 1 {
+		t.Fatalf("attempts{%s} = %d, want 1", deadURL, got)
+	}
+	if got := failures.Get(deadURL); got != 1 {
+		t.Fatalf("failures{%s} = %d, want 1", deadURL, got)
+	}
+}
+
+func TestEndpointFailureCounts5xxAndThrottle(t *testing.T) {
+	srv, _ := throttlingServer(t, 1, http.StatusServiceUnavailable, "", reportBody)
+	attempts := obs.NewCounterVec(obs.CVecClientEndpointAttempts, "endpoint")
+	failures := obs.NewCounterVec(obs.CVecClientEndpointFailures, "endpoint")
+	c, _ := pinned(New(srv.URL, nil).WithEndpointStats(attempts, failures).WithRetry(RetryPolicy{MaxAttempts: 3}))
+	if _, err := c.Query(context.Background(), server.Request{Dataset: "d", Query: "q"}); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	// Attempt 1 hit the 503 (a failure), attempt 2 succeeded.
+	if got := attempts.Get(srv.URL); got != 2 {
+		t.Fatalf("attempts = %d, want 2", got)
+	}
+	if got := failures.Get(srv.URL); got != 1 {
+		t.Fatalf("failures = %d, want 1", got)
+	}
+}
+
+func TestMultiNormalizesAndSortsEndpoints(t *testing.T) {
+	m, err := NewMulti([]string{"http://b:1/", "http://a:1", "http://b:1", ""}, nil)
+	if err != nil {
+		t.Fatalf("NewMulti: %v", err)
+	}
+	if got := m.Endpoints(); !reflect.DeepEqual(got, []string{"http://a:1", "http://b:1"}) {
+		t.Fatalf("Endpoints = %v", got)
+	}
+	if _, err := NewMulti(nil, nil); err == nil {
+		t.Fatal("NewMulti(nil) should fail")
+	}
+}
+
+func TestMultiFailsOverOnTransportError(t *testing.T) {
+	live, liveHits := okServer(t, reportBody)
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+
+	st := obs.NewStats()
+	m, err := NewMulti([]string{deadURL, live.URL}, nil)
+	if err != nil {
+		t.Fatalf("NewMulti: %v", err)
+	}
+	m = m.WithStats(st)
+	// Force the cursor onto the dead endpoint regardless of sort order.
+	for i, c := range m.clients {
+		if c.base == deadURL {
+			m.cur = i
+		}
+	}
+
+	qr, err := m.Query(context.Background(), server.Request{Dataset: "d", Query: "q"})
+	if err != nil {
+		t.Fatalf("Query after failover: %v", err)
+	}
+	if qr.Status != http.StatusOK {
+		t.Fatalf("status = %d", qr.Status)
+	}
+	if liveHits.Load() != 1 {
+		t.Fatalf("live endpoint hits = %d, want 1", liveHits.Load())
+	}
+	if got := st.Get(obs.CtrClientFailovers); got != 1 {
+		t.Fatalf("client.failovers = %d, want 1", got)
+	}
+	// The cursor is sticky: the next request goes straight to the live one.
+	if _, err := m.Query(context.Background(), server.Request{Dataset: "d", Query: "q"}); err != nil {
+		t.Fatalf("second Query: %v", err)
+	}
+	if liveHits.Load() != 2 {
+		t.Fatalf("live endpoint hits = %d, want 2 (cursor not sticky)", liveHits.Load())
+	}
+	if got := m.Current(); got != live.URL {
+		t.Fatalf("Current = %q, want %q", got, live.URL)
+	}
+}
+
+func TestMultiFailsOverOn503ButNotOn504(t *testing.T) {
+	unavailable := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"error":{"code":"shutting_down","message":"draining"}}`))
+	}))
+	t.Cleanup(unavailable.Close)
+	live, _ := okServer(t, reportBody)
+
+	m, err := NewMulti([]string{unavailable.URL, live.URL}, nil)
+	if err != nil {
+		t.Fatalf("NewMulti: %v", err)
+	}
+	for i, c := range m.clients {
+		if c.base == unavailable.URL {
+			m.cur = i
+		}
+	}
+	qr, err := m.Query(context.Background(), server.Request{Dataset: "d", Query: "q"})
+	if err != nil || qr.Status != http.StatusOK {
+		t.Fatalf("Query = %v status %v, want 200 via failover", err, qr)
+	}
+
+	// 504 is a query outcome (deadline trip), not a node failure: no failover.
+	deadline := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusGatewayTimeout)
+		_, _ = w.Write([]byte(`{"error":{"code":"deadline","message":"budget exceeded"}}`))
+	}))
+	t.Cleanup(deadline.Close)
+	m2, err := NewMulti([]string{deadline.URL, live.URL}, nil)
+	if err != nil {
+		t.Fatalf("NewMulti: %v", err)
+	}
+	for i, c := range m2.clients {
+		if c.base == deadline.URL {
+			m2.cur = i
+		}
+	}
+	qr, err = m2.Query(context.Background(), server.Request{Dataset: "d", Query: "q"})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if qr.Status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 returned as data", qr.Status)
+	}
+}
+
+func TestMultiAllEndpointsDownReturnsLastFailure(t *testing.T) {
+	d1 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	d2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	u1, u2 := d1.URL, d2.URL
+	d1.Close()
+	d2.Close()
+	m, err := NewMulti([]string{u1, u2}, nil)
+	if err != nil {
+		t.Fatalf("NewMulti: %v", err)
+	}
+	if _, err := m.Query(context.Background(), server.Request{Dataset: "d", Query: "q"}); err == nil {
+		t.Fatal("want error when every endpoint is down")
+	}
+}
+
+func TestNewDefaultsToTimeoutBearingClient(t *testing.T) {
+	c := New("http://example.invalid", nil)
+	if c.hc == http.DefaultClient {
+		t.Fatal("New(nil) must not use http.DefaultClient")
+	}
+	if c.hc.Timeout == 0 {
+		t.Fatal("New(nil) client must carry a non-zero Timeout")
+	}
+}

@@ -56,6 +56,19 @@ func (c *Client) WithStats(st *obs.Stats) *Client {
 	return &out
 }
 
+// WithEndpointStats returns a copy of the client that additionally counts
+// every attempt and failure per endpoint (labeled by base URL) into the
+// given families — the split behind wdptd_client_endpoint_attempts /
+// wdptd_client_endpoint_failures. The aggregate client.* counters treat
+// all endpoints as one host; failover decisions read these instead.
+// Either family may be nil (that side disabled).
+func (c *Client) WithEndpointStats(attempts, failures *obs.CounterVec) *Client {
+	out := *c
+	out.attempts = attempts
+	out.failures = failures
+	return &out
+}
+
 // Stats returns the sink receiving the client.* counters.
 func (c *Client) Stats() *obs.Stats { return c.st }
 
@@ -73,7 +86,15 @@ func (c *Client) withRetry(ctx context.Context, do func() (int, string, error)) 
 	attempts := c.policy.attempts()
 	for attempt := 1; ; attempt++ {
 		c.st.Inc(obs.CtrClientAttempts)
+		c.attempts.Inc(c.base)
 		status, retryAfter, err := do()
+		// Per-endpoint failure accounting: a transport error (status 0), a
+		// throttled status, or any 5xx marks this endpoint's attempt failed —
+		// the signal failover reads. 4xx (other than 429) are request-level
+		// outcomes served by a live endpoint, not endpoint failures.
+		if (status == 0 && err != nil) || retryableStatus(status) || status >= 500 {
+			c.failures.Inc(c.base)
+		}
 		if !retryableStatus(status) {
 			return err
 		}

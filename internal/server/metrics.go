@@ -6,6 +6,14 @@ import (
 	"wdpt/internal/obs"
 )
 
+// SetMetricsExtra installs a hook that appends additional metric families
+// to the /metrics exposition, emitted after the server's own families and
+// before the Go runtime block. The cluster coordinator uses this to merge
+// its per-peer latency histograms and per-endpoint counter families into
+// the one scrape. Call before serving; the hook must be safe for
+// concurrent scrapes.
+func (s *Server) SetMetricsExtra(f func(e *obs.Exposition)) { s.metricsExtra = f }
+
 // handleMetrics is GET /metrics: the Prometheus text exposition (format
 // 0.0.4) of the server's counters, gauges, latency histograms, and Go
 // runtime metrics. The emission order is fixed and every snapshot function
@@ -23,6 +31,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		[]obs.LabeledHistogram{{Snap: s.admWait.Snapshot()}})
 	e.Histogram(obs.HistCacheLookup, "Result-cache lookup latency.", nil,
 		[]obs.LabeledHistogram{{Snap: s.cacheLookup.Snapshot()}})
+	if s.metricsExtra != nil {
+		s.metricsExtra(&e)
+	}
 	e.WriteRuntimeMetrics()
 	w.Header().Set("Content-Type", obs.PromContentType)
 	w.WriteHeader(http.StatusOK)

@@ -70,6 +70,12 @@ type Dataset struct {
 	// file, "snapshot" for a binary snapshot loaded from the registry's
 	// snapshot directory.
 	Source string `json:"source"`
+	// Rows maps every relation name to its ground-tuple count — the flat
+	// per-relation row counts the stress harness and ring-rebalance checks
+	// read to size datasets without loading them (the same numbers as
+	// Relations[i].Tuples, addressable by name). JSON encoding sorts map
+	// keys, so the listing stays byte-deterministic.
+	Rows map[string]int `json:"rows"`
 	// Relations summarizes the relations, sorted by name.
 	Relations []RelationInfo `json:"relations"`
 	// DB is the parsed database. Read-only.
@@ -212,6 +218,11 @@ func (r *Registry) loadOne(name string, version int64) (*Dataset, error) {
 			return nil, fmt.Errorf("server: dataset %q (%s): %w", name, path, err)
 		}
 	}
+	rels := relationInfos(d)
+	rows := make(map[string]int, len(rels))
+	for _, rel := range rels {
+		rows[rel.Name] = rel.Tuples
+	}
 	return &Dataset{
 		Name:      name,
 		Version:   version,
@@ -219,7 +230,8 @@ func (r *Registry) loadOne(name string, version int64) (*Dataset, error) {
 		Atoms:     d.Size(),
 		DictTerms: d.Dict().Len(),
 		Backend:   d.Backend().String(),
-		Relations: relationInfos(d),
+		Rows:      rows,
+		Relations: rels,
 		DB:        d,
 		LoadNS:    time.Since(start).Nanoseconds(),
 		Source:    source,

@@ -102,6 +102,11 @@ type Server struct {
 	cacheLookup *obs.Histogram
 	queryLog    *slog.Logger
 
+	// metricsExtra, when set (SetMetricsExtra), appends additional families
+	// to the /metrics exposition between the server's own families and the
+	// runtime block.
+	metricsExtra func(e *obs.Exposition)
+
 	// baseCtx parents every request's evaluation context; Shutdown cancels
 	// it to stop in-flight work past the drain deadline.
 	baseCtx context.Context
@@ -170,6 +175,28 @@ func (s *Server) Registry() *Registry { return s.reg }
 
 // Stats returns the stats sink carrying the server.* counters.
 func (s *Server) Stats() *obs.Stats { return s.st }
+
+// EffectiveParallelism resolves a request's Parallelism field exactly as
+// handleQuery does: 0 means NumCPU, floors at 1, and clamps to the
+// server's admission capacity. The cluster coordinator mirrors this when
+// it builds a merged report, so the Parallelism field of a scattered
+// union response is byte-identical to the single-node one.
+func (s *Server) EffectiveParallelism(requested int) int {
+	par := requested
+	if par == 0 {
+		par = runtime.NumCPU()
+	}
+	if par < 1 {
+		par = 1
+	}
+	return int(s.adm.clamp(int64(par)))
+}
+
+// WidthBound returns the server's configured global treewidth bound (0 when
+// unbounded). The cluster coordinator replicates the width fast-reject
+// before scattering, so a query the single node would 422 is never served
+// merged.
+func (s *Server) WidthBound() int { return s.cfg.WidthBound }
 
 // Shutdown drains the server: new queries are rejected with 503, in-flight
 // queries run to completion, and — if ctx expires first — their evaluation

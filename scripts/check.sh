@@ -13,6 +13,9 @@
 # snapshot persistence gate (a dataset converted to the binary snapshot
 # format must answer byte-identically to its text source, and reloading
 # the snapshot must beat reparsing the text by WDPT_SNAP_MIN_SPEEDUP),
+# a cluster smoke (scripts/cluster_smoke.sh: 3 members + 1 coordinator,
+# byte-parity with and without a killed member, a wdptstress -quick run
+# whose STRESS_<date>-smoke.json artifact benchdiff must accept),
 # and bounded parser + backend-equivalence + snapshot-loader fuzz smokes.
 # CI (.github/workflows/ci.yml) runs exactly this script.
 #
@@ -161,6 +164,9 @@ cmp "$snap_dir/text.json" "$snap_dir/snap.json" || {
   exit 1
 }
 go run ./cmd/wdptbench -snapshot "$snap_dir/bench" -quick
+
+echo "== cluster smoke (3 members + coordinator, parity + wdptstress)"
+./scripts/cluster_smoke.sh
 
 if [[ "${WDPT_SKIP_FUZZ:-0}" != "1" ]]; then
   fuzztime="${FUZZTIME:-10s}"
